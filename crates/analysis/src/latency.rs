@@ -1,0 +1,161 @@
+//! Hop-count latency model for ROADS and SWORD queries.
+//!
+//! The paper explains Fig. 3 qualitatively: ROADS "can search multiple
+//! branches in parallel and the latency is determined by the number of
+//! levels in the hierarchy", while SWORD "sequentially traverses nodes in
+//! the matching segment, the size of which is proportional to the total
+//! number of nodes for a fixed query selectivity". This module turns those
+//! statements into formulas the harness can overlay on measured curves,
+//! plus a solver for the node count beyond which ROADS always wins.
+
+/// Parameters of the latency model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Mean one-way network delay between two random servers (ms).
+    pub mean_delay_ms: f64,
+    /// ROADS hierarchy degree `k`.
+    pub degree: usize,
+    /// Number of attribute rings `r` in SWORD.
+    pub rings: usize,
+    /// Per-dimension range length of the query (the paper's `α = 0.25`).
+    pub alpha: f64,
+}
+
+impl LatencyModel {
+    /// The paper's defaults: degree 8, 16 rings, α = 0.25, with the
+    /// synthesized delay space's ~45 ms median one-way delay.
+    pub fn paper_default() -> Self {
+        LatencyModel {
+            mean_delay_ms: 45.0,
+            degree: 8,
+            rings: 16,
+            alpha: 0.25,
+        }
+    }
+}
+
+/// Levels of a full `k`-ary hierarchy over `n` servers (the paper's `L+1`).
+pub fn hierarchy_levels(n: usize, k: usize) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    let k = k.max(2);
+    let mut capacity = 1usize;
+    let mut width = 1usize;
+    let mut levels = 1usize;
+    while capacity < n {
+        width = width.saturating_mul(k);
+        capacity = capacity.saturating_add(width);
+        levels += 1;
+    }
+    levels
+}
+
+/// Predicted ROADS query latency: with server-forwarding, the critical
+/// path is one hop out of the entry (to the topmost matching ancestor
+/// sibling) plus a descent of up to `levels − 1` hops — every branch in
+/// parallel.
+pub fn roads_latency_ms(n: usize, m: &LatencyModel) -> f64 {
+    let levels = hierarchy_levels(n, m.degree);
+    m.mean_delay_ms * levels as f64
+}
+
+/// Predicted SWORD query latency: `log₂ n` finger hops into the ring, then
+/// a sequential sweep of the matching segment — `α · n / r` servers.
+pub fn sword_latency_ms(n: usize, m: &LatencyModel) -> f64 {
+    let route = (n.max(2) as f64).log2();
+    let sweep = m.alpha * n as f64 / m.rings as f64;
+    m.mean_delay_ms * (route + sweep)
+}
+
+/// Smallest node count at which ROADS' predicted latency drops below
+/// SWORD's and stays below through `limit`. Returns `None` when SWORD
+/// stays competitive through the whole range (e.g. α ≈ 0 makes segments
+/// trivial).
+pub fn sword_crossover_nodes(m: &LatencyModel, limit: usize) -> Option<usize> {
+    let mut crossover = None;
+    for n in 2..=limit {
+        if roads_latency_ms(n, m) < sword_latency_ms(n, m) {
+            crossover.get_or_insert(n);
+        } else {
+            crossover = None; // must stay below through the limit
+        }
+    }
+    crossover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_match_known_trees() {
+        assert_eq!(hierarchy_levels(1, 8), 1);
+        assert_eq!(hierarchy_levels(9, 8), 2);
+        assert_eq!(hierarchy_levels(73, 8), 3);
+        assert_eq!(hierarchy_levels(585, 8), 4);
+        assert_eq!(hierarchy_levels(586, 8), 5);
+        // §IV example: 156 servers fill a 4-level 5-ary tree.
+        assert_eq!(hierarchy_levels(156, 5), 4);
+    }
+
+    #[test]
+    fn roads_grows_logarithmically() {
+        let m = LatencyModel::paper_default();
+        let l64 = roads_latency_ms(64, &m);
+        let l640 = roads_latency_ms(640, &m);
+        // 10x nodes adds at most two levels.
+        assert!(l640 / l64 <= 2.0, "{l64} -> {l640}");
+    }
+
+    #[test]
+    fn sword_grows_linearly() {
+        let m = LatencyModel::paper_default();
+        let l64 = sword_latency_ms(64, &m);
+        let l640 = sword_latency_ms(640, &m);
+        assert!(l640 / l64 > 2.5, "{l64} -> {l640}");
+        // The sweep component itself is exactly linear: subtract routing.
+        let sweep = |n: usize| sword_latency_ms(n, &m) - m.mean_delay_ms * (n as f64).log2();
+        assert!((sweep(640) / sweep(64) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_regime_has_early_crossover() {
+        // With the paper's parameters ROADS wins before a few hundred
+        // nodes — consistent with Fig. 3 showing ROADS below SWORD across
+        // the whole 64–640 range.
+        let m = LatencyModel::paper_default();
+        let x = sword_crossover_nodes(&m, 2_000).expect("crossover exists");
+        assert!(x <= 200, "crossover at {x}");
+    }
+
+    #[test]
+    fn tiny_alpha_defers_crossover() {
+        // Near-point queries make SWORD segments trivial; its log routing
+        // then rivals the hierarchy descent for much longer.
+        let m = LatencyModel {
+            alpha: 0.001,
+            ..LatencyModel::paper_default()
+        };
+        let with_alpha = sword_crossover_nodes(&LatencyModel::paper_default(), 5_000);
+        let tiny = sword_crossover_nodes(&m, 5_000);
+        match (with_alpha, tiny) {
+            (Some(a), Some(b)) => assert!(b >= a),
+            (Some(_), None) => {} // SWORD never loses in range — fine
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degree_flattens_roads() {
+        let m4 = LatencyModel {
+            degree: 4,
+            ..LatencyModel::paper_default()
+        };
+        let m12 = LatencyModel {
+            degree: 12,
+            ..LatencyModel::paper_default()
+        };
+        assert!(roads_latency_ms(320, &m12) <= roads_latency_ms(320, &m4));
+    }
+}

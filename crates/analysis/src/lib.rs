@@ -1,0 +1,17 @@
+//! Closed-form analytic models of the ROADS paper.
+//!
+//! * [`model`] — §IV's update/maintenance/storage overhead expressions
+//!   (Eq. (1)–(4), Table I).
+//! * [`latency`] — a hop-count latency model for ROADS and SWORD queries
+//!   predicting the Fig. 3/6/10 curve shapes and their crossover points.
+
+pub mod latency;
+pub mod model;
+
+pub use latency::{
+    hierarchy_levels, roads_latency_ms, sword_latency_ms, sword_crossover_nodes, LatencyModel,
+};
+pub use model::{
+    maintenance_overhead, storage_overhead, update_overhead, ModelParams, StorageOverhead,
+    UpdateOverhead,
+};

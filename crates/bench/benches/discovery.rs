@@ -1,0 +1,98 @@
+//! Macro-level benchmarks: hierarchy construction, update rounds, and
+//! query execution for ROADS and the SWORD baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use roads_core::{
+    execute_query, update_round, HierarchyTree, RoadsConfig, RoadsNetwork, SearchScope, ServerId,
+};
+use roads_netsim::DelaySpace;
+use roads_summary::SummaryConfig;
+use roads_sword::SwordNetwork;
+use roads_workload::{
+    default_schema, generate_node_records, generate_queries, QueryWorkloadConfig,
+    RecordWorkloadConfig,
+};
+
+fn setup(nodes: usize) -> (RoadsNetwork, SwordNetwork, DelaySpace, Vec<(roads_records::Query, usize)>) {
+    let schema = default_schema(16);
+    let records = generate_node_records(&RecordWorkloadConfig {
+        nodes,
+        records_per_node: 50,
+        attrs: 16,
+        seed: 4,
+    });
+    let net = RoadsNetwork::build(
+        schema.clone(),
+        RoadsConfig {
+            summary: SummaryConfig::with_buckets(200),
+            ..RoadsConfig::paper_default()
+        },
+        records.clone(),
+    );
+    let sword = SwordNetwork::build(schema.clone(), records);
+    let delays = DelaySpace::paper(nodes, 4);
+    let queries = generate_queries(
+        &schema,
+        &QueryWorkloadConfig {
+            count: 32,
+            dims: 6,
+            range_len: 0.25,
+            nodes,
+            seed: 8,
+        },
+    );
+    (net, sword, delays, queries)
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_build");
+    for &n in &[64usize, 320, 640] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| HierarchyTree::build(black_box(n), 8))
+        });
+    }
+    g.finish();
+}
+
+fn bench_query_exec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_exec");
+    g.sample_size(20);
+    for &n in &[64usize, 128] {
+        let (net, sword, delays, queries) = setup(n);
+        g.bench_with_input(BenchmarkId::new("roads", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let (q, start) = &queries[i % queries.len()];
+                i += 1;
+                execute_query(
+                    &net,
+                    &delays,
+                    black_box(q),
+                    ServerId(*start as u32),
+                    SearchScope::full(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sword", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let (q, start) = &queries[i % queries.len()];
+                i += 1;
+                sword.execute_query(&delays, black_box(q), *start)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_update_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("update_round");
+    g.sample_size(10);
+    let (net, sword, _, _) = setup(128);
+    g.bench_function("roads_128", |b| b.iter(|| update_round(black_box(&net))));
+    g.bench_function("sword_128", |b| b.iter(|| black_box(&sword).update_round()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree_build, bench_query_exec, bench_update_round);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Diagnostic: summary pruning effectiveness under the default workload.
+//!
+//! Prints per-query ground truth (servers with real matches) vs servers the
+//! ROADS execution contacts, split by reason, plus per-dimension match
+//! statistics. Not a paper figure — a harness health check.
+
+use roads_bench::{figure_config, TrialConfig};
+use roads_core::{execute_query, RoadsConfig, RoadsNetwork, SearchScope, ServerId};
+use roads_netsim::DelaySpace;
+use roads_summary::SummaryConfig;
+use roads_workload::{
+    default_schema, generate_node_records, generate_queries, QueryWorkloadConfig,
+    RecordWorkloadConfig,
+};
+
+fn main() {
+    let cfg = TrialConfig {
+        runs: 1,
+        queries: 100,
+        ..figure_config()
+    };
+    let rec_cfg = RecordWorkloadConfig {
+        nodes: cfg.nodes,
+        records_per_node: cfg.records_per_node,
+        attrs: cfg.attrs,
+        seed: cfg.seed,
+    };
+    let records = generate_node_records(&rec_cfg);
+    let schema = default_schema(cfg.attrs);
+    let queries = generate_queries(
+        &schema,
+        &QueryWorkloadConfig {
+            count: cfg.queries,
+            dims: cfg.query_dims,
+            range_len: 0.25,
+            nodes: cfg.nodes,
+            seed: cfg.seed ^ 0xABCD,
+        },
+    );
+    let net = RoadsNetwork::build(
+        schema,
+        RoadsConfig {
+            max_children: cfg.degree,
+            summary: SummaryConfig::with_buckets(cfg.buckets),
+            ..RoadsConfig::paper_default()
+        },
+        records,
+    );
+    let delays = DelaySpace::paper(cfg.nodes, cfg.seed);
+
+    let mut gt_sum = 0usize;
+    let mut contacted_sum = 0usize;
+    let mut leaf_fp_sum = 0usize;
+    for (q, start) in &queries {
+        let gt = net.matching_servers(q).len();
+        let out = execute_query(&net, &delays, q, ServerId(*start as u32), SearchScope::full());
+        gt_sum += gt;
+        contacted_sum += out.servers_contacted;
+        leaf_fp_sum += out.servers_contacted.saturating_sub(gt);
+    }
+    let nq = queries.len() as f64;
+    println!("queries: {}", queries.len());
+    println!("mean ground-truth matching servers: {:.1}", gt_sum as f64 / nq);
+    println!("mean servers contacted:             {:.1}", contacted_sum as f64 / nq);
+    println!("mean excess (false pos + routing):  {:.1}", leaf_fp_sum as f64 / nq);
+}

@@ -1,0 +1,57 @@
+//! Figure 4: update message overhead as a function of the number of nodes
+//! (log scale in the paper).
+//!
+//! Paper result: "ROADS has two orders of magnitude less update overhead
+//! than SWORD due to the use of condensed summary."
+
+use roads_bench::chart::{render_log, Series};
+use roads_bench::{banner, figure_config, run_comparison, TrialConfig};
+
+fn main() {
+    banner(
+        "Figure 4 — update overhead vs number of nodes (bytes/second)",
+        "ROADS 1-2 orders of magnitude below SWORD",
+    );
+    let base = figure_config();
+    println!(
+        "{:>6} {:>16} {:>16} {:>16} {:>12}",
+        "nodes", "ROADS (B/s)", "SWORD (B/s)", "Central (B/s)", "SWORD/ROADS"
+    );
+    let sweep: Vec<usize> = if base.nodes <= 64 {
+        vec![32, 64, 96, 128]
+    } else {
+        (1..=10).map(|i| i * 64).collect()
+    };
+    let mut roads_pts = Vec::new();
+    let mut sword_pts = Vec::new();
+    let mut central_pts = Vec::new();
+    for nodes in sweep {
+        let cfg = TrialConfig { nodes, ..base };
+        let r = run_comparison(&cfg);
+        println!(
+            "{:>6} {:>16.3e} {:>16.3e} {:>16.3e} {:>12.1}",
+            nodes,
+            r.roads_update_bps,
+            r.sword_update_bps,
+            r.central_update_bps,
+            r.sword_update_bps / r.roads_update_bps
+        );
+        roads_pts.push((nodes as f64, r.roads_update_bps));
+        sword_pts.push((nodes as f64, r.sword_update_bps));
+        central_pts.push((nodes as f64, r.central_update_bps));
+    }
+    println!();
+    print!(
+        "{}",
+        render_log(
+            &[
+                Series::new("ROADS", roads_pts),
+                Series::new("SWORD", sword_pts),
+                Series::new("Central", central_pts)
+            ],
+            60,
+            14
+        )
+    );
+    println!("\npaper: ~1e7 vs ~1e9 bytes at 320 nodes (log-scale figure).");
+}

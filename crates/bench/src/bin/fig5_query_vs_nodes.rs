@@ -1,0 +1,39 @@
+//! Figure 5: query message overhead as a function of the number of nodes.
+//!
+//! Paper result: "ROADS has 2∼5 times higher query overhead than SWORD,
+//! because ROADS has to visit more servers due to voluntary sharing" —
+//! every owner retains its records, so the query must reach all owners with
+//! matches, while SWORD concentrates matching records on fewer DHT servers.
+
+use roads_bench::{banner, figure_config, run_comparison, TrialConfig};
+
+fn main() {
+    banner(
+        "Figure 5 — query message overhead vs number of nodes (bytes/query)",
+        "ROADS 2-5x higher than SWORD",
+    );
+    let base = figure_config();
+    println!(
+        "{:>6} {:>14} {:>14} {:>12} {:>12} {:>12}",
+        "nodes", "ROADS (B)", "SWORD (B)", "ROADS/SWORD", "ROADS srv", "SWORD srv"
+    );
+    let sweep: Vec<usize> = if base.nodes <= 64 {
+        vec![32, 64, 96, 128]
+    } else {
+        (1..=10).map(|i| i * 64).collect()
+    };
+    for nodes in sweep {
+        let cfg = TrialConfig { nodes, ..base };
+        let r = run_comparison(&cfg);
+        println!(
+            "{:>6} {:>14.0} {:>14.0} {:>12.2} {:>12.1} {:>12.1}",
+            nodes,
+            r.roads_query_bytes,
+            r.sword_query_bytes,
+            r.roads_query_bytes / r.sword_query_bytes,
+            r.roads_servers_contacted,
+            r.sword_servers_contacted
+        );
+    }
+    println!("\npaper: ROADS up to ~5000 bytes/query at 640 nodes, SWORD ~1000-2500.");
+}

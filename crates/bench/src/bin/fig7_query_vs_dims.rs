@@ -1,0 +1,36 @@
+//! Figure 7: query overhead as a function of query dimensionality.
+//!
+//! Paper result: "SWORD has linearly increasing query overhead as the query
+//! dimensionality grows … ROADS shows an initial decrease in query
+//! overhead, because less query messages are sent as the search scope is
+//! confined … the query overhead increases again because the reduction of
+//! search scope flattens out."
+
+use roads_bench::{banner, figure_config, run_comparison, TrialConfig};
+
+fn main() {
+    banner(
+        "Figure 7 — query message overhead vs query dimensionality (bytes/query)",
+        "SWORD linear up; ROADS dips then rises",
+    );
+    let base = figure_config();
+    println!(
+        "{:>5} {:>14} {:>14} {:>12}",
+        "dims", "ROADS (B)", "SWORD (B)", "ROADS msgs"
+    );
+    for dims in 2..=8 {
+        let cfg = TrialConfig {
+            query_dims: dims,
+            ..base
+        };
+        let r = run_comparison(&cfg);
+        println!(
+            "{:>5} {:>14.0} {:>14.0} {:>12.1}",
+            dims,
+            r.roads_query_bytes,
+            r.sword_query_bytes,
+            r.roads_servers_contacted,
+        );
+    }
+    println!("\npaper: ROADS ~2500 B at 2 dims, dipping before rising; SWORD ~500->1500 B.");
+}

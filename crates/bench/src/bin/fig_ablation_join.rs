@@ -1,0 +1,70 @@
+//! Ablation (§III-A join policy): balance-aware join vs random parent.
+//!
+//! The paper's join walk descends into "the child whose branch has the
+//! least depth, or least number of descendants when depths are equal". This
+//! binary compares the resulting tree shape (and thus query latency, which
+//! Fig. 10 ties to depth) against joining under a uniformly random
+//! non-full server.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use roads_bench::{banner, figure_config};
+use roads_core::{HierarchyTree, ServerId};
+
+/// Build a tree by attaching each new server under a random server with
+/// spare capacity.
+fn random_tree(n: usize, max_children: usize, seed: u64) -> HierarchyTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = HierarchyTree::new(n, ServerId(0));
+    for s in 1..n as u32 {
+        let candidates: Vec<ServerId> = t
+            .servers()
+            .into_iter()
+            .filter(|&p| t.children(p).len() < max_children)
+            .collect();
+        let parent = candidates[rng.gen_range(0..candidates.len())];
+        t.attach(ServerId(s), parent).expect("valid attach");
+    }
+    t
+}
+
+fn describe(label: &str, t: &HierarchyTree) {
+    let n = t.len();
+    let depths: Vec<usize> = t.servers().iter().map(|&s| t.depth(s)).collect();
+    let mean_depth = depths.iter().sum::<usize>() as f64 / n as f64;
+    println!(
+        "{:<18} levels={:<3} mean depth={:<5.2} max depth={}",
+        label,
+        t.levels(),
+        mean_depth,
+        depths.iter().max().unwrap()
+    );
+}
+
+fn main() {
+    banner(
+        "Ablation — join policy: least-depth walk vs random parent",
+        "balance-aware joins keep the tree flat (fewer hops per query, Fig. 10)",
+    );
+    let cfg = figure_config();
+    for (n, k) in [(cfg.nodes, cfg.degree), (640, 8), (320, 4)] {
+        println!("\n{n} servers, degree {k}:");
+        describe("least-depth", &HierarchyTree::build(n, k));
+        let mut worst_levels = 0;
+        let mut sum_levels = 0;
+        for seed in 0..5u64 {
+            let t = random_tree(n, k, seed);
+            worst_levels = worst_levels.max(t.levels());
+            sum_levels += t.levels();
+            if seed == 0 {
+                describe("random (seed 0)", &t);
+            }
+        }
+        println!(
+            "{:<18} mean levels={:.1} worst={}",
+            "random (5 seeds)",
+            sum_levels as f64 / 5.0,
+            worst_levels
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Ablation (§III-C's claimed benefits): replication overlay ON vs OFF.
+//!
+//! With the overlay, a query starts at the client's own attachment server
+//! and uses replicated summaries as shortcuts. Without it (the "basic
+//! hierarchy"), every query must start at the root: the root becomes a
+//! bottleneck and the path to matching leaves is longer. This binary
+//! quantifies both effects: query latency and the fraction of queries that
+//! touch the root.
+
+use roads_bench::{banner, figure_config, TrialConfig};
+use roads_core::{execute_query, LatencyStats, RoadsConfig, RoadsNetwork, SearchScope, ServerId};
+use roads_netsim::DelaySpace;
+use roads_summary::SummaryConfig;
+use roads_workload::{
+    default_schema, generate_node_records, generate_queries, QueryWorkloadConfig,
+    RecordWorkloadConfig,
+};
+
+fn main() {
+    banner(
+        "Ablation — replication overlay ON (any-node start) vs OFF (root start)",
+        "overlay removes the root bottleneck and shortens query paths (§III-C)",
+    );
+    let cfg = TrialConfig {
+        runs: 1,
+        ..figure_config()
+    };
+    let rec_cfg = RecordWorkloadConfig {
+        nodes: cfg.nodes,
+        records_per_node: cfg.records_per_node,
+        attrs: cfg.attrs,
+        seed: cfg.seed,
+    };
+    let records = generate_node_records(&rec_cfg);
+    let schema = default_schema(cfg.attrs);
+    let queries = generate_queries(
+        &schema,
+        &QueryWorkloadConfig {
+            count: cfg.queries,
+            dims: cfg.query_dims,
+            range_len: 0.25,
+            nodes: cfg.nodes,
+            seed: cfg.seed ^ 0xABCD,
+        },
+    );
+    let net = RoadsNetwork::build(
+        schema,
+        RoadsConfig {
+            max_children: cfg.degree,
+            summary: SummaryConfig::with_buckets(cfg.buckets),
+            ..RoadsConfig::paper_default()
+        },
+        records,
+    );
+    let delays = DelaySpace::paper(cfg.nodes, cfg.seed);
+    let root = net.tree().root();
+
+    let mut on_lat = Vec::new();
+    let mut off_lat = Vec::new();
+    let mut on_root_hits = 0usize;
+    let mut on_bytes = 0.0;
+    let mut off_bytes = 0.0;
+    for (q, start) in &queries {
+        let entry = ServerId(*start as u32);
+        let on = execute_query(&net, &delays, q, entry, SearchScope::full());
+        on_lat.push(on.latency_ms);
+        on_bytes += on.query_bytes as f64;
+        // Root involvement with the overlay: only when the root is an
+        // ancestor probe or a match.
+        if on.matching_servers.contains(&root) {
+            on_root_hits += 1;
+        }
+
+        // Overlay OFF: the query must travel to the root first (one-way
+        // client->root), then the basic top-down hierarchy search runs with
+        // the client at the root's side of the protocol.
+        let off = execute_query(&net, &delays, q, root, SearchScope::full());
+        off_lat.push(off.latency_ms + delays.delay_ms(*start, root.index()));
+        off_bytes += off.query_bytes as f64;
+    }
+    let on = LatencyStats::from_samples(&on_lat).expect("non-empty");
+    let off = LatencyStats::from_samples(&off_lat).expect("non-empty");
+    println!("{:<22} {:>12} {:>12} {:>12}", "variant", "mean (ms)", "p90 (ms)", "B/query");
+    println!(
+        "{:<22} {:>12.1} {:>12.1} {:>12.0}",
+        "overlay ON",
+        on.mean,
+        on.p90,
+        on_bytes / queries.len() as f64
+    );
+    println!(
+        "{:<22} {:>12.1} {:>12.1} {:>12.0}",
+        "overlay OFF (root)",
+        off.mean,
+        off.p90,
+        off_bytes / queries.len() as f64
+    );
+    println!(
+        "\nroot load: OFF = 100% of queries; ON = {:.1}% (root only touched when it holds matches)",
+        100.0 * on_root_hits as f64 / queries.len() as f64
+    );
+}

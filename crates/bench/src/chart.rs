@@ -1,0 +1,204 @@
+//! Terminal charts for the figure binaries.
+//!
+//! Every figure binary prints the numeric series the paper plots; this
+//! module renders the same series as a quick ASCII chart so curve shapes
+//! (log vs linear, dips, crossovers) are visible without leaving the
+//! terminal.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points, assumed sorted by `x`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build a series from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Markers assigned to successive series.
+const MARKS: [char; 6] = ['o', 'x', '+', '*', '#', '@'];
+
+/// Render series as an ASCII scatter/line chart of the given size.
+///
+/// The y axis is linear; use [`render_log`] for log-scale data. Returns a
+/// multi-line string ending with an x-range line and a legend.
+pub fn render(series: &[Series], width: usize, height: usize) -> String {
+    render_with(series, width, height, false)
+}
+
+/// Render with a log₁₀ y axis (for Fig. 4-style magnitude plots).
+pub fn render_log(series: &[Series], width: usize, height: usize) -> String {
+    render_with(series, width, height, true)
+}
+
+fn render_with(series: &[Series], width: usize, height: usize, log_y: bool) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite() && (!log_y || *y > 0.0))
+        .collect();
+    if all.is_empty() {
+        return "(no data)\n".into();
+    }
+    let ty = |y: f64| if log_y { y.log10() } else { y };
+    let (mut x_min, mut x_max) = (f64::MAX, f64::MIN);
+    let (mut y_min, mut y_max) = (f64::MAX, f64::MIN);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(ty(y));
+        y_max = y_max.max(ty(y));
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() || (log_y && y <= 0.0) {
+                continue;
+            }
+            let cx = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let cy = (((ty(y) - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = mark;
+        }
+    }
+
+    let fmt = |v: f64| -> String {
+        if log_y {
+            format!("1e{v:.1}")
+        } else if v.abs() >= 1000.0 {
+            format!("{:.0}", v)
+        } else {
+            format!("{v:.1}")
+        }
+    };
+    let mut out = String::new();
+    let y_label_top = fmt(y_max);
+    let y_label_bot = fmt(y_min);
+    let label_w = y_label_top.len().max(y_label_bot.len());
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_label_top:>label_w$}")
+        } else if i == height - 1 {
+            format!("{y_label_bot:>label_w$}")
+        } else {
+            " ".repeat(label_w)
+        };
+        out.push_str(&label);
+        out.push_str(" |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(label_w + 2));
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{}x: {} .. {}   ",
+        " ".repeat(label_w + 2),
+        x_min,
+        x_max
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("[{}] {}  ", MARKS[si % MARKS.len()], s.label));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_series() -> Series {
+        Series::new("lin", (0..10).map(|i| (i as f64, i as f64 * 2.0)).collect())
+    }
+
+    #[test]
+    fn renders_marks_and_legend() {
+        let out = render(&[linear_series()], 40, 10);
+        assert!(out.contains('o'));
+        assert!(out.contains("[o] lin"));
+        assert!(out.contains("x: 0 .. 9"));
+        assert_eq!(out.lines().count(), 12, "10 rows + axis + legend");
+    }
+
+    #[test]
+    fn two_series_distinct_marks() {
+        let a = linear_series();
+        let b = Series::new("flat", (0..10).map(|i| (i as f64, 5.0)).collect());
+        let out = render(&[a, b], 40, 8);
+        assert!(out.contains('o'));
+        assert!(out.contains('x'));
+        assert!(out.contains("[x] flat"));
+    }
+
+    #[test]
+    fn log_axis_spreads_magnitudes() {
+        let s = Series::new(
+            "mag",
+            vec![(1.0, 10.0), (2.0, 1_000.0), (3.0, 100_000.0)],
+        );
+        let out = render_log(&[s], 30, 9);
+        // Top label is 1e5, bottom 1e1.
+        assert!(out.contains("1e5.0"));
+        assert!(out.contains("1e1.0"));
+    }
+
+    #[test]
+    fn empty_series_no_panic() {
+        assert_eq!(render(&[], 40, 10), "(no data)\n");
+        let s = Series::new("nan", vec![(f64::NAN, 1.0)]);
+        assert_eq!(render(&[s], 40, 10), "(no data)\n");
+    }
+
+    #[test]
+    fn single_point_no_div_by_zero() {
+        let s = Series::new("pt", vec![(5.0, 7.0)]);
+        let out = render(&[s], 20, 5);
+        assert!(out.contains('o'));
+    }
+
+    #[test]
+    fn monotone_line_is_monotone_in_grid() {
+        // The first mark column-by-column must not move upward as x grows
+        // for a decreasing series.
+        let s = Series::new(
+            "dec",
+            (0..20).map(|i| (i as f64, 100.0 - 4.0 * i as f64)).collect(),
+        );
+        let out = render(&[s], 40, 12);
+        let rows: Vec<&str> = out.lines().take(12).collect();
+        let mut last_row_of_col = None;
+        for col in 0..40 {
+            for (r, row) in rows.iter().enumerate() {
+                let cells: Vec<char> = row.chars().collect();
+                // Skip the label prefix (find the '|').
+                let bar = cells.iter().position(|&c| c == '|').unwrap();
+                if cells.get(bar + 1 + col) == Some(&'o') {
+                    if let Some(prev) = last_row_of_col {
+                        assert!(r >= prev, "decreasing series went up");
+                    }
+                    last_row_of_col = Some(r);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Shared experiment harness regenerating the paper's tables and figures.
+//!
+//! Every figure binary in `src/bin/` drives [`run_comparison`] (or the
+//! prototype runtime) over the sweep its figure uses and prints the series
+//! the paper plots, next to the paper's reference values where the text
+//! states them. `EXPERIMENTS.md` at the repository root records a full
+//! paper-vs-measured comparison.
+//!
+//! All experiments default to the paper's parameters (§V): 320 nodes × 500
+//! records × 16 attributes, 500 six-dimensional queries with 0.25-length
+//! ranges, degree-8 hierarchy, 1000-bucket histograms, results averaged
+//! over 10 runs. Binaries accept `--runs N` and `--quick` (a scaled-down
+//! sweep for smoke testing).
+
+pub mod chart;
+
+use roads_central::CentralRepository;
+use roads_core::{execute_query, LatencyStats, RoadsConfig, RoadsNetwork, SearchScope};
+use roads_netsim::DelaySpace;
+use roads_records::Schema;
+use roads_summary::SummaryConfig;
+use roads_sword::SwordNetwork;
+use roads_workload::{
+    default_schema, generate_node_records, generate_overlap_records, generate_queries,
+    QueryWorkloadConfig, RecordWorkloadConfig,
+};
+
+/// One experiment's parameters (paper defaults unless overridden).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialConfig {
+    /// Number of nodes (each a server + resource owner).
+    pub nodes: usize,
+    /// Records per node.
+    pub records_per_node: usize,
+    /// Attributes per record.
+    pub attrs: usize,
+    /// Query dimensionality.
+    pub query_dims: usize,
+    /// Queries per run.
+    pub queries: usize,
+    /// ROADS hierarchy degree.
+    pub degree: usize,
+    /// Histogram buckets per attribute.
+    pub buckets: usize,
+    /// Independent runs to average over.
+    pub runs: usize,
+    /// Base RNG seed (each run offsets it).
+    pub seed: u64,
+    /// Overlap factor for Fig. 9 workloads (`None` = default workload).
+    pub overlap_factor: Option<f64>,
+    /// Summary refresh period ts (ms).
+    pub ts_ms: u64,
+    /// Record refresh period tr (ms).
+    pub tr_ms: u64,
+}
+
+impl Default for TrialConfig {
+    fn default() -> Self {
+        TrialConfig {
+            nodes: 320,
+            records_per_node: 500,
+            attrs: 16,
+            query_dims: 6,
+            queries: 500,
+            degree: 8,
+            buckets: 1000,
+            runs: 10,
+            seed: 42,
+            overlap_factor: None,
+            ts_ms: 60_000,
+            tr_ms: 6_000,
+        }
+    }
+}
+
+impl TrialConfig {
+    /// Scaled-down settings for smoke tests (`--quick`).
+    pub fn quick() -> Self {
+        TrialConfig {
+            nodes: 64,
+            records_per_node: 50,
+            queries: 50,
+            buckets: 200,
+            runs: 2,
+            ..Self::default()
+        }
+    }
+}
+
+/// Aggregated results of one ROADS-vs-SWORD(-vs-central) comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonResult {
+    /// ROADS query latency over all queries and runs.
+    pub roads_latency: LatencyStats,
+    /// SWORD query latency.
+    pub sword_latency: LatencyStats,
+    /// Mean ROADS query-forwarding bytes per query.
+    pub roads_query_bytes: f64,
+    /// Mean SWORD query-forwarding bytes per query.
+    pub sword_query_bytes: f64,
+    /// ROADS update overhead, bytes per second (summaries every ts).
+    pub roads_update_bps: f64,
+    /// SWORD update overhead, bytes per second (records every tr).
+    pub sword_update_bps: f64,
+    /// Central-repository update overhead, bytes per second.
+    pub central_update_bps: f64,
+    /// Mean servers contacted per ROADS query.
+    pub roads_servers_contacted: f64,
+    /// Mean servers contacted per SWORD query.
+    pub sword_servers_contacted: f64,
+}
+
+/// Build the workload for one run.
+fn build_workload(
+    cfg: &TrialConfig,
+    run: usize,
+) -> (Schema, Vec<Vec<roads_records::Record>>, Vec<(roads_records::Query, usize)>) {
+    let seed = cfg.seed.wrapping_add(run as u64 * 7919);
+    let rec_cfg = RecordWorkloadConfig {
+        nodes: cfg.nodes,
+        records_per_node: cfg.records_per_node,
+        attrs: cfg.attrs,
+        seed,
+    };
+    let records = match cfg.overlap_factor {
+        Some(of) => generate_overlap_records(&rec_cfg, of),
+        None => generate_node_records(&rec_cfg),
+    };
+    let schema = default_schema(cfg.attrs);
+    let queries = generate_queries(
+        &schema,
+        &QueryWorkloadConfig {
+            count: cfg.queries,
+            dims: cfg.query_dims,
+            range_len: 0.25,
+            nodes: cfg.nodes,
+            seed: seed ^ 0xABCD,
+        },
+    );
+    (schema, records, queries)
+}
+
+/// Run the full comparison for one configuration.
+pub fn run_comparison(cfg: &TrialConfig) -> ComparisonResult {
+    let mut roads_lat = Vec::new();
+    let mut sword_lat = Vec::new();
+    let mut roads_qb = 0.0;
+    let mut sword_qb = 0.0;
+    let mut roads_contacted = 0.0;
+    let mut sword_contacted = 0.0;
+    let mut roads_bps = 0.0;
+    let mut sword_bps = 0.0;
+    let mut central_bps = 0.0;
+    let total_queries = (cfg.queries * cfg.runs) as f64;
+
+    for run in 0..cfg.runs {
+        let (schema, records, queries) = build_workload(cfg, run);
+        let delays = DelaySpace::paper(cfg.nodes, cfg.seed.wrapping_add(run as u64));
+
+        let roads_cfg = RoadsConfig {
+            max_children: cfg.degree,
+            summary: SummaryConfig::with_buckets(cfg.buckets),
+            ts_ms: cfg.ts_ms,
+            tr_ms: cfg.tr_ms,
+            ..RoadsConfig::paper_default()
+        };
+        let roads = RoadsNetwork::build(schema.clone(), roads_cfg, records.clone());
+        let sword = SwordNetwork::build(schema.clone(), records.clone());
+        let central = CentralRepository::build(0, records.clone());
+
+        for (q, start) in &queries {
+            let r = execute_query(
+                &roads,
+                &delays,
+                q,
+                roads_core::ServerId(*start as u32),
+                SearchScope::full(),
+            );
+            roads_lat.push(r.latency_ms);
+            roads_qb += r.query_bytes as f64;
+            roads_contacted += r.servers_contacted as f64;
+
+            let s = sword.execute_query(&delays, q, *start);
+            sword_lat.push(s.latency_ms);
+            sword_qb += s.query_bytes as f64;
+            sword_contacted += s.servers_contacted as f64;
+        }
+
+        roads_bps += roads_core::update_round(&roads).bytes_per_second(cfg.ts_ms);
+        sword_bps += sword.update_round().bytes_per_second(cfg.tr_ms);
+        central_bps += central.update_round().bytes_per_second(cfg.tr_ms);
+    }
+
+    let runs = cfg.runs as f64;
+    ComparisonResult {
+        roads_latency: LatencyStats::from_samples(&roads_lat).expect("runs > 0"),
+        sword_latency: LatencyStats::from_samples(&sword_lat).expect("runs > 0"),
+        roads_query_bytes: roads_qb / total_queries,
+        sword_query_bytes: sword_qb / total_queries,
+        roads_update_bps: roads_bps / runs,
+        sword_update_bps: sword_bps / runs,
+        central_update_bps: central_bps / runs,
+        roads_servers_contacted: roads_contacted / total_queries,
+        sword_servers_contacted: sword_contacted / total_queries,
+    }
+}
+
+/// Parse the common CLI flags shared by all figure binaries:
+/// `--quick`, `--runs N`, `--seed S`.
+pub fn parse_args() -> (bool, Option<usize>) {
+    let (quick, runs, _) = parse_args_full();
+    (quick, runs)
+}
+
+/// [`parse_args`] plus the optional `--seed`.
+pub fn parse_args_full() -> (bool, Option<usize>, Option<u64>) {
+    let mut quick = false;
+    let mut runs = None;
+    let mut seed = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--runs" => runs = Some(required_number(&mut args, "--runs")),
+            "--seed" => seed = Some(required_number(&mut args, "--seed")),
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    (quick, runs, seed)
+}
+
+fn required_number<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> T {
+    match args.next().and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("error: {flag} requires a number");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Base config for a figure binary honoring `--quick`, `--runs`, `--seed`.
+pub fn figure_config() -> TrialConfig {
+    let (quick, runs, seed) = parse_args_full();
+    let mut cfg = if quick {
+        TrialConfig::quick()
+    } else {
+        TrialConfig::default()
+    };
+    if let Some(r) = runs {
+        cfg.runs = r;
+    }
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    cfg
+}
+
+/// Print a figure banner.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("==================================================================");
+    println!("{title}");
+    println!("paper reference: {paper_ref}");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_comparison_smoke() {
+        let cfg = TrialConfig {
+            nodes: 32,
+            records_per_node: 20,
+            queries: 20,
+            buckets: 100,
+            runs: 1,
+            ..TrialConfig::quick()
+        };
+        let r = run_comparison(&cfg);
+        assert!(r.roads_latency.mean > 0.0);
+        assert!(r.sword_latency.mean > 0.0);
+        assert!(r.roads_update_bps > 0.0);
+        assert!(r.sword_update_bps > r.roads_update_bps, "headline result");
+    }
+
+    #[test]
+    fn overlap_workload_runs() {
+        let cfg = TrialConfig {
+            nodes: 32,
+            records_per_node: 20,
+            queries: 10,
+            buckets: 100,
+            runs: 1,
+            overlap_factor: Some(4.0),
+            ..TrialConfig::quick()
+        };
+        let r = run_comparison(&cfg);
+        assert!(r.roads_latency.count == 10);
+    }
+}

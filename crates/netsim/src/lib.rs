@@ -1,0 +1,26 @@
+//! Discrete-event network simulator used by the ROADS evaluation (§V).
+//!
+//! The paper simulates up to 640 wide-area nodes whose pairwise latencies
+//! come from "the 5-dimensional synthesized coordinate system in \[12\]"
+//! (Zhang et al., *Measurement-based analysis, modeling, and synthesis of
+//! the Internet delay space*, IMC 2006). This crate provides:
+//!
+//! * [`SimTime`] — microsecond-resolution virtual time.
+//! * [`DelaySpace`] — a seeded synthesized delay space: nodes get 5-D
+//!   coordinates drawn from a clustered mixture model and pairwise delay is
+//!   the scaled Euclidean distance, reproducing the heavy-tailed,
+//!   triangle-inequality-mostly-holding structure of measured Internet RTTs.
+//! * [`Simulator`] / [`Protocol`] — a deterministic event engine: nodes
+//!   exchange typed messages, set timers, and the engine accounts every byte
+//!   by [`TrafficClass`], which is exactly how the paper reports "update
+//!   overhead" vs "query overhead".
+
+pub mod delay;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+pub use delay::{DelaySpace, DelaySpaceConfig};
+pub use sim::{Ctx, NodeId, Protocol, Simulator, TimerTag};
+pub use stats::{TrafficClass, TrafficStats};
+pub use time::SimTime;

@@ -1,0 +1,162 @@
+//! Typed attribute values.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// One attribute value inside a resource record.
+///
+/// The paper's prototype stores "integer, double, timestamp, string,
+/// categorical" columns (§V, Prototype Benchmarking); this enum mirrors that
+/// set. Numeric simulation workloads use [`Value::Float`] in the unit range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Double-precision numeric value (simulation attributes live in \[0,1\]).
+    Float(f64),
+    /// Integer value.
+    Int(i64),
+    /// Free-form text (searchable by equality/prefix only).
+    Text(String),
+    /// Categorical value from a finite vocabulary (e.g. `encoding=MPEG2`).
+    Cat(String),
+    /// Milliseconds since the Unix epoch.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// Numeric view of the value, if it has one.
+    ///
+    /// Integers and timestamps coerce to `f64` so one histogram
+    /// implementation can summarize every ordered type.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::Timestamp(t) => Some(*t as f64),
+            Value::Text(_) | Value::Cat(_) => None,
+        }
+    }
+
+    /// String view for categorical / text values.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) | Value::Cat(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the value is ordered (supports range predicates).
+    pub fn is_ordered(&self) -> bool {
+        !matches!(self, Value::Cat(_))
+    }
+
+    /// Total order among comparable values; `None` across incompatible types.
+    ///
+    /// Text compares lexicographically; every numeric kind compares through
+    /// `f64`. NaN floats sort greater than all other numbers so ordering is
+    /// total within the numeric class.
+    pub fn partial_cmp_typed(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Cat(a), Value::Cat(b)) => Some(a.cmp(b)),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => Some(total_f64_cmp(a, b)),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Total ordering over f64 with NaN sorted last.
+pub(crate) fn total_f64_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("both non-NaN"),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Text(v) => write!(f, "{v:?}"),
+            Value::Cat(v) => write!(f, "{v}"),
+            Value::Timestamp(v) => write!(f, "@{v}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Cat(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Cat(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_coercion() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Timestamp(12).as_f64(), Some(12.0));
+        assert_eq!(Value::Cat("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn ordered_flags() {
+        assert!(Value::Float(0.5).is_ordered());
+        assert!(Value::Text("a".into()).is_ordered());
+        assert!(!Value::Cat("a".into()).is_ordered());
+    }
+
+    #[test]
+    fn cross_type_numeric_ordering() {
+        let a = Value::Int(1);
+        let b = Value::Float(1.5);
+        assert_eq!(a.partial_cmp_typed(&b), Some(Ordering::Less));
+        assert_eq!(b.partial_cmp_typed(&a), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn string_vs_numeric_incomparable() {
+        let a = Value::Text("a".into());
+        let b = Value::Float(1.0);
+        assert_eq!(a.partial_cmp_typed(&b), None);
+    }
+
+    #[test]
+    fn nan_sorts_last() {
+        assert_eq!(total_f64_cmp(f64::NAN, 1.0), Ordering::Greater);
+        assert_eq!(total_f64_cmp(1.0, f64::NAN), Ordering::Less);
+        assert_eq!(total_f64_cmp(f64::NAN, f64::NAN), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Cat("MPEG2".into()).to_string(), "MPEG2");
+        assert_eq!(Value::Timestamp(5).to_string(), "@5");
+        assert_eq!(Value::Text("hi".into()).to_string(), "\"hi\"");
+    }
+}

@@ -1,0 +1,89 @@
+//! ROADS system configuration.
+
+use roads_summary::SummaryConfig;
+
+/// Configuration shared by every ROADS server in a federation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoadsConfig {
+    /// Maximum children a server accepts (the paper's node degree `k`;
+    /// simulation default 8).
+    pub max_children: usize,
+    /// Summary parameters (bucket count etc.).
+    pub summary: SummaryConfig,
+    /// Summary refresh period `ts` in milliseconds — how often summaries
+    /// are re-exported, re-aggregated bottom-up and re-replicated top-down.
+    pub ts_ms: u64,
+    /// Record refresh period `tr` in milliseconds (how often raw records
+    /// change; `ts >> tr` in the paper's analysis — summaries change an
+    /// order of magnitude *slower* than records).
+    pub tr_ms: u64,
+    /// Heartbeat period in milliseconds (parent↔child liveness).
+    pub heartbeat_ms: u64,
+    /// Heartbeats missed before declaring the peer failed.
+    pub heartbeat_loss_threshold: u32,
+    /// TTL applied to soft-state summaries, in milliseconds.
+    pub summary_ttl_ms: u64,
+}
+
+impl RoadsConfig {
+    /// The paper's simulation defaults: degree 8, 1000-bucket histograms,
+    /// summaries refreshed 10× less often than records.
+    pub fn paper_default() -> Self {
+        RoadsConfig {
+            max_children: 8,
+            summary: SummaryConfig::paper_default(),
+            // §IV: summaries change "on the order of several minutes at
+            // least"; records an order of magnitude faster.
+            ts_ms: 60_000,
+            tr_ms: 6_000,
+            heartbeat_ms: 5_000,
+            heartbeat_loss_threshold: 3,
+            summary_ttl_ms: 180_000,
+        }
+    }
+
+    /// Default with a different node degree (Fig. 10 sweep).
+    pub fn with_degree(max_children: usize) -> Self {
+        RoadsConfig {
+            max_children,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Default with a different histogram resolution (ablation).
+    pub fn with_buckets(buckets: usize) -> Self {
+        RoadsConfig {
+            summary: SummaryConfig::with_buckets(buckets),
+            ..Self::paper_default()
+        }
+    }
+}
+
+impl Default for RoadsConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = RoadsConfig::paper_default();
+        assert_eq!(c.max_children, 8);
+        assert_eq!(c.summary.buckets, 1000);
+        assert_eq!(c.ts_ms / c.tr_ms, 10, "tr/ts = 0.1 per the analysis");
+    }
+
+    #[test]
+    fn degree_override() {
+        assert_eq!(RoadsConfig::with_degree(4).max_children, 4);
+    }
+
+    #[test]
+    fn bucket_override() {
+        assert_eq!(RoadsConfig::with_buckets(64).summary.buckets, 64);
+    }
+}

@@ -1,0 +1,502 @@
+//! A converged ROADS network: servers, records, aggregated summaries.
+//!
+//! [`RoadsNetwork`] materializes the steady state the protocol converges to
+//! after joins and aggregation rounds complete: every server holds its local
+//! summary, its children's branch summaries, and the replication overlay is
+//! fresh. Query execution ([`crate::queryexec`]) and update accounting
+//! ([`crate::updates`]) both run against this view; the message-driven
+//! version of the same state lives in [`crate::maintenance`].
+
+use crate::config::RoadsConfig;
+use crate::overlay::{replication_set, ReplicationSet};
+use crate::tree::{HierarchyTree, ServerId};
+use roads_records::{Query, Record, Schema, WireSize};
+use roads_summary::Summary;
+
+/// Result of evaluating a query at one server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    /// The server's own attached records may match (search them locally).
+    pub local_match: bool,
+    /// Children whose branch summaries match (continue down the branch).
+    pub child_targets: Vec<ServerId>,
+    /// Replicated remote branches that match (overlay shortcuts; populated
+    /// only when evaluating at a query's entry server).
+    pub replica_targets: Vec<ServerId>,
+    /// Ancestors worth probing for *locally attached* matches (populated
+    /// only at the entry server). Sibling and ancestor-sibling branches
+    /// cover the whole hierarchy except the ancestors' own attached
+    /// records; the replicated ancestor summaries let the entry decide
+    /// whether those are worth a local-only probe.
+    pub ancestor_targets: Vec<ServerId>,
+}
+
+impl EvalResult {
+    /// All redirect targets, children first (excludes local-only ancestor
+    /// probes).
+    pub fn all_targets(&self) -> Vec<ServerId> {
+        let mut v = self.child_targets.clone();
+        v.extend(&self.replica_targets);
+        v
+    }
+}
+
+/// The converged federation: hierarchy + per-server record stores +
+/// aggregated summaries + replication overlay.
+#[derive(Debug, Clone)]
+pub struct RoadsNetwork {
+    schema: Schema,
+    config: RoadsConfig,
+    tree: HierarchyTree,
+    /// Records attached at each server (the server is its owners'
+    /// attachment point).
+    records: Vec<Vec<Record>>,
+    /// Summary of each server's locally attached records.
+    local_summary: Vec<Summary>,
+    /// Branch summary of each server: local + all descendant branches.
+    branch_summary: Vec<Summary>,
+    /// Replication set of each server (indices into `branch_summary`).
+    replicas: Vec<ReplicationSet>,
+}
+
+impl RoadsNetwork {
+    /// Build a converged network: form the hierarchy over
+    /// `records_per_server.len()` servers (joining in id order), compute
+    /// local summaries, aggregate bottom-up, and materialize the overlay.
+    pub fn build(schema: Schema, config: RoadsConfig, records_per_server: Vec<Vec<Record>>) -> Self {
+        let n = records_per_server.len();
+        assert!(n > 0, "a federation needs at least one server");
+        let tree = HierarchyTree::build(n, config.max_children);
+        Self::with_tree(schema, config, tree, records_per_server)
+    }
+
+    /// Build a federation where resource owners choose *attachment points*
+    /// among `n_servers` servers (§III-A, Fig. 1: owner D exports its
+    /// summaries to server 2, which is run by a different party B; owners
+    /// C and E host their own servers).
+    ///
+    /// `attachments` maps each owner's record set to the server it exports
+    /// to. Servers with no attachments participate purely as aggregation
+    /// infrastructure ("server providers").
+    pub fn with_attachments(
+        schema: Schema,
+        config: RoadsConfig,
+        n_servers: usize,
+        attachments: Vec<(ServerId, Vec<Record>)>,
+    ) -> Self {
+        let mut records: Vec<Vec<Record>> = vec![Vec::new(); n_servers];
+        for (server, recs) in attachments {
+            assert!(
+                server.index() < n_servers,
+                "attachment point {server} out of range"
+            );
+            records[server.index()].extend(recs);
+        }
+        RoadsNetwork::build(schema, config, records)
+    }
+
+    /// The paper's attachment-point selection: walk the same balance-aware
+    /// join rule the servers use, starting from any entry server, and
+    /// attach where capacity allows. Owners "follow a similar process as
+    /// choosing parent server".
+    pub fn choose_attachment(tree: &HierarchyTree, entry: ServerId, max_owners: usize) -> ServerId {
+        tree.find_parent(entry, max_owners)
+    }
+
+    /// Distinct owners with records attached at `s`.
+    pub fn owners_at(&self, s: ServerId) -> Vec<roads_records::OwnerId> {
+        let mut owners: Vec<roads_records::OwnerId> =
+            self.records[s.index()].iter().map(|r| r.owner).collect();
+        owners.sort();
+        owners.dedup();
+        owners
+    }
+
+    /// Build over an existing hierarchy (e.g. one produced by the live
+    /// maintenance protocol, or a custom topology).
+    pub fn with_tree(
+        schema: Schema,
+        config: RoadsConfig,
+        tree: HierarchyTree,
+        records_per_server: Vec<Vec<Record>>,
+    ) -> Self {
+        let n = records_per_server.len();
+        assert_eq!(tree.capacity(), n, "one record set per server");
+        let local_summary: Vec<Summary> = records_per_server
+            .iter()
+            .map(|rs| Summary::from_records(&schema, &config.summary, rs))
+            .collect();
+
+        // Bottom-up aggregation: process servers deepest-first so children
+        // are final before their parents aggregate them.
+        let mut order: Vec<ServerId> = tree.servers();
+        order.sort_by_key(|&s| std::cmp::Reverse(tree.depth(s)));
+        let mut branch_summary = local_summary.clone();
+        for &s in &order {
+            if let Some(p) = tree.parent(s) {
+                let child = branch_summary[s.index()].clone();
+                branch_summary[p.index()]
+                    .merge(&child)
+                    .expect("uniform schema/config across the federation");
+            }
+        }
+
+        let replicas = (0..n as u32)
+            .map(|s| replication_set(&tree, ServerId(s)))
+            .collect();
+
+        RoadsNetwork {
+            schema,
+            config,
+            tree,
+            records: records_per_server,
+            local_summary,
+            branch_summary,
+            replicas,
+        }
+    }
+
+    /// The federation schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &RoadsConfig {
+        &self.config
+    }
+
+    /// The hierarchy.
+    pub fn tree(&self) -> &HierarchyTree {
+        &self.tree
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the federation has no servers.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records attached at `s`.
+    pub fn records(&self, s: ServerId) -> &[Record] {
+        &self.records[s.index()]
+    }
+
+    /// Summary of the records attached at `s`.
+    pub fn local_summary(&self, s: ServerId) -> &Summary {
+        &self.local_summary[s.index()]
+    }
+
+    /// Branch summary of `s` (local + descendants).
+    pub fn branch_summary(&self, s: ServerId) -> &Summary {
+        &self.branch_summary[s.index()]
+    }
+
+    /// Replication set of `s`.
+    pub fn replica_set(&self, s: ServerId) -> &ReplicationSet {
+        &self.replicas[s.index()]
+    }
+
+    /// Evaluate `query` at server `s`.
+    ///
+    /// `entry` selects whether replicated summaries participate: at the
+    /// query's entry server the overlay provides shortcuts to remote
+    /// branches; at servers reached by redirection only the local data and
+    /// children are searched (their branch is their responsibility).
+    pub fn evaluate(&self, s: ServerId, query: &Query, entry: bool) -> EvalResult {
+        let local_match = self.local_summary[s.index()].may_match(query);
+        let child_targets = self
+            .tree
+            .children(s)
+            .iter()
+            .copied()
+            .filter(|c| self.branch_summary[c.index()].may_match(query))
+            .collect();
+        let (replica_targets, ancestor_targets) = if entry {
+            let replicas = self.replicas[s.index()]
+                .redirect_targets()
+                .into_iter()
+                .filter(|t| self.branch_summary[t.index()].may_match(query))
+                .collect();
+            // Ancestor *branch* summaries include this server's own branch,
+            // so they over-approximate; the probe itself is a cheap
+            // local-only lookup, and the filter still prunes ancestors
+            // whose whole branch provably has no match.
+            let ancestors = self.replicas[s.index()]
+                .ancestors
+                .iter()
+                .copied()
+                .filter(|a| self.branch_summary[a.index()].may_match(query))
+                .collect();
+            (replicas, ancestors)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        EvalResult {
+            local_match,
+            child_targets,
+            replica_targets,
+            ancestor_targets,
+        }
+    }
+
+    /// Search `s`'s locally attached records exactly.
+    pub fn search_local(&self, s: ServerId, query: &Query) -> Vec<&Record> {
+        self.records[s.index()]
+            .iter()
+            .filter(|r| query.matches(r))
+            .collect()
+    }
+
+    /// Ground truth: every server whose local records contain a match.
+    pub fn matching_servers(&self, query: &Query) -> Vec<ServerId> {
+        (0..self.len() as u32)
+            .map(ServerId)
+            .filter(|&s| self.records[s.index()].iter().any(|r| query.matches(r)))
+            .collect()
+    }
+
+    /// Per-server storage in bytes: children's branch summaries + local
+    /// summary + replicated summaries (Table I accounting).
+    pub fn storage_bytes(&self, s: ServerId) -> usize {
+        let children: usize = self
+            .tree
+            .children(s)
+            .iter()
+            .map(|c| self.branch_summary[c.index()].wire_size())
+            .sum();
+        let replicated: usize = self.replicas[s.index()]
+            .all()
+            .iter()
+            .map(|t| self.branch_summary[t.index()].wire_size())
+            .sum();
+        children + replicated + self.local_summary[s.index()].wire_size()
+    }
+
+    /// Worst per-server storage across the federation.
+    pub fn max_storage_bytes(&self) -> usize {
+        (0..self.len() as u32)
+            .map(|s| self.storage_bytes(ServerId(s)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roads_records::{OwnerId, QueryBuilder, QueryId, RecordId, Value};
+    use roads_summary::SummaryConfig;
+
+    fn unit_record(schema: &Schema, id: u64, owner: u32, vals: &[f64]) -> Record {
+        let _ = schema;
+        Record::new_unchecked(
+            RecordId(id),
+            OwnerId(owner),
+            vals.iter().map(|&v| Value::Float(v)).collect(),
+        )
+    }
+
+    /// 7 servers, 2 attrs; server s holds one record at (s/10, 1 - s/10).
+    fn small_network() -> RoadsNetwork {
+        let schema = Schema::unit_numeric(2);
+        let cfg = RoadsConfig {
+            max_children: 2,
+            summary: SummaryConfig::with_buckets(100),
+            ..RoadsConfig::paper_default()
+        };
+        let records: Vec<Vec<Record>> = (0..7)
+            .map(|s| {
+                vec![unit_record(
+                    &schema,
+                    s as u64,
+                    s as u32,
+                    &[s as f64 / 10.0, 1.0 - s as f64 / 10.0],
+                )]
+            })
+            .collect();
+        RoadsNetwork::build(schema, cfg, records)
+    }
+
+    #[test]
+    fn branch_summaries_aggregate_counts() {
+        let n = small_network();
+        let root = n.tree().root();
+        assert_eq!(n.branch_summary(root).record_count(), 7);
+        for s in n.tree().servers() {
+            let expected = 1 + n
+                .tree()
+                .subtree(s)
+                .iter()
+                .filter(|&&c| c != s)
+                .count() as u64;
+            assert_eq!(n.branch_summary(s).record_count(), expected);
+        }
+    }
+
+    #[test]
+    fn root_summary_matches_everything_any_leaf_holds() {
+        let n = small_network();
+        let schema = n.schema().clone();
+        for s in 0..7u32 {
+            let v = s as f64 / 10.0;
+            let q = QueryBuilder::new(&schema, QueryId(s as u64))
+                .range("x0", v - 0.01, v + 0.01)
+                .build();
+            assert!(
+                n.branch_summary(n.tree().root()).may_match(&q),
+                "root misses record of server {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluation_prunes_non_matching_branches() {
+        let n = small_network();
+        let schema = n.schema().clone();
+        // Only server 6 holds x0 = 0.6.
+        let q = QueryBuilder::new(&schema, QueryId(9))
+            .range("x0", 0.595, 0.605)
+            .build();
+        let ground_truth = n.matching_servers(&q);
+        assert_eq!(ground_truth, vec![ServerId(6)]);
+
+        // Walking the redirect structure from the root must reach server 6
+        // and nothing outside summary-matching branches.
+        let mut frontier = vec![n.tree().root()];
+        let mut reached_matching = false;
+        while let Some(s) = frontier.pop() {
+            let ev = n.evaluate(s, &q, false);
+            if ev.local_match && n.search_local(s, &q).len() == 1 {
+                reached_matching = true;
+            }
+            frontier.extend(ev.child_targets);
+        }
+        assert!(reached_matching);
+    }
+
+    #[test]
+    fn entry_evaluation_uses_overlay() {
+        let n = small_network();
+        let schema = n.schema().clone();
+        // Start at a leaf; the match lives in a different branch.
+        let leaf = *n.tree().leaves().iter().max().unwrap();
+        let q = QueryBuilder::new(&schema, QueryId(1))
+            .range("x0", 0.0, 0.01) // only server 0 (the root) holds 0.0
+            .build();
+        let ev = n.evaluate(leaf, &q, true);
+        let gt = n.matching_servers(&q);
+        assert_eq!(gt, vec![ServerId(0)]);
+        // The match lives in the root's *local* records; from a leaf the
+        // sibling/ancestor-sibling branches cannot reach it, so the entry
+        // evaluation must nominate the root as a local-only ancestor probe.
+        assert!(
+            ev.ancestor_targets.contains(&ServerId(0)),
+            "ancestor probe must cover matches attached at ancestors"
+        );
+    }
+
+    #[test]
+    fn without_entry_no_replica_targets() {
+        let n = small_network();
+        let schema = n.schema().clone();
+        let q = QueryBuilder::new(&schema, QueryId(2)).range("x0", 0.0, 1.0).build();
+        let leaf = *n.tree().leaves().first().unwrap();
+        let ev = n.evaluate(leaf, &q, false);
+        assert!(ev.replica_targets.is_empty());
+    }
+
+    #[test]
+    fn storage_counts_children_replicas_local() {
+        let n = small_network();
+        for s in n.tree().servers() {
+            let bytes = n.storage_bytes(s);
+            assert!(bytes > 0);
+        }
+        assert!(n.max_storage_bytes() > 0);
+    }
+
+    #[test]
+    fn attachments_fig1_semantics() {
+        // Fig. 1: owners C, E host their own servers; owner D attaches to
+        // a server provided by another party; servers 1 and 2 are pure
+        // "server providers" with no records of their own.
+        let schema = Schema::unit_numeric(1);
+        let cfg = RoadsConfig {
+            max_children: 2,
+            summary: SummaryConfig::with_buckets(50),
+            ..RoadsConfig::paper_default()
+        };
+        let rec = |id: u64, owner: u32, v: f64| {
+            Record::new_unchecked(RecordId(id), OwnerId(owner), vec![Value::Float(v)])
+        };
+        let net = RoadsNetwork::with_attachments(
+            schema.clone(),
+            cfg,
+            5,
+            vec![
+                (ServerId(3), vec![rec(1, 100, 0.1)]), // owner C at its own server
+                (ServerId(2), vec![rec(2, 101, 0.5)]), // owner D at B's server
+                (ServerId(2), vec![rec(3, 102, 0.6)]), // owner E shares server 2
+                (ServerId(4), vec![rec(4, 103, 0.9)]),
+            ],
+        );
+        assert!(net.records(ServerId(0)).is_empty(), "pure server provider");
+        assert!(net.records(ServerId(1)).is_empty());
+        assert_eq!(net.owners_at(ServerId(2)), vec![OwnerId(101), OwnerId(102)]);
+        assert_eq!(net.owners_at(ServerId(3)), vec![OwnerId(100)]);
+
+        // Discovery still reaches every owner's records from any entry.
+        let delays = roads_netsim::DelaySpace::paper(5, 4);
+        let q = roads_records::QueryBuilder::new(&schema, roads_records::QueryId(1))
+            .range("x0", 0.45, 0.65)
+            .build();
+        let out = crate::queryexec::execute_query(
+            &net,
+            &delays,
+            &q,
+            ServerId(0),
+            crate::queryexec::SearchScope::full(),
+        );
+        assert_eq!(out.matching_records, 2, "owners D and E both found");
+        assert_eq!(out.matching_servers, vec![ServerId(2)]);
+    }
+
+    #[test]
+    fn choose_attachment_respects_capacity_walk() {
+        let tree = crate::tree::HierarchyTree::build(10, 3);
+        let a = RoadsNetwork::choose_attachment(&tree, tree.root(), 3);
+        // Root is full (3 children): the walk descends.
+        assert_ne!(a, tree.root());
+        // An under-capacity entry accepts directly.
+        let leaf = *tree.leaves().first().unwrap();
+        assert_eq!(RoadsNetwork::choose_attachment(&tree, leaf, 3), leaf);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn attachment_out_of_range_panics() {
+        let schema = Schema::unit_numeric(1);
+        let _ = RoadsNetwork::with_attachments(
+            schema,
+            RoadsConfig::paper_default(),
+            2,
+            vec![(ServerId(5), Vec::new())],
+        );
+    }
+
+    #[test]
+    fn search_local_exact() {
+        let n = small_network();
+        let schema = n.schema().clone();
+        let q = QueryBuilder::new(&schema, QueryId(3))
+            .range("x0", 0.28, 0.32)
+            .build();
+        assert_eq!(n.search_local(ServerId(3), &q).len(), 1);
+        assert_eq!(n.search_local(ServerId(4), &q).len(), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! ROADS — Replication Overlay Assisted resource Discovery Service.
+//!
+//! Implementation of the paper's primary contribution (§III):
+//!
+//! * [`tree`] — the federated hierarchy: incremental, balance-aware join
+//!   (least-depth / least-descendants walk), root paths, loop avoidance,
+//!   departure handling.
+//! * [`overlay`] — the replication overlay: each server replicates the
+//!   branch summaries of its siblings, its ancestors and its ancestors'
+//!   siblings, so combined they cover the whole hierarchy and any server can
+//!   be a query entry point.
+//! * [`engine`] — a converged ROADS network: per-server record stores,
+//!   bottom-up branch-summary aggregation, conservative query evaluation
+//!   returning redirect targets.
+//! * [`queryexec`] — client-driven query execution over a
+//!   [`roads_netsim::DelaySpace`]: redirection rounds, parallel branch
+//!   descent, latency and byte accounting exactly as the paper measures
+//!   them.
+//! * [`updates`] — per-round update-overhead accounting (summary export,
+//!   bottom-up aggregation, top-down replication).
+//! * [`maintenance`] — the live protocol over the discrete-event simulator:
+//!   heartbeats, failure detection, grandparent rejoin, root election.
+//! * [`metrics`] — latency statistics helpers.
+
+pub mod config;
+pub mod engine;
+pub mod load;
+pub mod maintenance;
+pub mod metrics;
+pub mod overlay;
+pub mod policy;
+pub mod protocol;
+pub mod queryexec;
+pub mod tree;
+pub mod updates;
+
+pub use config::RoadsConfig;
+pub use engine::{EvalResult, RoadsNetwork};
+pub use load::{choose_entry, EntryPolicy, LoadTracker};
+pub use metrics::LatencyStats;
+pub use overlay::{replication_set, ReplicationSet};
+pub use policy::{
+    apply_policy, Disclosure, OpenPolicy, RequesterId, SharingPolicy, TieredPolicy, TrustClass,
+};
+pub use queryexec::{
+    execute_query, execute_query_mode, execute_query_traced, ForwardingMode, QueryOutcome,
+    SearchScope, TraceEvent, TraceRole,
+};
+pub use tree::{BalanceStats, HierarchyTree, ServerId, TreeError};
+pub use updates::{update_round, UpdateBreakdown};

@@ -1,0 +1,315 @@
+//! Query-load tracking and entry-point selection (§VII future work).
+//!
+//! The paper closes with: "there are many other issues, such as security,
+//! load balancing and churns, that a resource discovery system must
+//! address". Churn is handled by [`crate::maintenance`] and soft state;
+//! this module addresses load balancing.
+//!
+//! The replication overlay already removes the *structural* hotspot (the
+//! root) by letting queries start anywhere. What remains is *behavioural*
+//! load skew: popular entry servers, or servers whose branches match many
+//! queries. [`LoadTracker`] measures per-server query load with an
+//! exponentially decayed counter, and [`EntryPolicy`] chooses a query's
+//! entry server — the client-side knob the overlay makes possible.
+
+use crate::engine::RoadsNetwork;
+use crate::queryexec::QueryOutcome;
+use crate::tree::ServerId;
+use roads_netsim::DelaySpace;
+
+/// Exponentially decayed per-server load counters.
+///
+/// `record_outcome` charges every server a query touched; `decay` ages all
+/// counters (call once per epoch). The decayed counter approximates
+/// queries-per-epoch weighted toward the recent past.
+#[derive(Debug, Clone)]
+pub struct LoadTracker {
+    load: Vec<f64>,
+    /// Multiplier applied per decay epoch (0 < factor < 1).
+    decay_factor: f64,
+}
+
+impl LoadTracker {
+    /// Tracker for `n` servers with the given per-epoch decay factor.
+    pub fn new(n: usize, decay_factor: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&decay_factor),
+            "decay factor must be in (0, 1)"
+        );
+        LoadTracker {
+            load: vec![0.0; n],
+            decay_factor,
+        }
+    }
+
+    /// Number of tracked servers.
+    pub fn len(&self) -> usize {
+        self.load.len()
+    }
+
+    /// True when tracking no servers.
+    pub fn is_empty(&self) -> bool {
+        self.load.is_empty()
+    }
+
+    /// Charge one unit of load to a server.
+    pub fn record(&mut self, s: ServerId) {
+        self.load[s.index()] += 1.0;
+    }
+
+    /// Charge every server an executed query touched. The entry server is
+    /// charged double: it evaluates the full replica set, not just its
+    /// children.
+    pub fn record_outcome(&mut self, entry: ServerId, outcome: &QueryOutcome) {
+        self.load[entry.index()] += 1.0;
+        for &s in &outcome.matching_servers {
+            self.load[s.index()] += 1.0;
+        }
+        // Contacted-but-unmatched servers did evaluation work too; the
+        // outcome doesn't name them, so charge the average overhead to the
+        // entry's branch via a flat count.
+        let overhead = outcome
+            .servers_contacted
+            .saturating_sub(outcome.matching_servers.len()) as f64;
+        self.load[entry.index()] += overhead * 0.1;
+    }
+
+    /// Age all counters by one epoch.
+    pub fn decay(&mut self) {
+        for l in &mut self.load {
+            *l *= self.decay_factor;
+        }
+    }
+
+    /// Current load of one server.
+    pub fn load(&self, s: ServerId) -> f64 {
+        self.load[s.index()]
+    }
+
+    /// Server with the highest current load.
+    pub fn hottest(&self) -> Option<(ServerId, f64)> {
+        self.load
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
+            .map(|(i, &l)| (ServerId(i as u32), l))
+    }
+
+    /// Ratio of the hottest server's load to the mean (1.0 = perfectly
+    /// even). The paper's root-bottleneck problem shows up as a large
+    /// imbalance when every query must enter at the root.
+    pub fn imbalance(&self) -> f64 {
+        let total: f64 = self.load.iter().sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let mean = total / self.load.len() as f64;
+        self.hottest().map_or(1.0, |(_, max)| max / mean)
+    }
+}
+
+/// How a client picks its query entry server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EntryPolicy {
+    /// Always the root — the basic hierarchy without the overlay.
+    Root,
+    /// The client's own attachment point (the paper's default with the
+    /// overlay).
+    Attachment,
+    /// The attachment point, unless its tracked load exceeds `threshold`
+    /// times the mean — then the least-loaded of its siblings.
+    LoadAware {
+        /// Hot-spot threshold as a multiple of mean load.
+        threshold: f64,
+    },
+    /// The lowest-latency server from the client's position (proximity
+    /// routing; ignores load).
+    Nearest,
+}
+
+/// Choose the entry server for a client attached at `attachment`.
+pub fn choose_entry(
+    policy: EntryPolicy,
+    net: &RoadsNetwork,
+    delays: &DelaySpace,
+    tracker: &LoadTracker,
+    attachment: ServerId,
+) -> ServerId {
+    match policy {
+        EntryPolicy::Root => net.tree().root(),
+        EntryPolicy::Attachment => attachment,
+        EntryPolicy::Nearest => {
+            let from = attachment.index();
+            (0..net.len())
+                .min_by(|&a, &b| {
+                    delays
+                        .delay_ms(from, a)
+                        .partial_cmp(&delays.delay_ms(from, b))
+                        .expect("finite delays")
+                })
+                .map(|i| ServerId(i as u32))
+                .unwrap_or(attachment)
+        }
+        EntryPolicy::LoadAware { threshold } => {
+            let total: f64 = (0..net.len() as u32)
+                .map(|i| tracker.load(ServerId(i)))
+                .sum();
+            let mean = (total / net.len() as f64).max(f64::MIN_POSITIVE);
+            if tracker.load(attachment) <= threshold * mean {
+                return attachment;
+            }
+            // Deflect to the least-loaded sibling (same coverage level);
+            // fall back to the attachment when it has none.
+            net.tree()
+                .siblings(attachment)
+                .into_iter()
+                .min_by(|&a, &b| {
+                    tracker
+                        .load(a)
+                        .partial_cmp(&tracker.load(b))
+                        .expect("finite loads")
+                })
+                .unwrap_or(attachment)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RoadsConfig;
+    use crate::queryexec::{execute_query, SearchScope};
+    use roads_records::{OwnerId, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
+    use roads_summary::SummaryConfig;
+
+    fn network(n: usize) -> (RoadsNetwork, DelaySpace) {
+        let schema = Schema::unit_numeric(1);
+        let records: Vec<Vec<Record>> = (0..n)
+            .map(|s| {
+                vec![Record::new_unchecked(
+                    RecordId(s as u64),
+                    OwnerId(s as u32),
+                    vec![Value::Float(s as f64 / n as f64)],
+                )]
+            })
+            .collect();
+        let cfg = RoadsConfig {
+            max_children: 3,
+            summary: SummaryConfig::with_buckets(64),
+            ..RoadsConfig::paper_default()
+        };
+        (
+            RoadsNetwork::build(schema, cfg, records),
+            DelaySpace::paper(n, 8),
+        )
+    }
+
+    #[test]
+    fn record_and_decay() {
+        let mut t = LoadTracker::new(4, 0.5);
+        t.record(ServerId(1));
+        t.record(ServerId(1));
+        t.record(ServerId(2));
+        assert_eq!(t.load(ServerId(1)), 2.0);
+        assert_eq!(t.hottest(), Some((ServerId(1), 2.0)));
+        t.decay();
+        assert_eq!(t.load(ServerId(1)), 1.0);
+        assert_eq!(t.load(ServerId(0)), 0.0);
+    }
+
+    #[test]
+    fn imbalance_detects_hotspots() {
+        let mut even = LoadTracker::new(4, 0.9);
+        for i in 0..4 {
+            even.record(ServerId(i));
+        }
+        assert!((even.imbalance() - 1.0).abs() < 1e-9);
+        let mut skewed = LoadTracker::new(4, 0.9);
+        for _ in 0..8 {
+            skewed.record(ServerId(0));
+        }
+        assert!(skewed.imbalance() > 3.0);
+    }
+
+    #[test]
+    fn root_policy_concentrates_load_overlay_spreads_it() {
+        // The §III-C claim, measured: root-entry creates a root hotspot;
+        // attachment-entry does not.
+        let (net, delays) = network(20);
+        let q = |i: u64| {
+            QueryBuilder::new(net.schema(), QueryId(i))
+                .range("x0", (i as f64 / 20.0) % 1.0, ((i as f64 + 2.0) / 20.0) % 1.0)
+                .build()
+        };
+        let mut root_tracker = LoadTracker::new(20, 0.9);
+        let mut any_tracker = LoadTracker::new(20, 0.9);
+        for i in 0..40u64 {
+            let attachment = ServerId((i % 20) as u32);
+            let root_entry = choose_entry(
+                EntryPolicy::Root,
+                &net,
+                &delays,
+                &root_tracker,
+                attachment,
+            );
+            assert_eq!(root_entry, net.tree().root());
+            let out = execute_query(&net, &delays, &q(i), root_entry, SearchScope::full());
+            root_tracker.record_outcome(root_entry, &out);
+
+            let any_entry = choose_entry(
+                EntryPolicy::Attachment,
+                &net,
+                &delays,
+                &any_tracker,
+                attachment,
+            );
+            let out = execute_query(&net, &delays, &q(i), any_entry, SearchScope::full());
+            any_tracker.record_outcome(any_entry, &out);
+        }
+        assert!(
+            root_tracker.load(net.tree().root()) > 2.0 * any_tracker.load(net.tree().root()),
+            "root entry must load the root more: {} vs {}",
+            root_tracker.load(net.tree().root()),
+            any_tracker.load(net.tree().root())
+        );
+        assert!(root_tracker.imbalance() > any_tracker.imbalance());
+    }
+
+    #[test]
+    fn load_aware_deflects_hot_attachment() {
+        let (net, delays) = network(20);
+        let mut tracker = LoadTracker::new(20, 0.9);
+        let victim = *net.tree().leaves().first().unwrap();
+        for _ in 0..50 {
+            tracker.record(victim);
+        }
+        let chosen = choose_entry(
+            EntryPolicy::LoadAware { threshold: 2.0 },
+            &net,
+            &delays,
+            &tracker,
+            victim,
+        );
+        assert_ne!(chosen, victim, "hot attachment must be deflected");
+        assert!(net.tree().siblings(victim).contains(&chosen));
+        // A cool attachment is kept.
+        let cool = *net.tree().leaves().last().unwrap();
+        let kept = choose_entry(
+            EntryPolicy::LoadAware { threshold: 2.0 },
+            &net,
+            &delays,
+            &tracker,
+            cool,
+        );
+        assert_eq!(kept, cool);
+    }
+
+    #[test]
+    fn nearest_picks_self_when_colocated() {
+        // delay(a, a) = 0, so "nearest" from an attachment is itself.
+        let (net, delays) = network(10);
+        let t = LoadTracker::new(10, 0.9);
+        let chosen = choose_entry(EntryPolicy::Nearest, &net, &delays, &t, ServerId(4));
+        assert_eq!(chosen, ServerId(4));
+    }
+}

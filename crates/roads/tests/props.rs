@@ -1,0 +1,158 @@
+//! Property tests: hierarchy, overlay and query-execution invariants.
+
+use proptest::prelude::*;
+use roads_core::overlay::coverage;
+use roads_core::{
+    execute_query, execute_query_mode, replication_set, ForwardingMode, HierarchyTree,
+    RoadsConfig, RoadsNetwork, SearchScope, ServerId,
+};
+use roads_netsim::DelaySpace;
+use roads_records::{AttrId, OwnerId, Predicate, Query, QueryId, Record, RecordId, Schema, Value};
+use roads_summary::SummaryConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn built_trees_always_valid(n in 1usize..200, k in 1usize..12) {
+        let t = HierarchyTree::build(n, k);
+        prop_assert!(t.validate().is_ok());
+        prop_assert_eq!(t.len(), n);
+        for s in t.servers() {
+            prop_assert!(t.children(s).len() <= k);
+        }
+    }
+
+    #[test]
+    fn build_depth_near_optimal(n in 2usize..300, k in 2usize..9) {
+        let t = HierarchyTree::build(n, k);
+        // A perfect k-ary tree needs ceil(log_k(n(k-1)+1)) levels; the
+        // greedy walk may add one.
+        let optimal = {
+            let mut cap = 1usize;
+            let mut width = 1usize;
+            let mut levels = 1usize;
+            while cap < n {
+                width *= k;
+                cap += width;
+                levels += 1;
+            }
+            levels
+        };
+        prop_assert!(
+            t.levels() <= optimal + 1,
+            "levels {} vs optimal {optimal} (n={n}, k={k})",
+            t.levels()
+        );
+    }
+
+    #[test]
+    fn overlay_coverage_complete(n in 1usize..150, k in 2usize..8) {
+        let t = HierarchyTree::build(n, k);
+        for s in t.servers() {
+            prop_assert_eq!(coverage(&t, s).len(), n, "server {} (n={}, k={})", s, n, k);
+        }
+    }
+
+    #[test]
+    fn replication_set_disjoint_categories(n in 2usize..120, k in 2usize..8) {
+        let t = HierarchyTree::build(n, k);
+        for s in t.servers() {
+            let rs = replication_set(&t, s);
+            let all = rs.all();
+            let mut dedup = all.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(all.len(), dedup.len(), "overlapping replica categories at {}", s);
+            prop_assert!(!all.contains(&s), "a server never replicates itself");
+        }
+    }
+
+    #[test]
+    fn removal_and_rejoin_preserve_validity(
+        n in 5usize..80,
+        k in 2usize..6,
+        removals in prop::collection::vec(any::<u32>(), 1..8),
+    ) {
+        let mut t = HierarchyTree::build(n, k);
+        for seed in removals {
+            let victims: Vec<ServerId> = t
+                .servers()
+                .into_iter()
+                .filter(|&s| s != t.root())
+                .collect();
+            if victims.is_empty() {
+                break;
+            }
+            let victim = victims[seed as usize % victims.len()];
+            let grandparent = t.parent(victim).and_then(|p| t.parent(p)).unwrap_or(t.root());
+            let orphans = t.remove(victim).unwrap();
+            for o in orphans {
+                let entry = if t.contains(grandparent) { grandparent } else { t.root() };
+                t.rejoin_subtree(o, entry, k).unwrap();
+            }
+            prop_assert!(t.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn query_execution_complete_and_exact(
+        n in 2usize..60,
+        k in 2usize..6,
+        points in prop::collection::vec(0.0f64..1.0, 2..60),
+        lo in 0.0f64..1.0,
+        w in 0.0f64..0.4,
+        entry_seed in any::<u32>(),
+    ) {
+        // Server i holds one record at points[i % points.len()].
+        let schema = Schema::unit_numeric(1);
+        let records: Vec<Vec<Record>> = (0..n)
+            .map(|s| vec![Record::new_unchecked(
+                RecordId(s as u64),
+                OwnerId(s as u32),
+                vec![Value::Float(points[s % points.len()])],
+            )])
+            .collect();
+        let cfg = RoadsConfig {
+            max_children: k,
+            summary: SummaryConfig::with_buckets(64),
+            ..RoadsConfig::paper_default()
+        };
+        let net = RoadsNetwork::build(schema, cfg, records.clone());
+        let delays = DelaySpace::paper(n, 5);
+        let hi = (lo + w).min(1.0);
+        let q = Query::new(QueryId(0), vec![Predicate::Range { attr: AttrId(0), lo, hi }]);
+        let expected: Vec<ServerId> = (0..n)
+            .filter(|&s| {
+                let v = points[s % points.len()];
+                lo <= v && v <= hi
+            })
+            .map(|s| ServerId(s as u32))
+            .collect();
+        let entry = ServerId(entry_seed % n as u32);
+        let out = execute_query(&net, &delays, &q, entry, SearchScope::full());
+        prop_assert_eq!(&out.matching_servers, &expected, "entry {}", entry);
+
+        // Both forwarding modes find the same match set; client redirects
+        // can only be slower.
+        let redirect = execute_query_mode(
+            &net, &delays, &q, entry, SearchScope::full(), ForwardingMode::ClientRedirect,
+        );
+        prop_assert_eq!(&redirect.matching_servers, &expected);
+        prop_assert!(redirect.latency_ms + 1e-9 >= out.latency_ms);
+    }
+
+    #[test]
+    fn root_path_is_consistent(n in 2usize..150, k in 2usize..8, pick in any::<u32>()) {
+        let t = HierarchyTree::build(n, k);
+        let servers = t.servers();
+        let s = servers[pick as usize % servers.len()];
+        let path = t.root_path(s);
+        prop_assert_eq!(path[0], t.root());
+        prop_assert_eq!(*path.last().unwrap(), s);
+        for w in path.windows(2) {
+            prop_assert_eq!(t.parent(w[1]), Some(w[0]));
+        }
+        prop_assert_eq!(path.len(), t.depth(s) + 1);
+    }
+}

@@ -1,0 +1,427 @@
+//! The live ROADS cluster: one OS thread per server, channels as links.
+//!
+//! The converged control state (hierarchy, summaries, replica sets) comes
+//! from a [`RoadsNetwork`]; what runs *live* here is the part the paper
+//! could not simulate — concurrent query processing against per-server
+//! record stores, with real parallelism across servers and delay-space
+//! latencies applied per message.
+
+use crate::config::RuntimeConfig;
+use crate::store::RecordStore;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use roads_core::policy::{apply_policy, OpenPolicy, RequesterId, SharingPolicy};
+use roads_core::{RoadsNetwork, ServerId};
+use roads_netsim::DelaySpace;
+use roads_records::{Query, Record, WireSize};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How a contacted server treats the query (mirrors the simulator's
+/// redirect protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContactMode {
+    /// Entry server: children + overlay shortcuts + ancestor probes.
+    Entry,
+    /// Branch server: local data + children.
+    Branch,
+    /// Ancestor probe: local data only.
+    LocalOnly,
+}
+
+enum ServerRequest {
+    Query {
+        query: Query,
+        mode: ContactMode,
+        requester: RequesterId,
+        reply: Sender<ServerReply>,
+    },
+    Shutdown,
+}
+
+struct ServerReply {
+    server: ServerId,
+    targets: Vec<(ServerId, ContactMode)>,
+    records: Vec<Record>,
+}
+
+/// Result of one live query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeOutcome {
+    /// Total response time: query sent → all matching records received.
+    pub response_ms: f64,
+    /// Records received.
+    pub records: Vec<Record>,
+    /// Servers contacted.
+    pub servers_contacted: usize,
+}
+
+/// A running ROADS federation of server threads.
+pub struct RoadsCluster {
+    net: Arc<RoadsNetwork>,
+    delays: Arc<DelaySpace>,
+    cfg: RuntimeConfig,
+    senders: Vec<Sender<ServerRequest>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl RoadsCluster {
+    /// Spawn one server thread per federation member, every owner using
+    /// the [`OpenPolicy`] (share everything).
+    pub fn start(net: RoadsNetwork, delays: DelaySpace, cfg: RuntimeConfig) -> Self {
+        let n = net.len();
+        let policies: Vec<Arc<dyn SharingPolicy>> =
+            (0..n).map(|_| Arc::new(OpenPolicy) as Arc<dyn SharingPolicy>).collect();
+        Self::start_with_policies(net, delays, cfg, policies)
+    }
+
+    /// Spawn one server thread per federation member, each enforcing its
+    /// owner's [`SharingPolicy`] before returning records (§II voluntary
+    /// sharing: the owner retains final control over what is returned).
+    pub fn start_with_policies(
+        net: RoadsNetwork,
+        delays: DelaySpace,
+        cfg: RuntimeConfig,
+        policies: Vec<Arc<dyn SharingPolicy>>,
+    ) -> Self {
+        assert_eq!(net.len(), delays.len(), "delay space must cover servers");
+        assert_eq!(net.len(), policies.len(), "one policy per server");
+        let net = Arc::new(net);
+        let delays = Arc::new(delays);
+        let mut senders = Vec::with_capacity(net.len());
+        let mut handles = Vec::with_capacity(net.len());
+        for (s, policy) in policies.into_iter().enumerate() {
+            let (tx, rx) = unbounded::<ServerRequest>();
+            senders.push(tx);
+            let id = ServerId(s as u32);
+            let store = RecordStore::new(net.schema().clone(), net.records(id).to_vec());
+            let net = Arc::clone(&net);
+            let handle = thread::Builder::new()
+                .name(format!("roads-server-{s}"))
+                .spawn(move || server_loop(id, store, net, cfg, policy, rx))
+                .expect("spawn server thread");
+            handles.push(handle);
+        }
+        RoadsCluster {
+            net,
+            delays,
+            cfg,
+            senders,
+            handles,
+        }
+    }
+
+    /// The converged control state.
+    pub fn network(&self) -> &RoadsNetwork {
+        &self.net
+    }
+
+    /// Execute one query from a client co-located with `start`, driving the
+    /// redirect protocol and gathering records in parallel. The client is
+    /// anonymous (requester 0) — owners treat it per their public tier.
+    pub fn query(&self, query: &Query, start: ServerId) -> RuntimeOutcome {
+        self.query_as(query, start, RequesterId(0))
+    }
+
+    /// [`Self::query`] with an authenticated requester identity, which each
+    /// owner's policy classifies independently.
+    pub fn query_as(&self, query: &Query, start: ServerId, requester: RequesterId) -> RuntimeOutcome {
+        let t0 = Instant::now();
+        let (done_tx, done_rx) = unbounded::<ServerReply>();
+        let visited = Arc::new(Mutex::new(std::collections::HashSet::<ServerId>::new()));
+        let mut outstanding = 0usize;
+        let mut records = Vec::new();
+        let mut contacted = 0usize;
+
+        let dispatch = |target: ServerId, mode: ContactMode, outstanding: &mut usize| {
+            if !visited.lock().insert(target) {
+                return;
+            }
+            *outstanding += 1;
+            let delay_out = self.scaled_delay(start, target);
+            let sender = self.senders[target.index()].clone();
+            let done = done_tx.clone();
+            let q = query.clone();
+            let delay_back = delay_out; // symmetric one-way latency
+            thread::spawn(move || {
+                thread::sleep(delay_out);
+                let (reply_tx, reply_rx) = unbounded();
+                if sender
+                    .send(ServerRequest::Query {
+                        query: q,
+                        mode,
+                        requester,
+                        reply: reply_tx.clone(),
+                    })
+                    .is_err()
+                {
+                    // Channel closed (cluster shutting down): synthesize an
+                    // empty reply below via the dropped sender.
+                    drop(reply_tx);
+                }
+                let reply = reply_rx.recv().unwrap_or(ServerReply {
+                    // Server thread gone (crashed or shut down): report an
+                    // empty reply so the client's outstanding count drains
+                    // instead of hanging forever.
+                    server: target,
+                    targets: Vec::new(),
+                    records: Vec::new(),
+                });
+                thread::sleep(delay_back);
+                let _ = done.send(reply);
+            });
+        };
+
+        dispatch(start, ContactMode::Entry, &mut outstanding);
+        while outstanding > 0 {
+            let reply = done_rx.recv().expect("helper threads hold the sender");
+            debug_assert!(visited.lock().contains(&reply.server));
+            outstanding -= 1;
+            contacted += 1;
+            records.extend(reply.records);
+            for (target, mode) in reply.targets {
+                dispatch(target, mode, &mut outstanding);
+            }
+        }
+
+        RuntimeOutcome {
+            response_ms: t0.elapsed().as_secs_f64() * 1000.0,
+            records,
+            servers_contacted: contacted,
+        }
+    }
+
+    fn scaled_delay(&self, a: ServerId, b: ServerId) -> Duration {
+        let ms = self.delays.delay_ms(a.index(), b.index()) * self.cfg.delay_scale;
+        Duration::from_micros((ms * 1000.0) as u64)
+    }
+
+    /// Stop all server threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(ServerRequest::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RoadsCluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn server_loop(
+    id: ServerId,
+    store: RecordStore,
+    net: Arc<RoadsNetwork>,
+    cfg: RuntimeConfig,
+    policy: Arc<dyn SharingPolicy>,
+    rx: Receiver<ServerRequest>,
+) {
+    while let Ok(req) = rx.recv() {
+        match req {
+            ServerRequest::Shutdown => break,
+            ServerRequest::Query {
+                query,
+                mode,
+                requester,
+                reply,
+            } => {
+                let (targets, do_local) = match mode {
+                    ContactMode::LocalOnly => (Vec::new(), true),
+                    ContactMode::Entry => {
+                        let ev = net.evaluate(id, &query, true);
+                        let mut t: Vec<(ServerId, ContactMode)> = ev
+                            .child_targets
+                            .iter()
+                            .map(|&c| (c, ContactMode::Branch))
+                            .collect();
+                        t.extend(ev.replica_targets.iter().map(|&r| (r, ContactMode::Branch)));
+                        t.extend(
+                            ev.ancestor_targets
+                                .iter()
+                                .map(|&a| (a, ContactMode::LocalOnly)),
+                        );
+                        (t, ev.local_match)
+                    }
+                    ContactMode::Branch => {
+                        let ev = net.evaluate(id, &query, false);
+                        let t = ev
+                            .child_targets
+                            .iter()
+                            .map(|&c| (c, ContactMode::Branch))
+                            .collect();
+                        (t, ev.local_match)
+                    }
+                };
+                let records: Vec<Record> = if do_local {
+                    // The owner's final say: policy filters/redacts what
+                    // actually leaves this server.
+                    apply_policy(policy.as_ref(), requester, store.search(&query))
+                } else {
+                    Vec::new()
+                };
+                // Emulated backend + result-transfer cost.
+                let result_bytes: usize = records.iter().map(WireSize::wire_size).sum();
+                let busy_us = cfg.base_query_cost_us
+                    + cfg.per_record_retrieval_us * records.len() as u64
+                    + cfg.transfer_us(result_bytes);
+                thread::sleep(Duration::from_micros(busy_us));
+                let _ = reply.send(ServerReply {
+                    server: id,
+                    targets,
+                    records,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roads_core::RoadsConfig;
+    use roads_records::{OwnerId, QueryBuilder, QueryId, RecordId, Schema, Value};
+    use roads_summary::SummaryConfig;
+
+    fn cluster(n: usize) -> RoadsCluster {
+        let schema = Schema::unit_numeric(2);
+        let cfg = RoadsConfig {
+            max_children: 3,
+            summary: SummaryConfig::with_buckets(100),
+            ..RoadsConfig::paper_default()
+        };
+        let records: Vec<Vec<Record>> = (0..n)
+            .map(|s| {
+                (0..20)
+                    .map(|i| {
+                        Record::new_unchecked(
+                            RecordId((s * 20 + i) as u64),
+                            OwnerId(s as u32),
+                            vec![
+                                Value::Float(s as f64 / n as f64),
+                                Value::Float(i as f64 / 20.0),
+                            ],
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let net = RoadsNetwork::build(schema, cfg, records);
+        RoadsCluster::start(net, DelaySpace::paper(n, 21), RuntimeConfig::test_fast())
+    }
+
+    #[test]
+    fn live_query_finds_all_matches() {
+        let c = cluster(9);
+        let q = QueryBuilder::new(c.network().schema(), QueryId(1))
+            .range("x0", 0.3, 0.6) // servers 3..=5 (values 3/9, 4/9, 5/9)
+            .range("x1", 0.0, 1.0)
+            .build();
+        let expected: usize = c.network().matching_servers(&q).len() * 20;
+        for start in [0u32, 4, 8] {
+            let out = c.query(&q, ServerId(start));
+            assert_eq!(out.records.len(), expected, "start={start}");
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn response_time_positive_and_bounded() {
+        let c = cluster(6);
+        let q = QueryBuilder::new(c.network().schema(), QueryId(2))
+            .range("x0", 0.0, 1.0)
+            .build();
+        let out = c.query(&q, ServerId(2));
+        assert!(out.records.len() == 6 * 20);
+        assert!(out.response_ms > 0.0);
+        assert!(out.response_ms < 10_000.0, "runaway response time");
+        assert_eq!(out.servers_contacted, 6);
+        c.shutdown();
+    }
+
+    #[test]
+    fn concurrent_queries_supported() {
+        let c = Arc::new(cluster(6));
+        let q = QueryBuilder::new(c.network().schema(), QueryId(3))
+            .range("x0", 0.0, 1.0)
+            .build();
+        let mut handles = Vec::new();
+        for start in 0..4u32 {
+            let c = Arc::clone(&c);
+            let q = q.clone();
+            handles.push(thread::spawn(move || c.query(&q, ServerId(start)).records.len()));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 120);
+        }
+    }
+
+    #[test]
+    fn policies_enforced_per_owner() {
+        use roads_core::policy::TieredPolicy;
+        // 4 servers; server 2's owner withholds everything from the
+        // public but shares with partner 42.
+        let schema = Schema::unit_numeric(1);
+        let cfg = RoadsConfig {
+            max_children: 2,
+            summary: SummaryConfig::with_buckets(50),
+            ..RoadsConfig::paper_default()
+        };
+        let records: Vec<Vec<Record>> = (0..4)
+            .map(|s| {
+                vec![Record::new_unchecked(
+                    RecordId(s as u64),
+                    OwnerId(s as u32),
+                    vec![Value::Float(s as f64 / 4.0)],
+                )]
+            })
+            .collect();
+        let net = RoadsNetwork::build(schema.clone(), cfg, records);
+        let mut policies: Vec<Arc<dyn roads_core::policy::SharingPolicy>> = (0..4)
+            .map(|_| Arc::new(roads_core::policy::OpenPolicy) as Arc<_>)
+            .collect();
+        // Member-tier default + no allowlisted members ⇒ public sees nothing.
+        policies[2] = Arc::new(TieredPolicy::new(
+            [roads_core::policy::RequesterId(42)],
+            [],
+        ));
+        let c = RoadsCluster::start_with_policies(
+            net,
+            DelaySpace::paper(4, 3),
+            RuntimeConfig::test_fast(),
+            policies,
+        );
+        let q = QueryBuilder::new(c.network().schema(), QueryId(9))
+            .range("x0", 0.0, 1.0)
+            .build();
+        let anon = c.query(&q, ServerId(0));
+        assert_eq!(anon.records.len(), 3, "server 2 withholds from the public");
+        let partner = c.query_as(&q, ServerId(0), roads_core::policy::RequesterId(42));
+        assert_eq!(partner.records.len(), 4, "partner sees everything");
+        c.shutdown();
+    }
+
+    #[test]
+    fn narrow_query_contacts_few_servers() {
+        let c = cluster(9);
+        let q = QueryBuilder::new(c.network().schema(), QueryId(4))
+            .range("x0", 0.32, 0.34) // exactly server 3 (3/9 ≈ 0.333)
+            .build();
+        let out = c.query(&q, ServerId(3));
+        assert_eq!(out.records.len(), 20);
+        assert!(
+            out.servers_contacted < 9,
+            "summaries should prune most servers"
+        );
+        c.shutdown();
+    }
+}

@@ -1,0 +1,79 @@
+//! Prototype runtime configuration.
+
+/// Tunables of the threaded prototype.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Emulated backend cost to retrieve one matching record, in
+    /// microseconds.
+    ///
+    /// Calibration note: the paper's servers query a DB2 database over JDBC
+    /// holding 200K × 120-attribute records; result retrieval there costs
+    /// milliseconds per row once result sets grow. 2.5 ms/row puts the
+    /// prototype in the paper's regime (central ≈ 5–6 s at 3 % selectivity
+    /// over ~160K records, ROADS ≈ 1 s below 0.3 %).
+    pub per_record_retrieval_us: u64,
+    /// Fixed per-query backend cost (index lookup / query planning), µs.
+    pub base_query_cost_us: u64,
+    /// Result-return bandwidth per server link, in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// Scale factor applied to delay-space latencies (1.0 = as synthesized;
+    /// tests use small factors to stay fast).
+    pub delay_scale: f64,
+}
+
+impl RuntimeConfig {
+    /// Calibration matching the paper's testbed regime.
+    pub fn paper_like() -> Self {
+        RuntimeConfig {
+            per_record_retrieval_us: 2_500,
+            base_query_cost_us: 20_000,
+            bandwidth_mbps: 100.0,
+            delay_scale: 1.0,
+        }
+    }
+
+    /// Fast settings for unit tests: microsecond-scale costs, compressed
+    /// network delays.
+    pub fn test_fast() -> Self {
+        RuntimeConfig {
+            per_record_retrieval_us: 200,
+            base_query_cost_us: 500,
+            bandwidth_mbps: 1_000.0,
+            delay_scale: 0.05,
+        }
+    }
+
+    /// Time to push `bytes` through one server link, in microseconds.
+    pub fn transfer_us(&self, bytes: usize) -> u64 {
+        ((bytes as f64 * 8.0) / self.bandwidth_mbps.max(1e-9)) as u64
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self::paper_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time() {
+        let cfg = RuntimeConfig {
+            bandwidth_mbps: 8.0,
+            ..RuntimeConfig::paper_like()
+        };
+        // 8 Mbps = 1 byte/µs.
+        assert_eq!(cfg.transfer_us(1_000), 1_000);
+    }
+
+    #[test]
+    fn presets_sane() {
+        let p = RuntimeConfig::paper_like();
+        let t = RuntimeConfig::test_fast();
+        assert!(p.per_record_retrieval_us > t.per_record_retrieval_us);
+        assert!(t.delay_scale < p.delay_scale);
+    }
+}

@@ -1,0 +1,35 @@
+//! Threaded prototype runtime (§V, "Prototype Benchmarking").
+//!
+//! The paper benchmarks a Java prototype on a Xeon cluster where every
+//! server fronts a DB2 database of 200K records and the measured metric is
+//! *total response time*: "the time for a client to receive all matching
+//! records after it sends out a query", including server-side retrieval —
+//! the part "difficult to simulate or analyze because it may involve a
+//! backend database".
+//!
+//! This crate reproduces that setup with real concurrency:
+//!
+//! * [`store::RecordStore`] — an indexed in-memory record store standing in
+//!   for DB2+JDBC, with a calibrated per-record retrieval cost (see
+//!   [`RuntimeConfig::per_record_retrieval_us`]) so retrieval dominates at
+//!   high selectivity exactly as in the paper's testbed.
+//! * [`cluster::RoadsCluster`] — one OS thread per ROADS server, crossbeam
+//!   channels as the network, delay-space latencies applied per message;
+//!   the client drives the redirect protocol and gathers records from
+//!   matching servers **in parallel**.
+//! * [`central::CentralCluster`] — the single-server baseline: one round
+//!   trip, but serial retrieval of every matching record.
+//!
+//! Fig. 11's crossover — the central repository wins at low selectivity
+//! (fewer round trips), ROADS catches up and wins as selectivity grows
+//! (parallel retrieval across servers) — emerges from these mechanics.
+
+pub mod central;
+pub mod cluster;
+pub mod config;
+pub mod store;
+
+pub use central::CentralCluster;
+pub use cluster::{RoadsCluster, RuntimeOutcome};
+pub use config::RuntimeConfig;
+pub use store::RecordStore;

@@ -1,0 +1,261 @@
+//! Indexed in-memory record store — the DB2+JDBC stand-in.
+//!
+//! Each ROADS prototype server "maintains a DB2 database to emulate the
+//! attached resource stores, and uses JDBC … to query this database for
+//! specific resource records or to generate summaries". This store provides
+//! the same two operations — exact multi-attribute search and summary
+//! generation — over column indexes: a sorted index per ordered attribute
+//! and a hash index per categorical attribute.
+
+use roads_records::{AttrType, Predicate, Query, Record, Schema};
+use roads_summary::{Summary, SummaryConfig};
+use std::collections::HashMap;
+
+/// Column-indexed record store.
+#[derive(Debug, Clone)]
+pub struct RecordStore {
+    schema: Schema,
+    records: Vec<Record>,
+    /// Per ordered attribute: `(value, row)` sorted by value.
+    numeric_idx: Vec<Vec<(f64, u32)>>,
+    /// Per categorical attribute: value → rows.
+    cat_idx: Vec<HashMap<String, Vec<u32>>>,
+}
+
+impl RecordStore {
+    /// Build the store and its indexes.
+    pub fn new(schema: Schema, records: Vec<Record>) -> Self {
+        let arity = schema.len();
+        let mut numeric_idx: Vec<Vec<(f64, u32)>> = vec![Vec::new(); arity];
+        let mut cat_idx: Vec<HashMap<String, Vec<u32>>> = vec![HashMap::new(); arity];
+        for (row, rec) in records.iter().enumerate() {
+            for (attr, def) in schema.iter() {
+                let v = rec.get(attr);
+                match def.ty {
+                    AttrType::Categorical | AttrType::Text => {
+                        if let Some(s) = v.as_str() {
+                            cat_idx[attr.index()]
+                                .entry(s.to_owned())
+                                .or_default()
+                                .push(row as u32);
+                        }
+                    }
+                    _ => {
+                        if let Some(f) = v.as_f64() {
+                            numeric_idx[attr.index()].push((f, row as u32));
+                        }
+                    }
+                }
+            }
+        }
+        for idx in &mut numeric_idx {
+            idx.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite attribute values"));
+        }
+        RecordStore {
+            schema,
+            records,
+            numeric_idx,
+            cat_idx,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All stored records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Candidate rows for one predicate via the indexes; `None` means the
+    /// predicate cannot be served by an index (full scan required).
+    fn candidates(&self, pred: &Predicate) -> Option<Vec<u32>> {
+        match pred {
+            Predicate::Range { attr, lo, hi } => {
+                let idx = &self.numeric_idx[attr.index()];
+                if idx.is_empty() && !self.records.is_empty() {
+                    return None; // unindexed (categorical attr queried by range)
+                }
+                let start = idx.partition_point(|&(v, _)| v < *lo);
+                let end = idx.partition_point(|&(v, _)| v <= *hi);
+                Some(idx[start..end].iter().map(|&(_, r)| r).collect())
+            }
+            Predicate::Eq { attr, value } => {
+                if let Some(s) = value.as_str() {
+                    Some(
+                        self.cat_idx[attr.index()]
+                            .get(s)
+                            .cloned()
+                            .unwrap_or_default(),
+                    )
+                } else {
+                    value.as_f64().map(|f| {
+                        let idx = &self.numeric_idx[attr.index()];
+                        let start = idx.partition_point(|&(v, _)| v < f);
+                        let end = idx.partition_point(|&(v, _)| v <= f);
+                        idx[start..end].iter().map(|&(_, r)| r).collect()
+                    })
+                }
+            }
+            Predicate::OneOf { attr, values } => {
+                let mut rows: Vec<u32> = values
+                    .iter()
+                    .flat_map(|v| {
+                        self.cat_idx[attr.index()]
+                            .get(v)
+                            .into_iter()
+                            .flatten()
+                            .copied()
+                    })
+                    .collect();
+                rows.sort_unstable();
+                rows.dedup();
+                Some(rows)
+            }
+        }
+    }
+
+    /// Exact search: serve the most selective predicate from an index, then
+    /// filter candidates against the full query. Falls back to a full scan
+    /// for index-less queries.
+    pub fn search(&self, query: &Query) -> Vec<&Record> {
+        let best = query
+            .predicates()
+            .iter()
+            .filter_map(|p| self.candidates(p))
+            .min_by_key(Vec::len);
+        match best {
+            Some(rows) => rows
+                .into_iter()
+                .map(|r| &self.records[r as usize])
+                .filter(|rec| query.matches(rec))
+                .collect(),
+            None => self.records.iter().filter(|r| query.matches(r)).collect(),
+        }
+    }
+
+    /// Number of matching records without materializing them.
+    pub fn count(&self, query: &Query) -> usize {
+        self.search(query).len()
+    }
+
+    /// Generate the store's summary (the owner-export operation).
+    pub fn summary(&self, config: &SummaryConfig) -> Summary {
+        Summary::from_records(&self.schema, config, &self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roads_records::{AttrDef, OwnerId, QueryBuilder, QueryId, RecordBuilder, RecordId};
+
+    fn mixed_schema() -> Schema {
+        Schema::new(vec![
+            AttrDef::categorical("type"),
+            AttrDef::numeric("rate", 0.0, 1000.0),
+            AttrDef::integer("priority", 0, 10),
+        ])
+        .unwrap()
+    }
+
+    fn store(n: usize) -> RecordStore {
+        let schema = mixed_schema();
+        let records = (0..n)
+            .map(|i| {
+                RecordBuilder::new(&schema, RecordId(i as u64), OwnerId(0))
+                    .set("type", if i % 3 == 0 { "camera" } else { "sensor" })
+                    .set("rate", (i as f64 * 10.0) % 1000.0)
+                    .set("priority", (i % 10) as i64)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        RecordStore::new(schema, records)
+    }
+
+    #[test]
+    fn search_matches_full_scan() {
+        let s = store(300);
+        let q = QueryBuilder::new(s.schema(), QueryId(1))
+            .eq("type", "camera")
+            .range("rate", 100.0, 500.0)
+            .build();
+        let indexed: Vec<_> = s.search(&q).iter().map(|r| r.id).collect();
+        let scan: Vec<_> = s
+            .records()
+            .iter()
+            .filter(|r| q.matches(r))
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(indexed, scan);
+        assert!(!indexed.is_empty());
+    }
+
+    #[test]
+    fn integer_index_range() {
+        let s = store(100);
+        let q = QueryBuilder::new(s.schema(), QueryId(2))
+            .range("priority", 8.0, 10.0)
+            .build();
+        let hits = s.search(&q);
+        assert_eq!(hits.len(), 20, "priorities 8 and 9 of 0..10 cycling");
+    }
+
+    #[test]
+    fn eq_on_missing_value_empty() {
+        let s = store(50);
+        let q = QueryBuilder::new(s.schema(), QueryId(3))
+            .eq("type", "drone")
+            .build();
+        assert!(s.search(&q).is_empty());
+    }
+
+    #[test]
+    fn one_of_index() {
+        let s = store(90);
+        let q = QueryBuilder::new(s.schema(), QueryId(4))
+            .one_of("type", &["camera", "drone"])
+            .build();
+        assert_eq!(s.search(&q).len(), 30);
+    }
+
+    #[test]
+    fn empty_query_returns_everything() {
+        let s = store(10);
+        let q = roads_records::Query::new(QueryId(5), vec![]);
+        assert_eq!(s.search(&q).len(), 10);
+    }
+
+    #[test]
+    fn summary_round_trip() {
+        let s = store(60);
+        let cfg = SummaryConfig::with_buckets(64);
+        let sum = s.summary(&cfg);
+        assert_eq!(sum.record_count(), 60);
+        let q = QueryBuilder::new(s.schema(), QueryId(6))
+            .eq("type", "camera")
+            .build();
+        assert!(sum.may_match(&q));
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = RecordStore::new(mixed_schema(), Vec::new());
+        assert!(s.is_empty());
+        let q = QueryBuilder::new(s.schema(), QueryId(7)).eq("type", "x").build();
+        assert!(s.search(&q).is_empty());
+    }
+}

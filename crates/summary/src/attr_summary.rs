@@ -1,0 +1,234 @@
+//! Per-attribute summaries and their predicate evaluation.
+
+use crate::bloom::BloomFilter;
+use crate::histogram::Histogram;
+use crate::multires::MultiResHistogram;
+use crate::value_set::ValueSet;
+use roads_records::{Predicate, WireSize};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary of one attribute's values across a set of records.
+///
+/// The variant is chosen by the attribute type and the
+/// [`crate::SummaryConfig`]: histograms (or multi-resolution pyramids) for
+/// ordered attributes, value sets or Bloom filters for categorical ones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttributeSummary {
+    /// Equi-width histogram (ordered attributes).
+    Hist(Histogram),
+    /// Multi-resolution pyramid (ordered attributes under byte budgets).
+    MultiRes(MultiResHistogram),
+    /// Exact enumerated set (categorical attributes, small vocabularies).
+    Set(ValueSet),
+    /// Bloom filter (categorical attributes, large vocabularies).
+    Bloom(BloomFilter),
+}
+
+/// Error merging mismatched per-attribute summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrMergeError {
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for AttrMergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attribute summary merge error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for AttrMergeError {}
+
+impl AttributeSummary {
+    /// Conservative predicate evaluation: `false` guarantees no summarized
+    /// record satisfies the predicate; `true` means some record *may*.
+    ///
+    /// Predicates evaluated against a structurally wrong summary kind (e.g.
+    /// a range over a value set) answer `true` — the summary cannot prove
+    /// absence, and ROADS must never produce a false negative.
+    pub fn may_match(&self, pred: &Predicate) -> bool {
+        match (self, pred) {
+            (AttributeSummary::Hist(h), Predicate::Range { lo, hi, .. }) => {
+                h.may_match_range(*lo, *hi)
+            }
+            (AttributeSummary::MultiRes(p), Predicate::Range { lo, hi, .. }) => {
+                p.may_match_range(*lo, *hi)
+            }
+            (AttributeSummary::Hist(h), Predicate::Eq { value, .. }) => match value.as_f64() {
+                Some(v) => h.may_match_range(v, v),
+                None => true,
+            },
+            (AttributeSummary::MultiRes(p), Predicate::Eq { value, .. }) => match value.as_f64() {
+                Some(v) => p.may_match_range(v, v),
+                None => true,
+            },
+            (AttributeSummary::Set(s), Predicate::Eq { value, .. }) => match value.as_str() {
+                Some(v) => s.contains(v),
+                None => true,
+            },
+            (AttributeSummary::Bloom(b), Predicate::Eq { value, .. }) => match value.as_str() {
+                Some(v) => b.contains(v),
+                None => true,
+            },
+            (AttributeSummary::Set(s), Predicate::OneOf { values, .. }) => {
+                values.iter().any(|v| s.contains(v))
+            }
+            (AttributeSummary::Bloom(b), Predicate::OneOf { values, .. }) => {
+                values.iter().any(|v| b.contains(v))
+            }
+            // Structurally mismatched predicate/summary pairs (range over a
+            // categorical summary, set membership over a histogram): the
+            // summary cannot prove absence, so stay conservative.
+            (AttributeSummary::Set(_) | AttributeSummary::Bloom(_), Predicate::Range { .. })
+            | (
+                AttributeSummary::Hist(_) | AttributeSummary::MultiRes(_),
+                Predicate::OneOf { .. },
+            ) => true,
+        }
+    }
+
+    /// True when the summary condenses zero values.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            AttributeSummary::Hist(h) => h.is_empty(),
+            AttributeSummary::MultiRes(p) => p.finest().is_empty(),
+            AttributeSummary::Set(s) => s.is_empty(),
+            AttributeSummary::Bloom(b) => b.is_empty(),
+        }
+    }
+
+    /// Merge a same-kind summary into this one.
+    pub fn merge(&mut self, other: &AttributeSummary) -> Result<(), AttrMergeError> {
+        match (self, other) {
+            (AttributeSummary::Hist(a), AttributeSummary::Hist(b)) => {
+                a.merge(b).map_err(|e| AttrMergeError {
+                    reason: e.to_string(),
+                })
+            }
+            (AttributeSummary::MultiRes(a), AttributeSummary::MultiRes(b)) => {
+                a.merge(b).map_err(|e| AttrMergeError {
+                    reason: e.to_string(),
+                })
+            }
+            (AttributeSummary::Set(a), AttributeSummary::Set(b)) => {
+                a.merge(b);
+                Ok(())
+            }
+            (AttributeSummary::Bloom(a), AttributeSummary::Bloom(b)) => {
+                a.merge(b).map_err(|e| AttrMergeError {
+                    reason: e.to_string(),
+                })
+            }
+            (a, b) => Err(AttrMergeError {
+                reason: format!("kind mismatch: {} vs {}", a.kind_name(), b.kind_name()),
+            }),
+        }
+    }
+
+    /// Short name of the summary kind for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            AttributeSummary::Hist(_) => "histogram",
+            AttributeSummary::MultiRes(_) => "multires",
+            AttributeSummary::Set(_) => "set",
+            AttributeSummary::Bloom(_) => "bloom",
+        }
+    }
+}
+
+impl WireSize for AttributeSummary {
+    fn wire_size(&self) -> usize {
+        // kind tag (1) + payload
+        1 + match self {
+            AttributeSummary::Hist(h) => h.wire_size(),
+            AttributeSummary::MultiRes(p) => p.wire_size(),
+            AttributeSummary::Set(s) => s.wire_size(),
+            AttributeSummary::Bloom(b) => b.wire_size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roads_records::{AttrId, Value};
+
+    fn range(lo: f64, hi: f64) -> Predicate {
+        Predicate::Range {
+            attr: AttrId(0),
+            lo,
+            hi,
+        }
+    }
+
+    fn eq_cat(v: &str) -> Predicate {
+        Predicate::Eq {
+            attr: AttrId(0),
+            value: Value::Cat(v.into()),
+        }
+    }
+
+    #[test]
+    fn hist_range_eval() {
+        let s = AttributeSummary::Hist(Histogram::from_values(0.0, 1.0, 10, [0.3]));
+        assert!(s.may_match(&range(0.25, 0.5)));
+        assert!(!s.may_match(&range(0.6, 0.9)));
+    }
+
+    #[test]
+    fn hist_eq_numeric_point() {
+        let s = AttributeSummary::Hist(Histogram::from_values(0.0, 1.0, 10, [0.3]));
+        let p = Predicate::Eq {
+            attr: AttrId(0),
+            value: Value::Float(0.35), // same bucket as 0.3 → conservative hit
+        };
+        assert!(s.may_match(&p));
+    }
+
+    #[test]
+    fn set_eval() {
+        let s = AttributeSummary::Set(ValueSet::from_values(["MPEG2"]));
+        assert!(s.may_match(&eq_cat("MPEG2")));
+        assert!(!s.may_match(&eq_cat("H264")));
+    }
+
+    #[test]
+    fn bloom_eval_no_false_negative() {
+        let mut b = BloomFilter::new(512, 3);
+        b.insert("MPEG2");
+        let s = AttributeSummary::Bloom(b);
+        assert!(s.may_match(&eq_cat("MPEG2")));
+    }
+
+    #[test]
+    fn one_of_any_semantics() {
+        let s = AttributeSummary::Set(ValueSet::from_values(["a"]));
+        let p = Predicate::OneOf {
+            attr: AttrId(0),
+            values: vec!["z".into(), "a".into()],
+        };
+        assert!(s.may_match(&p));
+    }
+
+    #[test]
+    fn range_over_set_is_conservative_true() {
+        let s = AttributeSummary::Set(ValueSet::from_values(["a"]));
+        assert!(s.may_match(&range(0.0, 1.0)));
+    }
+
+    #[test]
+    fn kind_mismatch_merge_fails() {
+        let mut a = AttributeSummary::Set(ValueSet::new());
+        let b = AttributeSummary::Hist(Histogram::new(0.0, 1.0, 4));
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn same_kind_merge_works() {
+        let mut a = AttributeSummary::Hist(Histogram::from_values(0.0, 1.0, 4, [0.1]));
+        let b = AttributeSummary::Hist(Histogram::from_values(0.0, 1.0, 4, [0.9]));
+        a.merge(&b).unwrap();
+        assert!(a.may_match(&range(0.8, 1.0)));
+    }
+}

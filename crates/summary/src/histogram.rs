@@ -1,0 +1,429 @@
+//! Equi-width histograms for numeric attributes.
+//!
+//! "A numeric attribute can be aggregated using a histogram consisting of
+//! multiple buckets of value ranges. Each bucket has a counter for how many
+//! values in this range are present. … two histograms can be combined by
+//! adding their respective counters in each bucket." (§III-B)
+
+use roads_records::WireSize;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error merging structurally incompatible histograms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeError {
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "histogram merge error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Equi-width histogram over `[lo, hi]` with `m` buckets of `u32` counters.
+///
+/// Counter width matches the paper's accounting (4 bytes per bucket; a
+/// summary of `r` attributes with `m` buckets each occupies `~4·m·r` bytes
+/// regardless of how many records it condenses). Counters saturate instead
+/// of wrapping so adversarially large merges stay conservative.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u32>,
+}
+
+impl Histogram {
+    /// Empty histogram over `[lo, hi]` with `m` buckets.
+    ///
+    /// # Panics
+    /// If `m == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, m: usize) -> Self {
+        assert!(m > 0, "histogram needs at least one bucket");
+        assert!(lo < hi, "histogram domain must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; m],
+        }
+    }
+
+    /// Build from an iterator of values, clamping out-of-domain values into
+    /// the boundary buckets (owners occasionally export slightly stale
+    /// domains; dropping values would create false negatives).
+    pub fn from_values(lo: f64, hi: f64, m: usize, values: impl IntoIterator<Item = f64>) -> Self {
+        let mut h = Histogram::new(lo, hi, m);
+        for v in values {
+            h.insert(v);
+        }
+        h
+    }
+
+    /// Number of buckets (the paper's `m`).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Domain lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Domain upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Raw bucket counters.
+    pub fn buckets(&self) -> &[u32] {
+        &self.buckets
+    }
+
+    /// Total number of summarized values (sum of counters, saturating).
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().map(|&c| c as u64).sum()
+    }
+
+    /// True when no values have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&c| c == 0)
+    }
+
+    /// Bucket index for a value, clamped into the domain.
+    pub fn bucket_of(&self, v: f64) -> usize {
+        let m = self.buckets.len();
+        if !v.is_finite() {
+            return if v > 0.0 { m - 1 } else { 0 };
+        }
+        let frac = (v - self.lo) / (self.hi - self.lo);
+        ((frac * m as f64).floor() as isize).clamp(0, m as isize - 1) as usize
+    }
+
+    /// Record one value.
+    pub fn insert(&mut self, v: f64) {
+        let idx = self.bucket_of(v);
+        self.buckets[idx] = self.buckets[idx].saturating_add(1);
+    }
+
+    /// Value range covered by bucket `i`: `[lo_i, hi_i)` (last bucket is
+    /// closed at the domain upper bound).
+    pub fn bucket_range(&self, i: usize) -> (f64, f64) {
+        let m = self.buckets.len() as f64;
+        let w = (self.hi - self.lo) / m;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Conservative range test: could any summarized value lie in
+    /// `[q_lo, q_hi]`? True when any bucket intersecting the query range is
+    /// non-empty. Never produces a false negative; may produce a false
+    /// positive when a bucket straddles the range boundary.
+    pub fn may_match_range(&self, q_lo: f64, q_hi: f64) -> bool {
+        if q_lo > q_hi {
+            return false;
+        }
+        let first = self.bucket_of(q_lo);
+        let last = self.bucket_of(q_hi);
+        self.buckets[first..=last].iter().any(|&c| c > 0)
+    }
+
+    /// Estimated number of values in `[q_lo, q_hi]`, assuming values are
+    /// uniform within each bucket (standard equi-width estimator).
+    pub fn estimate_count(&self, q_lo: f64, q_hi: f64) -> f64 {
+        if q_lo > q_hi {
+            return 0.0;
+        }
+        let mut est = 0.0;
+        let first = self.bucket_of(q_lo);
+        let last = self.bucket_of(q_hi);
+        for i in first..=last {
+            let (b_lo, b_hi) = self.bucket_range(i);
+            let overlap = (q_hi.min(b_hi) - q_lo.max(b_lo)).max(0.0);
+            let width = b_hi - b_lo;
+            if width > 0.0 {
+                est += self.buckets[i] as f64 * (overlap / width).min(1.0);
+            }
+        }
+        est
+    }
+
+    /// Merge another histogram into this one by adding counters
+    /// ("two histograms can be combined by adding their respective counters
+    /// in each bucket").
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), MergeError> {
+        if self.buckets.len() != other.buckets.len() {
+            return Err(MergeError {
+                reason: format!(
+                    "bucket counts differ: {} vs {}",
+                    self.buckets.len(),
+                    other.buckets.len()
+                ),
+            });
+        }
+        if self.lo != other.lo || self.hi != other.hi {
+            return Err(MergeError {
+                reason: format!(
+                    "domains differ: [{},{}] vs [{},{}]",
+                    self.lo, self.hi, other.lo, other.hi
+                ),
+            });
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.saturating_add(*b);
+        }
+        Ok(())
+    }
+
+    /// Coarsen by an integer factor: bucket `i` of the result sums buckets
+    /// `[i·f, (i+1)·f)` of the input. Used by the multi-resolution pyramid.
+    ///
+    /// # Panics
+    /// If `factor == 0` or does not divide the bucket count.
+    pub fn coarsen(&self, factor: usize) -> Histogram {
+        assert!(factor > 0, "factor must be positive");
+        assert!(
+            self.buckets.len().is_multiple_of(factor),
+            "factor must divide the bucket count"
+        );
+        let buckets = self
+            .buckets
+            .chunks(factor)
+            .map(|c| c.iter().fold(0u32, |a, &b| a.saturating_add(b)))
+            .collect();
+        Histogram {
+            lo: self.lo,
+            hi: self.hi,
+            buckets,
+        }
+    }
+
+    /// Reset all counters to zero, keeping the configuration.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Estimated `q`-quantile (0 ≤ q ≤ 1) of the summarized values, by
+    /// linear interpolation within the bucket containing the target rank.
+    /// `None` when the histogram is empty.
+    ///
+    /// Lets a client ask a federation-wide question like "what is the
+    /// median free capacity?" from summaries alone — no record ever moves.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * total as f64;
+        let mut seen = 0.0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let c = c as f64;
+            if seen + c >= target && c > 0.0 {
+                let (b_lo, b_hi) = self.bucket_range(i);
+                let frac = ((target - seen) / c).clamp(0.0, 1.0);
+                return Some(b_lo + frac * (b_hi - b_lo));
+            }
+            seen += c;
+        }
+        Some(self.hi)
+    }
+
+    /// Estimated mean of the summarized values (bucket midpoints weighted
+    /// by counts). `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let (lo, hi) = self.bucket_range(i);
+                c as f64 * (lo + hi) / 2.0
+            })
+            .sum();
+        Some(sum / total as f64)
+    }
+
+    /// The `k` most populated buckets as `(range, count)`, descending by
+    /// count (modes of the summarized distribution).
+    pub fn top_buckets(&self, k: usize) -> Vec<((f64, f64), u32)> {
+        let mut idx: Vec<usize> = (0..self.buckets.len())
+            .filter(|&i| self.buckets[i] > 0)
+            .collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(self.buckets[i]));
+        idx.truncate(k);
+        idx.into_iter()
+            .map(|i| (self.bucket_range(i), self.buckets[i]))
+            .collect()
+    }
+}
+
+impl WireSize for Histogram {
+    fn wire_size(&self) -> usize {
+        // lo (8) + hi (8) + bucket count (4) + counters (4 each)
+        20 + 4 * self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_hist(values: &[f64], m: usize) -> Histogram {
+        Histogram::from_values(0.0, 1.0, m, values.iter().copied())
+    }
+
+    #[test]
+    fn insert_and_total() {
+        let h = unit_hist(&[0.05, 0.15, 0.95], 10);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[9], 1);
+    }
+
+    #[test]
+    fn boundary_values_clamped() {
+        let h = unit_hist(&[0.0, 1.0, -0.5, 1.5], 4);
+        assert_eq!(h.buckets()[0], 2); // 0.0 and -0.5
+        assert_eq!(h.buckets()[3], 2); // 1.0 and 1.5
+    }
+
+    #[test]
+    fn paper_example_rate_query() {
+        // "rate>150Kbps will be true when any of the buckets beyond 150 is
+        // non-empty". Domain [0,1000], rate 100 only → false; add 200 → true.
+        let mut h = Histogram::from_values(0.0, 1000.0, 100, [100.0]);
+        assert!(!h.may_match_range(150.0, 1000.0));
+        h.insert(200.0);
+        assert!(h.may_match_range(150.0, 1000.0));
+    }
+
+    #[test]
+    fn no_false_negatives_on_straddling_bucket() {
+        // value 0.24 is in bucket [0.2,0.3); query [0.25,0.5] touches that
+        // bucket, so a conservative match must be reported.
+        let h = unit_hist(&[0.24], 10);
+        assert!(h.may_match_range(0.25, 0.5));
+    }
+
+    #[test]
+    fn empty_range_rejected() {
+        let h = unit_hist(&[0.5], 10);
+        assert!(!h.may_match_range(0.9, 0.1));
+        assert_eq!(h.estimate_count(0.9, 0.1), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = unit_hist(&[0.1, 0.2], 10);
+        let b = unit_hist(&[0.1, 0.9], 10);
+        a.merge(&b).unwrap();
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.buckets()[1], 2);
+        assert_eq!(a.buckets()[9], 1);
+    }
+
+    #[test]
+    fn merge_incompatible_rejected() {
+        let mut a = Histogram::new(0.0, 1.0, 10);
+        let b = Histogram::new(0.0, 1.0, 20);
+        assert!(a.merge(&b).is_err());
+        let c = Histogram::new(0.0, 2.0, 10);
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn estimate_count_partial_overlap() {
+        // 10 values uniform in bucket [0.0,0.1); query covers half of it.
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for _ in 0..10 {
+            h.insert(0.05);
+        }
+        let est = h.estimate_count(0.0, 0.05);
+        assert!((est - 5.0).abs() < 1e-9, "est={est}");
+    }
+
+    #[test]
+    fn coarsen_preserves_total() {
+        let h = unit_hist(&[0.05, 0.15, 0.25, 0.35, 0.95], 8);
+        let c = h.coarsen(2);
+        assert_eq!(c.bucket_count(), 4);
+        assert_eq!(c.total(), h.total());
+    }
+
+    #[test]
+    fn wire_size_constant_in_record_count() {
+        let small = unit_hist(&[0.5], 100);
+        let mut big = Histogram::new(0.0, 1.0, 100);
+        for i in 0..10_000 {
+            big.insert((i % 100) as f64 / 100.0);
+        }
+        assert_eq!(small.wire_size(), big.wire_size());
+        assert_eq!(small.wire_size(), 20 + 400);
+    }
+
+    #[test]
+    fn saturating_counters() {
+        let mut h = Histogram::new(0.0, 1.0, 1);
+        h.buckets = vec![u32::MAX - 1];
+        h.insert(0.5);
+        h.insert(0.5);
+        assert_eq!(h.buckets()[0], u32::MAX);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = unit_hist(&[0.5], 4);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.bucket_count(), 4);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        // 100 values uniform across [0,1): quantiles ≈ identity.
+        let mut h = Histogram::new(0.0, 1.0, 20);
+        for i in 0..100 {
+            h.insert(i as f64 / 100.0);
+        }
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let est = h.quantile(q).unwrap();
+            assert!((est - q).abs() < 0.06, "q={q} est={est}");
+        }
+        assert_eq!(Histogram::new(0.0, 1.0, 4).quantile(0.5), None);
+    }
+
+    #[test]
+    fn mean_estimate() {
+        let h = unit_hist(&[0.1, 0.2, 0.3, 0.4], 100);
+        let m = h.mean().unwrap();
+        assert!((m - 0.25).abs() < 0.01, "mean={m}");
+        assert_eq!(Histogram::new(0.0, 1.0, 4).mean(), None);
+    }
+
+    #[test]
+    fn top_buckets_ordered() {
+        let h = unit_hist(&[0.05, 0.05, 0.05, 0.55, 0.55, 0.95], 10);
+        let top = h.top_buckets(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].1, 3);
+        assert_eq!(top[1].1, 2);
+        assert!(top[0].0 .0 < 0.1 && top[0].0 .1 > 0.05);
+        // Asking for more than exist returns only the occupied buckets.
+        assert_eq!(h.top_buckets(10).len(), 3);
+    }
+
+    #[test]
+    fn infinite_query_bounds() {
+        let h = unit_hist(&[0.5], 10);
+        assert!(h.may_match_range(f64::NEG_INFINITY, f64::INFINITY));
+        assert!(h.may_match_range(0.2, f64::INFINITY));
+    }
+}

@@ -1,0 +1,40 @@
+//! Lossy resource summaries (§III-B of the ROADS paper).
+//!
+//! A *summary* is a condensed, usually lossy representation of a set of
+//! resource records that still supports query evaluation. Owners export
+//! summaries instead of raw records to preserve voluntary sharing; servers
+//! aggregate child summaries bottom-up so each holds a coarse view of its
+//! branch, and the replication overlay copies branch summaries sideways.
+//!
+//! Structures provided, matching the paper's catalogue:
+//!
+//! * [`Histogram`] — equi-width bucket counts for numeric attributes; two
+//!   histograms merge by adding per-bucket counters.
+//! * [`ValueSet`] — enumerated set of categorical values ("acceptable if the
+//!   number of distinct values is limited").
+//! * [`BloomFilter`] — constant-size alternative for large vocabularies
+//!   (the paper cites Bloom's 1970 construction \[10\]).
+//! * [`MultiResHistogram`] — multi-resolution summarization in the style of
+//!   Ganesan et al. \[11\]: a pyramid of progressively coarser histograms from
+//!   which a byte-budgeted level can be selected.
+//! * [`Summary`] — one summary per searchable attribute, aligned to a
+//!   [`roads_records::Schema`]; evaluates conjunctive queries conservatively
+//!   (no false negatives).
+//! * [`SoftState`] / [`SoftStateTable`] — TTL wrappers: "data and summaries
+//!   are soft-state and have TTLs associated with them".
+
+pub mod attr_summary;
+pub mod bloom;
+pub mod histogram;
+pub mod multires;
+pub mod soft_state;
+pub mod summary;
+pub mod value_set;
+
+pub use attr_summary::AttributeSummary;
+pub use bloom::BloomFilter;
+pub use histogram::Histogram;
+pub use multires::MultiResHistogram;
+pub use soft_state::{SoftState, SoftStateTable};
+pub use summary::{CategoricalMode, Summary, SummaryConfig};
+pub use value_set::ValueSet;

@@ -1,0 +1,239 @@
+//! TTL soft state.
+//!
+//! "Data and summaries are soft-state and have TTLs associated with them.
+//! This is because many resources are dynamic, thus we need to continuously
+//! update the corresponding resource records and summaries." (§III-B)
+//!
+//! Time is an abstract `u64` tick so the same wrapper serves the
+//! discrete-event simulator (milliseconds of virtual time) and the threaded
+//! prototype (milliseconds since process start).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A value with an absolute expiry tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftState<T> {
+    value: T,
+    expires_at: u64,
+}
+
+impl<T> SoftState<T> {
+    /// Wrap `value`, expiring at `now + ttl`.
+    pub fn new(value: T, now: u64, ttl: u64) -> Self {
+        SoftState {
+            value,
+            expires_at: now.saturating_add(ttl),
+        }
+    }
+
+    /// The wrapped value, regardless of freshness.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// The wrapped value if still fresh at `now`.
+    pub fn fresh(&self, now: u64) -> Option<&T> {
+        (!self.is_expired(now)).then_some(&self.value)
+    }
+
+    /// True when `now` is at or past the expiry tick.
+    pub fn is_expired(&self, now: u64) -> bool {
+        now >= self.expires_at
+    }
+
+    /// Absolute expiry tick.
+    pub fn expires_at(&self) -> u64 {
+        self.expires_at
+    }
+
+    /// Replace the value and push the expiry to `now + ttl`.
+    pub fn refresh(&mut self, value: T, now: u64, ttl: u64) {
+        self.value = value;
+        self.expires_at = now.saturating_add(ttl);
+    }
+
+    /// Extend the expiry without replacing the value (heartbeat-style).
+    pub fn touch(&mut self, now: u64, ttl: u64) {
+        self.expires_at = now.saturating_add(ttl);
+    }
+
+    /// Consume the wrapper.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+/// Keyed table of soft state with lazy and bulk expiry.
+///
+/// Servers keep one entry per child / attached owner / replicated branch;
+/// entries not refreshed within their TTL vanish, which is how ROADS sheds
+/// state for departed children without explicit teardown.
+#[derive(Debug, Clone)]
+pub struct SoftStateTable<K, T> {
+    entries: HashMap<K, SoftState<T>>,
+    default_ttl: u64,
+}
+
+impl<K: Eq + Hash + Clone, T> SoftStateTable<K, T> {
+    /// Empty table whose inserts default to `default_ttl`.
+    pub fn new(default_ttl: u64) -> Self {
+        SoftStateTable {
+            entries: HashMap::new(),
+            default_ttl,
+        }
+    }
+
+    /// The TTL applied by [`Self::insert`].
+    pub fn default_ttl(&self) -> u64 {
+        self.default_ttl
+    }
+
+    /// Insert or refresh an entry with the default TTL.
+    pub fn insert(&mut self, key: K, value: T, now: u64) {
+        self.insert_with_ttl(key, value, now, self.default_ttl);
+    }
+
+    /// Insert or refresh an entry with an explicit TTL.
+    pub fn insert_with_ttl(&mut self, key: K, value: T, now: u64, ttl: u64) {
+        self.entries.insert(key, SoftState::new(value, now, ttl));
+    }
+
+    /// Fresh value for `key` at `now`, if present and unexpired.
+    pub fn get(&self, key: &K, now: u64) -> Option<&T> {
+        self.entries.get(key).and_then(|e| e.fresh(now))
+    }
+
+    /// Fresh value ignoring expiry (for diagnostics).
+    pub fn get_ignoring_ttl(&self, key: &K) -> Option<&T> {
+        self.entries.get(key).map(SoftState::value)
+    }
+
+    /// Remove an entry eagerly (explicit leave).
+    pub fn remove(&mut self, key: &K) -> Option<T> {
+        self.entries.remove(key).map(SoftState::into_inner)
+    }
+
+    /// Extend an entry's lifetime without replacing its value.
+    pub fn touch(&mut self, key: &K, now: u64) -> bool {
+        let ttl = self.default_ttl;
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.touch(now, ttl);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop every expired entry; returns the expired keys.
+    pub fn sweep(&mut self, now: u64) -> Vec<K> {
+        let expired: Vec<K> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.is_expired(now))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &expired {
+            self.entries.remove(k);
+        }
+        expired
+    }
+
+    /// Iterate fresh `(key, value)` pairs at `now`.
+    pub fn iter_fresh(&self, now: u64) -> impl Iterator<Item = (&K, &T)> {
+        self.entries
+            .iter()
+            .filter_map(move |(k, e)| e.fresh(now).map(|v| (k, v)))
+    }
+
+    /// Count of entries (fresh and expired-but-unswept).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_until_expiry() {
+        let s = SoftState::new("v", 100, 50);
+        assert_eq!(s.fresh(100), Some(&"v"));
+        assert_eq!(s.fresh(149), Some(&"v"));
+        assert_eq!(s.fresh(150), None);
+        assert!(s.is_expired(150));
+    }
+
+    #[test]
+    fn refresh_replaces_and_extends() {
+        let mut s = SoftState::new(1, 0, 10);
+        s.refresh(2, 5, 10);
+        assert_eq!(s.fresh(14), Some(&2));
+        assert_eq!(s.fresh(15), None);
+    }
+
+    #[test]
+    fn touch_extends_without_replacing() {
+        let mut s = SoftState::new(1, 0, 10);
+        s.touch(8, 10);
+        assert_eq!(s.fresh(17), Some(&1));
+    }
+
+    #[test]
+    fn table_get_respects_ttl() {
+        let mut t = SoftStateTable::new(10);
+        t.insert("a", 1, 0);
+        assert_eq!(t.get(&"a", 5), Some(&1));
+        assert_eq!(t.get(&"a", 10), None);
+        // Value still physically present until swept.
+        assert_eq!(t.get_ignoring_ttl(&"a"), Some(&1));
+    }
+
+    #[test]
+    fn sweep_returns_expired_keys() {
+        let mut t = SoftStateTable::new(10);
+        t.insert("a", 1, 0);
+        t.insert("b", 2, 5);
+        let mut expired = t.sweep(12);
+        expired.sort();
+        assert_eq!(expired, vec!["a"]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&"b", 12), Some(&2));
+    }
+
+    #[test]
+    fn iter_fresh_filters() {
+        let mut t = SoftStateTable::new(10);
+        t.insert("a", 1, 0);
+        t.insert("b", 2, 5);
+        let fresh: Vec<_> = t.iter_fresh(12).map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(fresh, vec![("b", 2)]);
+    }
+
+    #[test]
+    fn remove_is_eager() {
+        let mut t = SoftStateTable::new(10);
+        t.insert("a", 1, 0);
+        assert_eq!(t.remove(&"a"), Some(1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn touch_missing_key_false() {
+        let mut t: SoftStateTable<&str, i32> = SoftStateTable::new(10);
+        assert!(!t.touch(&"nope", 0));
+    }
+
+    #[test]
+    fn saturating_expiry() {
+        let s = SoftState::new(1, u64::MAX - 1, 100);
+        assert!(!s.is_expired(u64::MAX - 1));
+    }
+}

@@ -1,0 +1,137 @@
+//! Enumerated value sets for categorical attributes.
+//!
+//! "For categorical attributes, a set can be used to summarize all values in
+//! the given resource records. The set can directly enumerate all such
+//! values, which is acceptable if the number of distinct values is limited."
+//! (§III-B)
+
+use roads_records::WireSize;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Exact set of distinct categorical values seen in the summarized records.
+///
+/// Unlike [`crate::BloomFilter`], a `ValueSet` is exact (no false positives)
+/// but its size grows with the vocabulary; the summary layer can switch to a
+/// Bloom filter when the set exceeds a byte budget.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValueSet {
+    values: BTreeSet<String>,
+}
+
+impl ValueSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of values.
+    pub fn from_values<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ValueSet {
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Insert one value; returns true if it was new.
+    pub fn insert(&mut self, v: impl Into<String>) -> bool {
+        self.values.insert(v.into())
+    }
+
+    /// Exact membership test.
+    pub fn contains(&self, v: &str) -> bool {
+        self.values.contains(v)
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Union another set into this one (set summaries merge by union).
+    pub fn merge(&mut self, other: &ValueSet) {
+        self.values.extend(other.values.iter().cloned());
+    }
+
+    /// Iterate values in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.values.iter().map(String::as_str)
+    }
+
+    /// Drop all values.
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+}
+
+impl WireSize for ValueSet {
+    fn wire_size(&self) -> usize {
+        // count (2) + per value: length prefix (2) + bytes
+        2 + self.values.iter().map(|v| 2 + v.len()).sum::<usize>()
+    }
+}
+
+impl<S: Into<String>> FromIterator<S> for ValueSet {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        ValueSet::from_values(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_encoding_set() {
+        // encoding=MPEG2 is "true" when "MPEG2" is found in the set.
+        let s = ValueSet::from_values(["MPEG2", "H264"]);
+        assert!(s.contains("MPEG2"));
+        assert!(!s.contains("VP8"));
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = ValueSet::from_values(["x", "y"]);
+        let b = ValueSet::from_values(["y", "z"]);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains("z"));
+    }
+
+    #[test]
+    fn insert_reports_novelty() {
+        let mut s = ValueSet::new();
+        assert!(s.insert("a"));
+        assert!(!s.insert("a"));
+    }
+
+    #[test]
+    fn wire_size_grows_with_vocabulary() {
+        let a = ValueSet::from_values(["ab"]);
+        let b = ValueSet::from_values(["ab", "cdef"]);
+        assert_eq!(a.wire_size(), 2 + 2 + 2);
+        assert_eq!(b.wire_size(), 2 + (2 + 2) + (2 + 4));
+    }
+
+    #[test]
+    fn iteration_sorted() {
+        let s = ValueSet::from_values(["b", "a", "c"]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = ValueSet::from_values(["a"]);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

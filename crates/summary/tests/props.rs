@@ -1,0 +1,205 @@
+//! Property tests: the summary layer's core invariants.
+//!
+//! The one invariant everything in ROADS rests on: summaries are
+//! *conservative* — a summary may claim a match that is not there (false
+//! positive), but it must never hide one that is (false negative). A false
+//! negative would silently drop resources from the federation.
+
+use proptest::prelude::*;
+use roads_records::{
+    AttrId, OwnerId, Predicate, Query, QueryId, Record, RecordId, Schema, Value, WireSize,
+};
+use roads_summary::{BloomFilter, CategoricalMode, Histogram, Summary, SummaryConfig, ValueSet};
+
+fn unit_records(values: &[Vec<f64>]) -> Vec<Record> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, vs)| {
+            Record::new_unchecked(
+                RecordId(i as u64),
+                OwnerId(0),
+                vs.iter().map(|&v| Value::Float(v)).collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn histogram_no_false_negatives(
+        values in prop::collection::vec(0.0f64..1.0, 1..100),
+        lo in 0.0f64..1.0,
+        w in 0.0f64..1.0,
+        m in 1usize..64,
+    ) {
+        let h = Histogram::from_values(0.0, 1.0, m, values.iter().copied());
+        let hi = (lo + w).min(1.0);
+        let any_in_range = values.iter().any(|&v| lo <= v && v <= hi);
+        if any_in_range {
+            prop_assert!(h.may_match_range(lo, hi), "false negative at m={m}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_union(
+        a in prop::collection::vec(0.0f64..1.0, 0..50),
+        b in prop::collection::vec(0.0f64..1.0, 0..50),
+        m in 1usize..32,
+    ) {
+        let mut ha = Histogram::from_values(0.0, 1.0, m, a.iter().copied());
+        let hb = Histogram::from_values(0.0, 1.0, m, b.iter().copied());
+        ha.merge(&hb).unwrap();
+        let union = Histogram::from_values(0.0, 1.0, m, a.iter().chain(b.iter()).copied());
+        prop_assert_eq!(ha.buckets(), union.buckets());
+    }
+
+    #[test]
+    fn histogram_merge_commutative(
+        a in prop::collection::vec(0.0f64..1.0, 0..40),
+        b in prop::collection::vec(0.0f64..1.0, 0..40),
+    ) {
+        let base_a = Histogram::from_values(0.0, 1.0, 16, a.iter().copied());
+        let base_b = Histogram::from_values(0.0, 1.0, 16, b.iter().copied());
+        let mut ab = base_a.clone();
+        ab.merge(&base_b).unwrap();
+        let mut ba = base_b.clone();
+        ba.merge(&base_a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn histogram_estimate_bounded_by_total(
+        values in prop::collection::vec(0.0f64..1.0, 0..80),
+        lo in 0.0f64..1.0,
+        w in 0.0f64..1.0,
+    ) {
+        let h = Histogram::from_values(0.0, 1.0, 20, values.iter().copied());
+        let est = h.estimate_count(lo, lo + w);
+        prop_assert!(est >= -1e-9);
+        prop_assert!(est <= h.total() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn bloom_no_false_negatives(keys in prop::collection::vec("[a-z0-9]{1,12}", 1..60)) {
+        let mut f = BloomFilter::new(2048, 4);
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn bloom_merge_superset(
+        a in prop::collection::vec("[a-z]{1,8}", 0..30),
+        b in prop::collection::vec("[a-z]{1,8}", 0..30),
+    ) {
+        let mut fa = BloomFilter::new(1024, 3);
+        let mut fb = BloomFilter::new(1024, 3);
+        for k in &a { fa.insert(k); }
+        for k in &b { fb.insert(k); }
+        fa.merge(&fb).unwrap();
+        for k in a.iter().chain(b.iter()) {
+            prop_assert!(fa.contains(k));
+        }
+    }
+
+    #[test]
+    fn value_set_merge_is_union(
+        a in prop::collection::vec("[a-z]{1,6}", 0..20),
+        b in prop::collection::vec("[a-z]{1,6}", 0..20),
+    ) {
+        let mut sa = ValueSet::from_values(a.clone());
+        let sb = ValueSet::from_values(b.clone());
+        sa.merge(&sb);
+        for k in a.iter().chain(b.iter()) {
+            prop_assert!(sa.contains(k));
+        }
+        let expected: std::collections::BTreeSet<&String> = a.iter().chain(b.iter()).collect();
+        prop_assert_eq!(sa.len(), expected.len());
+    }
+
+    #[test]
+    fn summary_no_false_negatives_multidim(
+        rows in prop::collection::vec(
+            prop::collection::vec(0.0f64..1.0, 3..=3), 1..60),
+        q0 in (0.0f64..1.0, 0.0f64..0.5),
+        q1 in (0.0f64..1.0, 0.0f64..0.5),
+        buckets in 2usize..128,
+    ) {
+        let schema = Schema::unit_numeric(3);
+        let records = unit_records(&rows);
+        let cfg = SummaryConfig::with_buckets(buckets);
+        let summary = Summary::from_records(&schema, &cfg, &records);
+        let query = Query::new(QueryId(0), vec![
+            Predicate::Range { attr: AttrId(0), lo: q0.0, hi: (q0.0 + q0.1).min(1.0) },
+            Predicate::Range { attr: AttrId(2), lo: q1.0, hi: (q1.0 + q1.1).min(1.0) },
+        ]);
+        if records.iter().any(|r| query.matches(r)) {
+            prop_assert!(summary.may_match(&query), "conjunctive false negative");
+        }
+    }
+
+    #[test]
+    fn summary_merge_conservative_over_parts(
+        rows_a in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 2..=2), 1..30),
+        rows_b in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 2..=2), 1..30),
+        lo in 0.0f64..1.0,
+        w in 0.0f64..0.5,
+    ) {
+        let schema = Schema::unit_numeric(2);
+        let cfg = SummaryConfig::with_buckets(32);
+        let a = Summary::from_records(&schema, &cfg, &unit_records(&rows_a));
+        let b = Summary::from_records(&schema, &cfg, &unit_records(&rows_b));
+        let merged = Summary::aggregate(&schema, &cfg, [&a, &b]).unwrap();
+        let query = Query::new(QueryId(0), vec![Predicate::Range {
+            attr: AttrId(0), lo, hi: (lo + w).min(1.0),
+        }]);
+        // Anything either part may match, the merge may match too — the
+        // bottom-up aggregation can only widen, never narrow.
+        if a.may_match(&query) || b.may_match(&query) {
+            prop_assert!(merged.may_match(&query));
+        }
+        prop_assert_eq!(merged.record_count(), a.record_count() + b.record_count());
+    }
+
+    #[test]
+    fn summary_wire_size_constant_in_rows(
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 2..=2), 1..50),
+    ) {
+        let schema = Schema::unit_numeric(2);
+        let cfg = SummaryConfig::with_buckets(64);
+        let one = Summary::from_records(&schema, &cfg, &unit_records(&rows[..1]));
+        let all = Summary::from_records(&schema, &cfg, &unit_records(&rows));
+        prop_assert_eq!(one.wire_size(), all.wire_size());
+    }
+
+    #[test]
+    fn bloom_mode_summary_no_false_negatives(
+        cats in prop::collection::vec("[a-z]{1,8}", 1..40),
+    ) {
+        let schema = Schema::new(vec![roads_records::AttrDef::categorical("c")]).unwrap();
+        let cfg = SummaryConfig {
+            categorical: CategoricalMode::Bloom { bits: 1024, hashes: 4 },
+            ..SummaryConfig::with_buckets(8)
+        };
+        let records: Vec<Record> = cats
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Record::new_unchecked(
+                RecordId(i as u64), OwnerId(0), vec![Value::Cat(c.clone())]))
+            .collect();
+        let summary = Summary::from_records(&schema, &cfg, &records);
+        for c in &cats {
+            let q = Query::new(QueryId(0), vec![Predicate::Eq {
+                attr: AttrId(0),
+                value: Value::Cat(c.clone()),
+            }]);
+            prop_assert!(summary.may_match(&q));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! SWORD baseline: a DHT-based resource discovery design.
+//!
+//! Re-implementation of the comparator the ROADS paper evaluates against
+//! (§IV, §V; Oppenheimer et al., "Design and implementation tradeoffs for
+//! wide-area resource discovery", HPDC 2005):
+//!
+//! * Servers are organized into multiple DHT rings, **one per searchable
+//!   attribute**; the paper's footnote treats them as "multiple sub-rings
+//!   in a single ring", which is exactly how [`ring::MultiRing`] lays them
+//!   out on one identifier circle.
+//! * The hash function **preserves data locality**: a value `v ∈ \[0,1\]` of
+//!   attribute `a` maps to position `(a + v) / r` on the circle, so a range
+//!   of values is a contiguous arc.
+//! * A resource owner registers each record **once per ring** (`r` copies),
+//!   routed via Chord-style fingers in `O(log n)` hops.
+//! * A multi-dimensional range query is resolved **in one ring only**: it
+//!   is routed to the segment matching the queried range of that ring's
+//!   attribute, then forwarded sequentially through the segment's servers,
+//!   each of which filters its local records against *all* predicates.
+
+pub mod churn;
+pub mod network;
+pub mod ring;
+
+pub use churn::{DynamicRing, TransferCost};
+pub use network::{SwordNetwork, SwordQueryOutcome, SwordUpdateStats};
+pub use ring::MultiRing;

@@ -1,0 +1,102 @@
+//! Property tests: ring routing and segment coverage.
+
+use proptest::prelude::*;
+use roads_records::{AttrId, OwnerId, Predicate, Query, QueryId, Record, RecordId, Schema, Value};
+use roads_sword::{MultiRing, SwordNetwork};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn routing_always_reaches_owner(
+        n in 1usize..500,
+        rings in 1usize..20,
+        from_seed in any::<u32>(),
+        p in 0.0f64..1.0,
+    ) {
+        let ring = MultiRing::new(n, rings);
+        let from = from_seed as usize % n;
+        let path = ring.route(from, p);
+        let target = ring.owner_of(p);
+        if from == target {
+            prop_assert!(path.is_empty());
+        } else {
+            prop_assert_eq!(*path.last().unwrap(), target);
+        }
+        // Chord bound: strictly fewer hops than log2(n)+1.
+        let bound = (usize::BITS - n.leading_zeros()) as usize + 1;
+        prop_assert!(path.len() <= bound, "{} hops in an {}-ring", path.len(), n);
+    }
+
+    #[test]
+    fn hash_keeps_attribute_arcs_disjoint(
+        rings in 1usize..16,
+        a in 0usize..16,
+        b in 0usize..16,
+        v in 0.0f64..1.0,
+        w in 0.0f64..1.0,
+    ) {
+        let ring = MultiRing::new(64, rings);
+        let (a, b) = (a % rings, b % rings);
+        if a < b {
+            prop_assert!(ring.hash(a, v) < ring.hash(b, w));
+        }
+        prop_assert!((0.0..1.0).contains(&ring.hash(a, v)));
+    }
+
+    #[test]
+    fn segment_contains_every_matching_owner(
+        n in 1usize..300,
+        rings in 1usize..12,
+        attr in 0usize..12,
+        lo in 0.0f64..1.0,
+        w in 0.0f64..1.0,
+        samples in prop::collection::vec(0.0f64..1.0, 1..30),
+    ) {
+        let ring = MultiRing::new(n, rings);
+        let attr = attr % rings;
+        let hi = (lo + w).min(1.0);
+        let seg = ring.segment(attr, lo, hi);
+        for v in samples {
+            if lo <= v && v <= hi {
+                let owner = ring.owner_of(ring.hash(attr, v));
+                prop_assert!(seg.contains(&owner), "owner of {v} not in segment");
+            }
+        }
+    }
+
+    #[test]
+    fn sword_query_exact_vs_ground_truth(
+        n in 2usize..40,
+        per_node in 1usize..10,
+        lo in 0.0f64..1.0,
+        w in 0.0f64..0.5,
+        start_seed in any::<u32>(),
+    ) {
+        let schema = Schema::unit_numeric(2);
+        let records: Vec<Vec<Record>> = (0..n)
+            .map(|s| {
+                (0..per_node)
+                    .map(|i| Record::new_unchecked(
+                        RecordId((s * per_node + i) as u64),
+                        OwnerId(s as u32),
+                        vec![
+                            Value::Float(((s * 13 + i * 7) % 100) as f64 / 100.0),
+                            Value::Float(((s * 5 + i * 3) % 100) as f64 / 100.0),
+                        ],
+                    ))
+                    .collect()
+            })
+            .collect();
+        let net = SwordNetwork::build(schema, records);
+        let delays = roads_netsim::DelaySpace::paper(n, 2);
+        let hi = (lo + w).min(1.0);
+        let q = Query::new(QueryId(0), vec![
+            Predicate::Range { attr: AttrId(0), lo, hi },
+            Predicate::Range { attr: AttrId(1), lo: 0.25, hi: 0.9 },
+        ]);
+        let gt = net.matching_records(&q);
+        let out = net.execute_query(&delays, &q, start_seed as usize % n);
+        prop_assert_eq!(out.matching_records, gt);
+    }
+}

@@ -1,0 +1,63 @@
+//! Hierarchy maintenance under churn (§III-A).
+//!
+//! Runs the live, message-driven maintenance protocol on the discrete-event
+//! simulator: 30 servers join through the root, heartbeats flow, then we
+//! kill an internal server and finally the root itself — and watch the
+//! federation heal: orphans rejoin from their grandparents, the root's
+//! children elect a successor ("the one with the smallest IP address").
+//!
+//! Run with: `cargo run --example churn_resilience`
+
+use roads_federation::core::maintenance::{build_simulation, extract_tree, MaintConfig};
+use roads_federation::netsim::{DelaySpace, NodeId, SimTime, TrafficClass};
+
+fn main() {
+    let n = 30;
+    let cfg = MaintConfig {
+        heartbeat_ms: 1_000,
+        loss_threshold: 3,
+        max_children: 4,
+    };
+    let mut sim = build_simulation(n, cfg, DelaySpace::paper(n, 99));
+
+    // Phase 1: let everyone join.
+    sim.run_until(SimTime::from_millis(30_000));
+    let tree = extract_tree(&sim).expect("converged after joins");
+    println!("t=30s   {} servers joined, {} levels, root {}", tree.len(), tree.levels(), tree.root());
+
+    // Phase 2: crash an internal (non-root) server with children.
+    let victim = tree
+        .servers()
+        .into_iter()
+        .find(|&s| s != tree.root() && !tree.children(s).is_empty())
+        .expect("internal node exists");
+    let orphans = tree.children(victim).len();
+    println!("t=30s   crashing internal server {victim} ({orphans} children orphaned)");
+    sim.node_mut(NodeId(victim.0)).crash();
+    sim.run_until(SimTime::from_millis(90_000));
+    let tree = extract_tree(&sim).expect("healed after internal failure");
+    println!("t=90s   healed: {} servers, {} levels (orphans rejoined via grandparents)", tree.len(), tree.levels());
+
+    // Phase 3: crash the root.
+    let old_root = tree.root();
+    let heir = *tree.children(old_root).iter().min().expect("root has children");
+    println!("t=90s   crashing ROOT {old_root} (expected heir by smallest-id rule: {heir})");
+    sim.node_mut(NodeId(old_root.0)).crash();
+    sim.run_until(SimTime::from_millis(180_000));
+    let tree = extract_tree(&sim).expect("healed after root failure");
+    println!(
+        "t=180s  new root {} ({}), {} servers, {} levels",
+        tree.root(),
+        if tree.root() == heir { "as elected" } else { "fallback" },
+        tree.len(),
+        tree.levels()
+    );
+    tree.validate().expect("structurally valid hierarchy");
+
+    println!(
+        "\nmaintenance traffic over 180s: {} bytes in {} messages",
+        sim.stats().bytes(TrafficClass::Maintenance),
+        sim.stats().messages(TrafficClass::Maintenance)
+    );
+    println!("per server per second: {:.1} bytes", sim.stats().bytes(TrafficClass::Maintenance) as f64 / n as f64 / 180.0);
+}

@@ -1,0 +1,134 @@
+//! Federated stream-processing sites (the paper's motivating scenario).
+//!
+//! Distributed System S [1]: "multiple stream processing sites, each owned
+//! and managed by a different organization, collaborate in performing
+//! complex processing tasks that are beyond the capabilities of any single
+//! site." A site looking to place a processing job issues multi-dimensional
+//! range queries over the federation's compute/memory/bandwidth resources.
+//!
+//! This example builds a 60-site federation, runs a placement workload
+//! through ROADS and through a central repository, and prints the latency
+//! and update-overhead comparison the paper's analysis predicts.
+//!
+//! Run with: `cargo run --release --example federated_streams`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use roads_federation::central::CentralRepository;
+use roads_federation::core::update_round;
+use roads_federation::prelude::*;
+
+const SITES: usize = 60;
+const RESOURCES_PER_SITE: usize = 500;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        AttrDef::numeric("cpu_cores_free", 0.0, 128.0),
+        AttrDef::numeric("memory_gb_free", 0.0, 512.0),
+        AttrDef::numeric("uplink_mbps", 0.0, 10_000.0),
+        AttrDef::numeric("stream_rate_kbps", 0.0, 5_000.0),
+        AttrDef::categorical("source_kind"),
+        AttrDef::categorical("region"),
+    ])
+    .expect("valid schema")
+}
+
+fn site_records(schema: &Schema, rng: &mut StdRng) -> Vec<Vec<Record>> {
+    let kinds = ["video", "audio", "sensor", "finance"];
+    let regions = ["us-east", "us-west", "eu", "apac"];
+    let mut next_id = 0u64;
+    (0..SITES)
+        .map(|site| {
+            // Each organization's fleet is homogeneous-ish: one region,
+            // a couple of source kinds, machines from the same order.
+            let region = regions[site % regions.len()];
+            let base_cpu: f64 = rng.gen_range(4.0..96.0);
+            let base_mem: f64 = rng.gen_range(16.0..384.0);
+            (0..RESOURCES_PER_SITE)
+                .map(|_| {
+                    let id = RecordId(next_id);
+                    next_id += 1;
+                    RecordBuilder::new(schema, id, OwnerId(site as u32))
+                        .set("cpu_cores_free", (base_cpu + rng.gen_range(-4.0..4.0)).clamp(0.0, 128.0))
+                        .set("memory_gb_free", (base_mem + rng.gen_range(-16.0..16.0)).clamp(0.0, 512.0))
+                        .set("uplink_mbps", rng.gen_range(100.0..10_000.0))
+                        .set("stream_rate_kbps", rng.gen_range(10.0..5_000.0))
+                        .set("source_kind", kinds[(site + rng.gen_range(0..2)) % kinds.len()])
+                        .set("region", region)
+                        .build()
+                        .expect("record fits schema")
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(1);
+    let records = site_records(&schema, &mut rng);
+
+    let net = RoadsNetwork::build(
+        schema.clone(),
+        RoadsConfig {
+            max_children: 4,
+            summary: SummaryConfig::with_buckets(128),
+            ..RoadsConfig::paper_default()
+        },
+        records.clone(),
+    );
+    let central = CentralRepository::build(0, records);
+    let delays = DelaySpace::paper(SITES, 11);
+
+    println!(
+        "federation: {SITES} stream-processing sites, {} resources, {} levels\n",
+        SITES * RESOURCES_PER_SITE,
+        net.tree().levels()
+    );
+
+    // Placement queries: "find a site with ≥32 free cores, ≥64 GB, a video
+    // source faster than 1 Mbps, in us-east".
+    let mut latencies = Vec::new();
+    let mut placements_found = 0usize;
+    for i in 0..100u64 {
+        let min_cpu = rng.gen_range(8.0..64.0);
+        let min_mem = rng.gen_range(32.0..256.0);
+        let query = QueryBuilder::new(&schema, QueryId(i))
+            .range("cpu_cores_free", min_cpu, 128.0)
+            .range("memory_gb_free", min_mem, 512.0)
+            .gt("stream_rate_kbps", 1_000.0)
+            .eq("source_kind", "video")
+            .build();
+        let entry = ServerId(rng.gen_range(0..SITES) as u32);
+        let out = execute_query(&net, &delays, &query, entry, SearchScope::full());
+        latencies.push(out.latency_ms);
+        if out.matching_records > 0 {
+            placements_found += 1;
+        }
+    }
+    let stats = LatencyStats::from_samples(&latencies).expect("samples");
+    println!("ROADS placement queries (100):");
+    println!("  placements found   : {placements_found}/100");
+    println!(
+        "  latency mean/p90   : {:.1} / {:.1} ms",
+        stats.mean, stats.p90
+    );
+
+    // The §IV trade: what it costs to keep the directory fresh.
+    let roads_update = update_round(&net);
+    let central_update = central.update_round();
+    println!("\ndirectory freshness (one update round):");
+    println!(
+        "  ROADS summaries    : {:>12} bytes ({} msgs)",
+        roads_update.total_bytes(),
+        roads_update.total_messages()
+    );
+    println!(
+        "  central re-export  : {:>12} bytes ({} msgs)",
+        central_update.bytes, central_update.messages
+    );
+    println!(
+        "  ratio              : {:.1}x — and in ROADS no raw record ever leaves its owner",
+        central_update.bytes as f64 / roads_update.total_bytes() as f64
+    );
+}

@@ -1,0 +1,101 @@
+//! Federation-wide statistics from summaries alone.
+//!
+//! Aggregated summaries are more than routing state: because histograms
+//! merge losslessly at the bucket level, the root's branch summary answers
+//! federation-wide statistical questions — medians, quantiles, modes —
+//! without a single raw record leaving any owner. This example builds a
+//! 40-org federation and reads capacity statistics straight off the
+//! aggregated summary, then compares them with the (privately computed)
+//! exact values.
+//!
+//! Run with: `cargo run --release --example federation_stats`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use roads_federation::prelude::*;
+use roads_federation::summary::AttributeSummary;
+
+fn main() {
+    let schema = Schema::new(vec![
+        AttrDef::numeric("cpu_load", 0.0, 1.0),
+        AttrDef::numeric("free_storage_tb", 0.0, 100.0),
+    ])
+    .expect("valid schema");
+
+    // 40 organizations, each with its own load profile.
+    let mut rng = StdRng::seed_from_u64(20_08);
+    let mut next_id = 0u64;
+    let records: Vec<Vec<Record>> = (0..40)
+        .map(|org| {
+            let busy: f64 = rng.gen_range(0.2..0.9);
+            (0..100)
+                .map(|_| {
+                    let id = RecordId(next_id);
+                    next_id += 1;
+                    RecordBuilder::new(&schema, id, OwnerId(org))
+                        .set("cpu_load", (busy + rng.gen_range(-0.2..0.2)).clamp(0.0, 1.0))
+                        .set("free_storage_tb", rng.gen_range(0.0..100.0))
+                        .build()
+                        .expect("record fits schema")
+                })
+                .collect()
+        })
+        .collect();
+
+    let net = RoadsNetwork::build(
+        schema.clone(),
+        RoadsConfig {
+            max_children: 4,
+            summary: SummaryConfig::with_buckets(200),
+            ..RoadsConfig::paper_default()
+        },
+        records.clone(),
+    );
+    let root_summary = net.branch_summary(net.tree().root());
+    println!(
+        "root view: {} records summarized across {} organizations\n",
+        root_summary.record_count(),
+        net.len()
+    );
+
+    // Exact values, computed the way only the owners could.
+    let mut exact: Vec<f64> = records
+        .iter()
+        .flatten()
+        .map(|r| r.get_f64(schema.id("cpu_load").unwrap()).unwrap())
+        .collect();
+    exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let exact_q = |q: f64| exact[((exact.len() - 1) as f64 * q) as usize];
+
+    let AttributeSummary::Hist(h) = root_summary.attr(0) else {
+        panic!("cpu_load is summarized as a histogram");
+    };
+    println!("{:>10} {:>12} {:>12} {:>10}", "quantile", "summary", "exact", "error");
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+        let est = h.quantile(q).expect("non-empty");
+        let act = exact_q(q);
+        println!(
+            "{:>10} {:>12.4} {:>12.4} {:>9.2}%",
+            format!("p{:.0}", q * 100.0),
+            est,
+            act,
+            (est - act).abs() / act.max(1e-9) * 100.0
+        );
+    }
+    let mean_est = h.mean().expect("non-empty");
+    let mean_act = exact.iter().sum::<f64>() / exact.len() as f64;
+    println!(
+        "{:>10} {:>12.4} {:>12.4} {:>9.2}%",
+        "mean",
+        mean_est,
+        mean_act,
+        (mean_est - mean_act).abs() / mean_act * 100.0
+    );
+
+    println!("\nbusiest load regions (top histogram buckets):");
+    for ((lo, hi), count) in h.top_buckets(3) {
+        println!("   [{lo:.3}, {hi:.3})  {count} records");
+    }
+    println!("\nall of the above was read from {} bytes of aggregated summary —", root_summary.wire_size());
+    println!("none of the {} raw records was disclosed.", exact.len());
+}

@@ -1,0 +1,84 @@
+//! Quickstart: a small camera federation.
+//!
+//! Eight organizations each own a handful of camera data sources. They
+//! export only *summaries* of their records (voluntary sharing), the
+//! federation aggregates those bottom-up into a hierarchy, and a
+//! multi-dimensional range query entered at ANY server finds every
+//! matching owner.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use roads_federation::prelude::*;
+
+fn main() {
+    // 1. The shared federation schema (the paper's §III-B example record).
+    let schema = Schema::new(vec![
+        AttrDef::categorical("type"),
+        AttrDef::categorical("encoding"),
+        AttrDef::numeric("rate", 0.0, 1000.0), // Kbps
+        AttrDef::numeric("resolution", 0.0, 4000.0),
+    ])
+    .expect("valid schema");
+
+    // 2. Each organization's resource records. Owner i runs its own server
+    //    (server i) and attaches its records there.
+    let encodings = ["MPEG2", "H264", "MPEG2", "VP8"];
+    let records: Vec<Vec<Record>> = (0..8u64)
+        .map(|org| {
+            (0..4u64)
+                .map(|cam| {
+                    RecordBuilder::new(&schema, RecordId(org * 10 + cam), OwnerId(org as u32))
+                        .set("type", "camera")
+                        .set("encoding", encodings[(org as usize + cam as usize) % 4])
+                        .set("rate", 50.0 + 30.0 * (org * 4 + cam) as f64)
+                        .set("resolution", 640.0 + 320.0 * (cam % 3) as f64)
+                        .build()
+                        .expect("record fits schema")
+                })
+                .collect()
+        })
+        .collect();
+
+    // 3. Form the federation: hierarchy + bottom-up aggregation + overlay.
+    let config = RoadsConfig {
+        max_children: 3,
+        ..RoadsConfig::paper_default()
+    };
+    let net = RoadsNetwork::build(schema.clone(), config, records);
+    println!(
+        "federation: {} servers, {} levels, root {}",
+        net.len(),
+        net.tree().levels(),
+        net.tree().root()
+    );
+
+    // 4. The paper's example query: type=camera AND rate>150Kbps AND
+    //    encoding=MPEG2 — issued from server 5, not the root.
+    let query = QueryBuilder::new(&schema, QueryId(1))
+        .eq("type", "camera")
+        .gt("rate", 150.0)
+        .eq("encoding", "MPEG2")
+        .build();
+    let delays = DelaySpace::paper(net.len(), 2008);
+    let outcome = execute_query(&net, &delays, &query, ServerId(5), SearchScope::full());
+
+    println!("\nquery: type=camera AND rate>150 AND encoding=MPEG2 (entry: server 5)");
+    println!("  matching records : {}", outcome.matching_records);
+    println!("  matching owners  : {:?}", outcome.matching_servers);
+    println!("  servers contacted: {}", outcome.servers_contacted);
+    println!("  latency          : {:.1} ms", outcome.latency_ms);
+    println!("  forwarding bytes : {}", outcome.query_bytes);
+
+    // 5. Voluntary sharing in action: what left each owner's premises is a
+    //    constant-size summary, not the records.
+    let owner3 = ServerId(3);
+    println!(
+        "\nowner 3 exported {} bytes of summary for {} records ({} bytes raw)",
+        net.local_summary(owner3).wire_size(),
+        net.records(owner3).len(),
+        net.records(owner3)
+            .iter()
+            .map(WireSize::wire_size)
+            .sum::<usize>(),
+    );
+}

@@ -1,0 +1,88 @@
+//! Voluntary sharing: different views for different parties (§II).
+//!
+//! "A company may provide more resources to a business partner than
+//! arbitrary third parties." Three organizations share GPU capacity; each
+//! tags records with a sensitivity tier and attaches a tiered sharing
+//! policy. The same query returns three different result sets depending on
+//! who asks — and the owners' audit logs show every decision.
+//!
+//! Run with: `cargo run --example voluntary_views`
+
+use roads_federation::core::policy::{
+    DecisionKind, DisclosureAudit, RequesterId, TieredPolicy,
+};
+use roads_federation::prelude::*;
+
+fn main() {
+    let schema = Schema::new(vec![
+        AttrDef::categorical("tier"),
+        AttrDef::categorical("gpu_model"),
+        AttrDef::numeric("gpus_free", 0.0, 64.0),
+        AttrDef::numeric("vram_gb", 0.0, 192.0),
+    ])
+    .expect("valid schema");
+
+    // Org 0's fleet: a public teaching cluster, a member-tier batch pool,
+    // and a partner-only flagship pod.
+    let fleet = [
+        ("public", "consumer-a", 8.0, 12.0),
+        ("public", "consumer-a", 4.0, 12.0),
+        ("member", "datacenter-b", 16.0, 48.0),
+        ("member", "datacenter-b", 24.0, 48.0),
+        ("partner", "flagship-x", 64.0, 192.0),
+    ];
+    let records: Vec<Record> = fleet
+        .iter()
+        .enumerate()
+        .map(|(i, (tier, model, free, vram))| {
+            RecordBuilder::new(&schema, RecordId(i as u64), OwnerId(0))
+                .set("tier", *tier)
+                .set("gpu_model", *model)
+                .set("gpus_free", *free)
+                .set("vram_gb", *vram)
+                .build()
+                .expect("record fits schema")
+        })
+        .collect();
+
+    // Org 0's policy: requester 42 is a partner, 7 is a member; VRAM
+    // numbers are business-sensitive and get redacted for non-partners.
+    let policy = TieredPolicy::new([RequesterId(42)], [RequesterId(7)])
+        .with_tier_attr(schema.id("tier").unwrap())
+        .with_sensitive_attrs(vec![schema.id("vram_gb").unwrap()]);
+
+    // A query that matches the whole fleet.
+    let query = QueryBuilder::new(&schema, QueryId(1))
+        .range("gpus_free", 1.0, 64.0)
+        .build();
+    let matches: Vec<&Record> = records.iter().filter(|r| query.matches(r)).collect();
+    println!("query matches {} records at org 0\n", matches.len());
+
+    let mut audit = DisclosureAudit::new();
+    for (label, requester) in [
+        ("partner  (id 42)", RequesterId(42)),
+        ("member   (id 7) ", RequesterId(7)),
+        ("stranger (id 99)", RequesterId(99)),
+    ] {
+        let view = audit.apply_audited(&policy, requester, matches.iter().copied());
+        println!("view for {label}: {} records", view.len());
+        for r in &view {
+            let vram = r.get_f64(schema.id("vram_gb").unwrap()).unwrap();
+            println!(
+                "   {:<12} {:>4.0} gpus  vram: {}",
+                r.get(schema.id("gpu_model").unwrap()).to_string(),
+                r.get_f64(schema.id("gpus_free").unwrap()).unwrap(),
+                if vram.is_nan() { "<redacted>".into() } else { format!("{vram:.0} GB") },
+            );
+        }
+        println!();
+    }
+
+    println!("owner audit log: {} decisions", audit.entries().len());
+    println!("  full      : {}", audit.count(DecisionKind::Full));
+    println!("  redacted  : {}", audit.count(DecisionKind::Redacted));
+    println!("  withheld  : {}", audit.count(DecisionKind::Withheld));
+    println!("\nNote what made this possible: the federation only ever saw org 0's");
+    println!("summaries; the records themselves — and the decision of who gets");
+    println!("them — never left org 0's own server.");
+}

@@ -1,0 +1,145 @@
+//! End-to-end integration: workload → all three discovery systems return
+//! consistent answers.
+
+use roads_federation::central::CentralRepository;
+use roads_federation::prelude::*;
+use roads_federation::sword::SwordNetwork;
+use roads_federation::workload::{
+    default_schema, generate_node_records, generate_queries, QueryWorkloadConfig,
+    RecordWorkloadConfig,
+};
+
+fn workload(
+    nodes: usize,
+    records_per_node: usize,
+    queries: usize,
+) -> (Schema, Vec<Vec<Record>>, Vec<(Query, usize)>) {
+    let schema = default_schema(16);
+    let records = generate_node_records(&RecordWorkloadConfig {
+        nodes,
+        records_per_node,
+        attrs: 16,
+        seed: 99,
+    });
+    let qs = generate_queries(
+        &schema,
+        &QueryWorkloadConfig {
+            count: queries,
+            dims: 6,
+            range_len: 0.25,
+            nodes,
+            seed: 4242,
+        },
+    );
+    (schema, records, qs)
+}
+
+#[test]
+fn all_three_systems_agree_on_match_counts() {
+    let (schema, records, queries) = workload(40, 50, 30);
+    let ground_truth: Vec<usize> = queries
+        .iter()
+        .map(|(q, _)| records.iter().flatten().filter(|r| q.matches(r)).count())
+        .collect();
+
+    let roads = RoadsNetwork::build(schema.clone(), RoadsConfig::paper_default(), records.clone());
+    let sword = SwordNetwork::build(schema.clone(), records.clone());
+    let central = CentralRepository::build(0, records);
+    let delays = DelaySpace::paper(40, 5);
+
+    for (i, (q, start)) in queries.iter().enumerate() {
+        let r = execute_query(
+            &roads,
+            &delays,
+            q,
+            ServerId(*start as u32),
+            SearchScope::full(),
+        );
+        assert_eq!(r.matching_records, ground_truth[i], "ROADS query {i}");
+
+        let s = sword.execute_query(&delays, q, *start);
+        assert_eq!(s.matching_records, ground_truth[i], "SWORD query {i}");
+
+        let c = central.execute_query(&delays, q, *start);
+        assert_eq!(c.matching_records, ground_truth[i], "central query {i}");
+    }
+}
+
+#[test]
+fn roads_complete_from_every_entry_point() {
+    // The overlay invariant, end to end: the same query finds the same
+    // match set no matter which server it enters at.
+    let (schema, records, _) = workload(25, 30, 0);
+    let roads = RoadsNetwork::build(schema.clone(), RoadsConfig::with_degree(3), records);
+    let delays = DelaySpace::paper(25, 6);
+    let q = QueryBuilder::new(&schema, QueryId(1))
+        .range("x0", 0.2, 0.45)
+        .range("x4", 0.3, 0.55)
+        .range("x8", 0.0, 1.0)
+        .build();
+    let reference = execute_query(&roads, &delays, &q, roads.tree().root(), SearchScope::full());
+    assert!(reference.matching_records > 0, "query should be non-trivial");
+    for entry in 0..25u32 {
+        let out = execute_query(&roads, &delays, &q, ServerId(entry), SearchScope::full());
+        assert_eq!(
+            out.matching_servers, reference.matching_servers,
+            "entry {entry} disagrees with root entry"
+        );
+        assert_eq!(out.matching_records, reference.matching_records);
+    }
+}
+
+#[test]
+fn summaries_never_produce_false_negatives_end_to_end() {
+    let (schema, records, queries) = workload(30, 40, 50);
+    let roads = RoadsNetwork::build(schema.clone(), RoadsConfig::paper_default(), records.clone());
+    for (q, _) in &queries {
+        for server in roads.tree().servers() {
+            let has_match = records[server.index()].iter().any(|r| q.matches(r));
+            if has_match {
+                assert!(
+                    roads.local_summary(server).may_match(q),
+                    "local summary of {server} hides a real match"
+                );
+                assert!(
+                    roads.branch_summary(server).may_match(q),
+                    "branch summary of {server} hides a real match"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn voluntary_sharing_only_summaries_leave_owners() {
+    // What ROADS propagates is summaries whose size is independent of the
+    // record count; raw records stay at their owner.
+    let (schema, small, _) = workload(20, 10, 0);
+    let (_, large, _) = workload(20, 200, 0);
+    let cfg = RoadsConfig::paper_default();
+    let net_small = RoadsNetwork::build(schema.clone(), cfg, small);
+    let net_large = RoadsNetwork::build(schema, cfg, large);
+    use roads_federation::core::update_round;
+    assert_eq!(
+        update_round(&net_small).total_bytes(),
+        update_round(&net_large).total_bytes(),
+        "update traffic must not grow with record count"
+    );
+    // While the central design ships 20x the bytes.
+    let c_small = CentralRepository::build(0, (0..20).map(|_| vec![]).collect());
+    assert_eq!(c_small.update_round().bytes, 0);
+}
+
+#[test]
+fn scoped_search_trades_coverage_for_cost() {
+    let (schema, records, _) = workload(40, 30, 0);
+    let roads = RoadsNetwork::build(schema.clone(), RoadsConfig::with_degree(2), records);
+    let delays = DelaySpace::paper(40, 7);
+    let q = QueryBuilder::new(&schema, QueryId(9)).range("x0", 0.0, 1.0).build();
+    let leaf = *roads.tree().leaves().iter().max().unwrap();
+    let full = execute_query(&roads, &delays, &q, leaf, SearchScope::full());
+    let near = execute_query(&roads, &delays, &q, leaf, SearchScope::levels(1));
+    assert!(near.servers_contacted < full.servers_contacted);
+    assert!(near.query_bytes < full.query_bytes);
+    assert!(near.matching_records <= full.matching_records);
+}
