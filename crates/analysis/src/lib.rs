@@ -9,7 +9,7 @@ pub mod latency;
 pub mod model;
 
 pub use latency::{
-    hierarchy_levels, roads_latency_ms, sword_latency_ms, sword_crossover_nodes, LatencyModel,
+    hierarchy_levels, roads_latency_ms, sword_crossover_nodes, sword_latency_ms, LatencyModel,
 };
 pub use model::{
     maintenance_overhead, storage_overhead, update_overhead, ModelParams, StorageOverhead,

@@ -13,7 +13,14 @@ use roads_workload::{
     RecordWorkloadConfig,
 };
 
-fn setup(nodes: usize) -> (RoadsNetwork, SwordNetwork, DelaySpace, Vec<(roads_records::Query, usize)>) {
+fn setup(
+    nodes: usize,
+) -> (
+    RoadsNetwork,
+    SwordNetwork,
+    DelaySpace,
+    Vec<(roads_records::Query, usize)>,
+) {
     let schema = default_schema(16);
     let records = generate_node_records(&RecordWorkloadConfig {
         nodes,
@@ -94,5 +101,10 @@ fn bench_update_round(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tree_build, bench_query_exec, bench_update_round);
+criterion_group!(
+    benches,
+    bench_tree_build,
+    bench_query_exec,
+    bench_update_round
+);
 criterion_main!(benches);

@@ -53,14 +53,29 @@ fn main() {
     let mut leaf_fp_sum = 0usize;
     for (q, start) in &queries {
         let gt = net.matching_servers(q).len();
-        let out = execute_query(&net, &delays, q, ServerId(*start as u32), SearchScope::full());
+        let out = execute_query(
+            &net,
+            &delays,
+            q,
+            ServerId(*start as u32),
+            SearchScope::full(),
+        );
         gt_sum += gt;
         contacted_sum += out.servers_contacted;
         leaf_fp_sum += out.servers_contacted.saturating_sub(gt);
     }
     let nq = queries.len() as f64;
     println!("queries: {}", queries.len());
-    println!("mean ground-truth matching servers: {:.1}", gt_sum as f64 / nq);
-    println!("mean servers contacted:             {:.1}", contacted_sum as f64 / nq);
-    println!("mean excess (false pos + routing):  {:.1}", leaf_fp_sum as f64 / nq);
+    println!(
+        "mean ground-truth matching servers: {:.1}",
+        gt_sum as f64 / nq
+    );
+    println!(
+        "mean servers contacted:             {:.1}",
+        contacted_sum as f64 / nq
+    );
+    println!(
+        "mean excess (false pos + routing):  {:.1}",
+        leaf_fp_sum as f64 / nq
+    );
 }

@@ -22,6 +22,7 @@ use roads_core::{LatencyStats, RoadsConfig, RoadsNetwork, ServerId};
 use roads_netsim::DelaySpace;
 use roads_runtime::{CentralCluster, RoadsCluster, RuntimeConfig};
 use roads_summary::SummaryConfig;
+use roads_telemetry::{FigureExport, Registry};
 use roads_workload::{
     default_schema, generate_node_records, selectivity_query_groups, RecordWorkloadConfig,
 };
@@ -64,15 +65,17 @@ fn main() {
         ..RoadsConfig::paper_default()
     };
     let delays = DelaySpace::paper(nodes, 7);
+    let reg = Registry::new();
     let net = RoadsNetwork::build(schema.clone(), roads_cfg, records.clone());
-    let roads = RoadsCluster::start(net, delays.clone(), runtime_cfg);
+    let roads = RoadsCluster::start_instrumented(net, delays.clone(), runtime_cfg, &reg);
     let central = CentralCluster::start(schema, records, delays, 0, runtime_cfg);
 
     println!(
-        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>8}",
-        "sel(%)", "ROADS avg", "ROADS p90", "Cent avg", "Cent p90", "recs"
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "sel(%)", "ROADS avg", "ROADS p90", "ROADS p99", "Cent avg", "Cent p90", "recs"
     );
     let mut roads_pts = Vec::new();
+    let mut roads_p99_pts = Vec::new();
     let mut central_pts = Vec::new();
     for (target, queries) in &groups {
         let mut roads_ms = Vec::new();
@@ -94,13 +97,14 @@ fn main() {
         let rs = LatencyStats::from_samples(&roads_ms).expect("non-empty");
         let cs = LatencyStats::from_samples(&central_ms).expect("non-empty");
         println!(
-            "{:>8.2} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8}",
-            target, rs.mean, rs.p90, cs.mean, cs.p90, recs
+            "{:>8.2} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8}",
+            target, rs.mean, rs.p90, rs.p99, cs.mean, cs.p90, recs
         );
         // Log-ish x: plot against the group index so the 0.01..3% decades
         // spread evenly, as in the paper's log-x figure.
         let idx = roads_pts.len() as f64;
         roads_pts.push((idx, rs.mean));
+        roads_p99_pts.push((idx, rs.p99));
         central_pts.push((idx, cs.mean));
     }
     println!();
@@ -108,8 +112,8 @@ fn main() {
         "{}",
         render(
             &[
-                Series::new("ROADS avg (ms)", roads_pts),
-                Series::new("Central avg (ms)", central_pts)
+                Series::new("ROADS avg (ms)", roads_pts.clone()),
+                Series::new("Central avg (ms)", central_pts.clone())
             ],
             48,
             12
@@ -119,4 +123,25 @@ fn main() {
     println!("\npaper: ROADS ~1000 ms below 0.3% selectivity; central rises past ROADS by 3%.");
     roads.shutdown();
     central.shutdown();
+
+    let mut fig = FigureExport::new(
+        "fig11_prototype_response",
+        "Prototype total response time vs query selectivity",
+    )
+    .axes(
+        "selectivity group index (0 = 0.01% .. 5 = 3%)",
+        "response time (ms)",
+    );
+    if let (Some(&(_, r_last)), Some(&(_, c_last))) = (roads_pts.last(), central_pts.last()) {
+        // At 3% selectivity the paper has ROADS beating central.
+        fig.push_reference("roads_over_central_ratio@3pct", r_last / c_last, 0.8);
+    }
+    fig.push_series("roads_mean_ms", &roads_pts);
+    fig.push_series("roads_p99_ms", &roads_p99_pts);
+    fig.push_series("central_mean_ms", &central_pts);
+    fig.push_note(
+        "runtime.*_us phase spans (local search, channel wait, result merge) in telemetry",
+    );
+    fig.set_telemetry(reg.snapshot());
+    fig.write_default();
 }

@@ -6,7 +6,8 @@
 //! from 4 to 5 levels.
 
 use roads_bench::chart::{render, Series};
-use roads_bench::{banner, figure_config, run_comparison, TrialConfig};
+use roads_bench::{banner, figure_config, run_comparison_instrumented, TrialConfig};
+use roads_telemetry::{FigureExport, Registry};
 
 fn main() {
     banner(
@@ -14,6 +15,8 @@ fn main() {
         "ROADS logarithmic, SWORD linear; ROADS 40-60% lower; jump at 640 (depth 4->5)",
     );
     let base = figure_config();
+    let reg = Registry::new();
+    let mut traces = None;
     println!(
         "{:>6} {:>14} {:>14} {:>10} {:>8}",
         "nodes", "ROADS (ms)", "SWORD (ms)", "ROADS/SWORD", "levels"
@@ -27,7 +30,12 @@ fn main() {
     let mut sword_pts = Vec::new();
     for nodes in sweep {
         let cfg = TrialConfig { nodes, ..base };
-        let r = run_comparison(&cfg);
+        let (r, report) = run_comparison_instrumented(&cfg, Some(&reg));
+        // Keep the trace report of the paper's headline point (or the
+        // closest we run), not the union across incomparable topologies.
+        if nodes == base.nodes || traces.is_none() {
+            traces = report;
+        }
         let levels = roads_core::HierarchyTree::build(nodes, cfg.degree).levels();
         println!(
             "{:>6} {:>14.1} {:>14.1} {:>10.2} {:>8}",
@@ -45,12 +53,28 @@ fn main() {
         "{}",
         render(
             &[
-                Series::new("ROADS (ms)", roads_pts),
-                Series::new("SWORD (ms)", sword_pts)
+                Series::new("ROADS (ms)", roads_pts.clone()),
+                Series::new("SWORD (ms)", sword_pts.clone())
             ],
             60,
             14
         )
     );
     println!("\npaper: ROADS ~800 ms at 320 nodes; SWORD grows to ~2300 ms at 640.");
+
+    let mut fig = FigureExport::new("fig3_latency_vs_nodes", "Query latency vs number of nodes")
+        .axes("nodes", "latency (ms)");
+    if let Some(&(_, ms)) = roads_pts.iter().find(|(n, _)| *n == 320.0) {
+        fig.push_reference("roads_latency_ms@320", ms, 800.0);
+    }
+    if let Some(&(_, ms)) = sword_pts.iter().find(|(n, _)| *n == 640.0) {
+        fig.push_reference("sword_latency_ms@640", ms, 2300.0);
+    }
+    fig.push_series("roads_ms", &roads_pts);
+    fig.push_series("sword_ms", &sword_pts);
+    fig.set_telemetry(reg.snapshot());
+    if let Some(t) = traces {
+        fig.set_traces(t);
+    }
+    fig.write_default();
 }

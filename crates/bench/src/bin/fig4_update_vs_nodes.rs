@@ -5,7 +5,8 @@
 //! than SWORD due to the use of condensed summary."
 
 use roads_bench::chart::{render_log, Series};
-use roads_bench::{banner, figure_config, run_comparison, TrialConfig};
+use roads_bench::{banner, figure_config, run_comparison_instrumented, TrialConfig};
+use roads_telemetry::{FigureExport, Registry};
 
 fn main() {
     banner(
@@ -13,6 +14,7 @@ fn main() {
         "ROADS 1-2 orders of magnitude below SWORD",
     );
     let base = figure_config();
+    let reg = Registry::new();
     println!(
         "{:>6} {:>16} {:>16} {:>16} {:>12}",
         "nodes", "ROADS (B/s)", "SWORD (B/s)", "Central (B/s)", "SWORD/ROADS"
@@ -27,7 +29,7 @@ fn main() {
     let mut central_pts = Vec::new();
     for nodes in sweep {
         let cfg = TrialConfig { nodes, ..base };
-        let r = run_comparison(&cfg);
+        let (r, _) = run_comparison_instrumented(&cfg, Some(&reg));
         println!(
             "{:>6} {:>16.3e} {:>16.3e} {:>16.3e} {:>12.1}",
             nodes,
@@ -45,13 +47,31 @@ fn main() {
         "{}",
         render_log(
             &[
-                Series::new("ROADS", roads_pts),
-                Series::new("SWORD", sword_pts),
-                Series::new("Central", central_pts)
+                Series::new("ROADS", roads_pts.clone()),
+                Series::new("SWORD", sword_pts.clone()),
+                Series::new("Central", central_pts.clone())
             ],
             60,
             14
         )
     );
     println!("\npaper: ~1e7 vs ~1e9 bytes at 320 nodes (log-scale figure).");
+
+    let mut fig = FigureExport::new(
+        "fig4_update_vs_nodes",
+        "Update overhead vs number of nodes (bytes/second)",
+    )
+    .axes("nodes", "update overhead (B/s)");
+    if let (Some(&(_, r320)), Some(&(_, s320))) = (
+        roads_pts.iter().find(|(n, _)| *n == 320.0),
+        sword_pts.iter().find(|(n, _)| *n == 320.0),
+    ) {
+        fig.push_reference("sword_over_roads_ratio@320", s320 / r320, 100.0);
+    }
+    fig.push_series("roads_bps", &roads_pts);
+    fig.push_series("sword_bps", &sword_pts);
+    fig.push_series("central_bps", &central_pts);
+    fig.push_note("paper: 1-2 orders of magnitude between ROADS and SWORD (log-scale figure)");
+    fig.set_telemetry(reg.snapshot());
+    fig.write_default();
 }

@@ -7,7 +7,8 @@
 //! records when their data exhibit larger overlaps", with a similar ~10%
 //! increase in query overhead.
 
-use roads_bench::{banner, figure_config, run_comparison, TrialConfig};
+use roads_bench::{banner, figure_config, run_comparison_instrumented, TrialConfig};
+use roads_telemetry::{FigureExport, Registry};
 
 fn main() {
     banner(
@@ -15,6 +16,9 @@ fn main() {
         "latency rises slightly (~8%) as overlap grows 1 -> 12",
     );
     let base = figure_config();
+    let reg = Registry::new();
+    let mut latency_pts = Vec::new();
+    let mut bytes_pts = Vec::new();
     println!(
         "{:>4} {:>14} {:>14} {:>12}",
         "Of", "ROADS (ms)", "bytes/query", "servers"
@@ -26,20 +30,33 @@ fn main() {
             overlap_factor: Some(of),
             ..base
         };
-        let r = run_comparison(&cfg);
+        let (r, _) = run_comparison_instrumented(&cfg, Some(&reg));
         println!(
             "{:>4.0} {:>14.1} {:>14.0} {:>12.1}",
             of, r.roads_latency.mean, r.roads_query_bytes, r.roads_servers_contacted
         );
+        latency_pts.push((of, r.roads_latency.mean));
+        bytes_pts.push((of, r.roads_query_bytes));
         if first.is_none() {
             first = Some(r.roads_latency.mean);
         }
         last = Some(r.roads_latency.mean);
     }
+    let mut fig = FigureExport::new(
+        "fig9_latency_vs_overlap",
+        "Query latency vs data overlap factor",
+    )
+    .axes("overlap factor Of", "latency (ms)");
     if let (Some(f), Some(l)) = (first, last) {
         println!(
             "\nmeasured increase: {:.1}% (paper: ~8%, 810 -> 860 ms)",
             (l / f - 1.0) * 100.0
         );
+        fig.push_reference("latency_increase_fraction", l / f - 1.0, 0.08);
     }
+    fig.push_series("roads_ms", &latency_pts);
+    fig.push_series("roads_bytes", &bytes_pts);
+    fig.push_note("paper: latency rises ~8% (810 -> 860 ms) as Of grows 1 -> 12");
+    fig.set_telemetry(reg.snapshot());
+    fig.write_default();
 }

@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use roads_bench::{banner, figure_config};
 use roads_core::{HierarchyTree, ServerId};
+use roads_telemetry::FigureExport;
 
 /// Build a tree by attaching each new server under a random server with
 /// spare capacity.
@@ -47,9 +48,12 @@ fn main() {
         "balance-aware joins keep the tree flat (fewer hops per query, Fig. 10)",
     );
     let cfg = figure_config();
+    let mut balanced_pts = Vec::new();
+    let mut random_pts = Vec::new();
     for (n, k) in [(cfg.nodes, cfg.degree), (640, 8), (320, 4)] {
         println!("\n{n} servers, degree {k}:");
-        describe("least-depth", &HierarchyTree::build(n, k));
+        let balanced = HierarchyTree::build(n, k);
+        describe("least-depth", &balanced);
         let mut worst_levels = 0;
         let mut sum_levels = 0;
         for seed in 0..5u64 {
@@ -66,5 +70,20 @@ fn main() {
             sum_levels as f64 / 5.0,
             worst_levels
         );
+        balanced_pts.push((n as f64, balanced.levels() as f64));
+        random_pts.push((n as f64, sum_levels as f64 / 5.0));
     }
+
+    let mut fig = FigureExport::new(
+        "fig_ablation_join",
+        "Join policy: least-depth walk vs random parent (tree levels)",
+    )
+    .axes("servers", "hierarchy levels");
+    if let (Some(&(_, b)), Some(&(_, r))) = (balanced_pts.first(), random_pts.first()) {
+        fig.push_reference("balanced_over_random_levels", b / r, 1.0);
+    }
+    fig.push_series("least_depth_levels", &balanced_pts);
+    fig.push_series("random_mean_levels", &random_pts);
+    fig.push_note("balance-aware joins keep the tree no deeper than random attachment");
+    fig.write_default();
 }

@@ -10,9 +10,13 @@
 //! matching records found, servers contacted, latency and bytes.
 
 use roads_bench::{banner, figure_config, TrialConfig};
-use roads_core::{execute_query, LatencyStats, RoadsConfig, RoadsNetwork, SearchScope, ServerId};
+use roads_core::{
+    execute_query, record_query_outcome, LatencyStats, RoadsConfig, RoadsNetwork, SearchScope,
+    ServerId,
+};
 use roads_netsim::DelaySpace;
 use roads_summary::SummaryConfig;
+use roads_telemetry::{FigureExport, Registry};
 use roads_workload::{
     default_schema, generate_node_records, generate_queries, QueryWorkloadConfig,
     RecordWorkloadConfig,
@@ -69,6 +73,10 @@ fn main() {
                 .matching_records
         })
         .sum();
+    let reg = Registry::new();
+    let mut recall_pts = Vec::new();
+    let mut servers_pts = Vec::new();
+    let mut latency_pts = Vec::new();
     for scope_levels in 0..levels {
         let scope = SearchScope::levels(scope_levels);
         let mut recs = 0usize;
@@ -77,6 +85,7 @@ fn main() {
         let mut lat = Vec::new();
         for (q, s) in &queries {
             let out = execute_query(&net, &delays, q, ServerId(*s as u32), scope);
+            record_query_outcome(&reg, &out);
             recs += out.matching_records;
             servers += out.servers_contacted as f64;
             bytes += out.query_bytes as f64;
@@ -84,14 +93,18 @@ fn main() {
         }
         let stats = LatencyStats::from_samples(&lat).expect("non-empty");
         let nq = queries.len() as f64;
+        let recall = 100.0 * recs as f64 / full_recs.max(1) as f64;
         println!(
             "{:>7} {:>10.1} {:>12.1} {:>12.1} {:>12.0}",
             scope_levels,
-            100.0 * recs as f64 / full_recs.max(1) as f64,
+            recall,
             servers / nq,
             stats.mean,
             bytes / nq
         );
+        recall_pts.push((scope_levels as f64, recall));
+        servers_pts.push((scope_levels as f64, servers / nq));
+        latency_pts.push((scope_levels as f64, stats.mean));
     }
     println!(
         "\nscope L-1 ({} levels) equals the full hierarchy: recall 100% by construction.",
@@ -99,4 +112,18 @@ fn main() {
     );
     println!("expected: recall climbs steeply with scope while cost climbs in step —");
     println!("clients wanting 'any match nearby' stop early; exhaustive searches pay full cost.");
+
+    let mut fig = FigureExport::new(
+        "fig_ablation_scope",
+        "Client-controlled search scope: coverage vs cost",
+    )
+    .axes("scope (levels above entry server)", "see series");
+    if let Some(&(_, recall_full)) = recall_pts.last() {
+        fig.push_reference("recall_at_full_scope_pct", recall_full, 100.0);
+    }
+    fig.push_series("recall_pct", &recall_pts);
+    fig.push_series("servers_contacted", &servers_pts);
+    fig.push_series("latency_ms", &latency_pts);
+    fig.set_telemetry(reg.snapshot());
+    fig.write_default();
 }

@@ -2,6 +2,7 @@
 //! parameters and cross-check the conclusions the paper draws from them.
 
 use roads_analysis::{maintenance_overhead, storage_overhead, update_overhead, ModelParams};
+use roads_telemetry::FigureExport;
 
 fn main() {
     let p = ModelParams::paper_example();
@@ -11,7 +12,12 @@ fn main() {
         "N={} owners, K={} records, r={} attrs, m={} buckets, k={}, L={}, n={}",
         p.n_owners, p.k_records, p.r_attrs, p.m_buckets, p.k_degree, p.l_levels, p.n_servers
     );
-    println!("tr={}s, ts={}s (tr/ts = {})", p.tr_secs, p.ts_secs, p.tr_secs / p.ts_secs);
+    println!(
+        "tr={}s, ts={}s (tr/ts = {})",
+        p.tr_secs,
+        p.ts_secs,
+        p.tr_secs / p.ts_secs
+    );
     println!("==================================================================");
 
     let u = update_overhead(&p);
@@ -46,4 +52,20 @@ fn main() {
     println!("  {:<10} {:>14} {:>18.3e}", "SWORD", "r^2KN/n", s.sword);
     println!("  {:<10} {:>14} {:>18.3e}", "Central", "rKN", s.central);
     println!("  (paper exemplary values: 2e5, 6.4e8, 1e9 — same ordering and gaps)");
+
+    let mut fig = FigureExport::new(
+        "table_analysis",
+        "Section IV analytic model at the paper's worked-example parameters",
+    )
+    .axes("quantity", "attribute values (or values/s)");
+    fig.push_reference("storage_roads", s.roads, 2e5);
+    fig.push_reference("storage_sword", s.sword, 6.4e8);
+    fig.push_reference("storage_central", s.central, 1e9);
+    fig.push_reference("maintenance_per_ts", per_period, 150.0);
+    fig.push_series(
+        "update_values_per_sec",
+        &[(0.0, u.roads), (1.0, u.sword), (2.0, u.central)],
+    );
+    fig.push_note("series x: 0 = ROADS, 1 = SWORD, 2 = Central (Eq. (1)-(3))");
+    fig.write_default();
 }

@@ -152,10 +152,7 @@ mod tests {
 
     #[test]
     fn log_axis_spreads_magnitudes() {
-        let s = Series::new(
-            "mag",
-            vec![(1.0, 10.0), (2.0, 1_000.0), (3.0, 100_000.0)],
-        );
+        let s = Series::new("mag", vec![(1.0, 10.0), (2.0, 1_000.0), (3.0, 100_000.0)]);
         let out = render_log(&[s], 30, 9);
         // Top label is 1e5, bottom 1e1.
         assert!(out.contains("1e5.0"));
@@ -182,7 +179,9 @@ mod tests {
         // for a decreasing series.
         let s = Series::new(
             "dec",
-            (0..20).map(|i| (i as f64, 100.0 - 4.0 * i as f64)).collect(),
+            (0..20)
+                .map(|i| (i as f64, 100.0 - 4.0 * i as f64))
+                .collect(),
         );
         let out = render(&[s], 40, 12);
         let rows: Vec<&str> = out.lines().take(12).collect();

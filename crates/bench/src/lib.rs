@@ -15,11 +15,15 @@
 pub mod chart;
 
 use roads_central::CentralRepository;
-use roads_core::{execute_query, LatencyStats, RoadsConfig, RoadsNetwork, SearchScope};
+use roads_core::{
+    execute_query, execute_query_traced, trace_to_telemetry, LatencyStats, RoadsConfig,
+    RoadsNetwork, SearchScope,
+};
 use roads_netsim::DelaySpace;
 use roads_records::Schema;
 use roads_summary::SummaryConfig;
 use roads_sword::SwordNetwork;
+use roads_telemetry::{aggregate_traces, QueryTrace, Registry, TraceReport};
 use roads_workload::{
     default_schema, generate_node_records, generate_overlap_records, generate_queries,
     QueryWorkloadConfig, RecordWorkloadConfig,
@@ -114,7 +118,11 @@ pub struct ComparisonResult {
 fn build_workload(
     cfg: &TrialConfig,
     run: usize,
-) -> (Schema, Vec<Vec<roads_records::Record>>, Vec<(roads_records::Query, usize)>) {
+) -> (
+    Schema,
+    Vec<Vec<roads_records::Record>>,
+    Vec<(roads_records::Query, usize)>,
+) {
     let seed = cfg.seed.wrapping_add(run as u64 * 7919);
     let rec_cfg = RecordWorkloadConfig {
         nodes: cfg.nodes,
@@ -142,6 +150,19 @@ fn build_workload(
 
 /// Run the full comparison for one configuration.
 pub fn run_comparison(cfg: &TrialConfig) -> ComparisonResult {
+    run_comparison_instrumented(cfg, None).0
+}
+
+/// [`run_comparison`] that additionally records every query into a
+/// telemetry registry (counters + latency histograms under `roads.*`,
+/// `sword.*`, `central.*`) and traces every ROADS execution, returning the
+/// aggregated [`TraceReport`]. With `telemetry = None` this is exactly the
+/// uninstrumented comparison — no tracing, no counters, no extra
+/// allocation on the query path.
+pub fn run_comparison_instrumented(
+    cfg: &TrialConfig,
+    telemetry: Option<&Registry>,
+) -> (ComparisonResult, Option<TraceReport>) {
     let mut roads_lat = Vec::new();
     let mut sword_lat = Vec::new();
     let mut roads_qb = 0.0;
@@ -152,6 +173,8 @@ pub fn run_comparison(cfg: &TrialConfig) -> ComparisonResult {
     let mut sword_bps = 0.0;
     let mut central_bps = 0.0;
     let total_queries = (cfg.queries * cfg.runs) as f64;
+    let mut traces: Vec<QueryTrace> = Vec::new();
+    let mut root = 0u32;
 
     for run in 0..cfg.runs {
         let (schema, records, queries) = build_workload(cfg, run);
@@ -168,19 +191,32 @@ pub fn run_comparison(cfg: &TrialConfig) -> ComparisonResult {
         let sword = SwordNetwork::build(schema.clone(), records.clone());
         let central = CentralRepository::build(0, records.clone());
 
+        root = roads.tree().root().0;
+
         for (q, start) in &queries {
-            let r = execute_query(
-                &roads,
-                &delays,
-                q,
-                roads_core::ServerId(*start as u32),
-                SearchScope::full(),
-            );
+            let entry = roads_core::ServerId(*start as u32);
+            let r = match telemetry {
+                Some(reg) => {
+                    let (r, trace) =
+                        execute_query_traced(&roads, &delays, q, entry, SearchScope::full());
+                    traces.push(trace_to_telemetry(&roads, q.id.0, &trace));
+                    roads_core::record_query_outcome(reg, &r);
+                    r
+                }
+                None => execute_query(&roads, &delays, q, entry, SearchScope::full()),
+            };
             roads_lat.push(r.latency_ms);
             roads_qb += r.query_bytes as f64;
             roads_contacted += r.servers_contacted as f64;
 
             let s = sword.execute_query(&delays, q, *start);
+            if let Some(reg) = telemetry {
+                roads_sword::record_query_outcome(reg, &s);
+                roads_central::record_query_outcome(
+                    reg,
+                    &central.execute_query(&delays, q, *start),
+                );
+            }
             sword_lat.push(s.latency_ms);
             sword_qb += s.query_bytes as f64;
             sword_contacted += s.servers_contacted as f64;
@@ -192,7 +228,7 @@ pub fn run_comparison(cfg: &TrialConfig) -> ComparisonResult {
     }
 
     let runs = cfg.runs as f64;
-    ComparisonResult {
+    let result = ComparisonResult {
         roads_latency: LatencyStats::from_samples(&roads_lat).expect("runs > 0"),
         sword_latency: LatencyStats::from_samples(&sword_lat).expect("runs > 0"),
         roads_query_bytes: roads_qb / total_queries,
@@ -202,7 +238,9 @@ pub fn run_comparison(cfg: &TrialConfig) -> ComparisonResult {
         central_update_bps: central_bps / runs,
         roads_servers_contacted: roads_contacted / total_queries,
         sword_servers_contacted: sword_contacted / total_queries,
-    }
+    };
+    let report = telemetry.map(|_| aggregate_traces(&traces, root, cfg.nodes));
+    (result, report)
 }
 
 /// Parse the common CLI flags shared by all figure binaries:
@@ -229,10 +267,7 @@ pub fn parse_args_full() -> (bool, Option<usize>, Option<u64>) {
     (quick, runs, seed)
 }
 
-fn required_number<T: std::str::FromStr>(
-    args: &mut impl Iterator<Item = String>,
-    flag: &str,
-) -> T {
+fn required_number<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
     match args.next().and_then(|v| v.parse().ok()) {
         Some(v) => v,
         None => {
@@ -286,6 +321,33 @@ mod tests {
         assert!(r.sword_latency.mean > 0.0);
         assert!(r.roads_update_bps > 0.0);
         assert!(r.sword_update_bps > r.roads_update_bps, "headline result");
+    }
+
+    #[test]
+    fn instrumented_comparison_records_and_traces() {
+        let cfg = TrialConfig {
+            nodes: 32,
+            records_per_node: 20,
+            queries: 20,
+            buckets: 100,
+            runs: 1,
+            ..TrialConfig::quick()
+        };
+        let reg = Registry::new();
+        let (r, report) = run_comparison_instrumented(&cfg, Some(&reg));
+        assert_eq!(r.roads_latency.count, 20);
+        let report = report.expect("telemetry requested");
+        assert_eq!(report.queries, 20);
+        assert!(report.mean_hops >= 1.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["roads.queries"], 20);
+        assert_eq!(snap.counters["sword.queries"], 20);
+        assert_eq!(snap.counters["central.queries"], 20);
+        assert_eq!(snap.histograms["roads.query_latency_ms"].count, 20);
+        assert!(
+            snap.histograms["roads.query_latency_ms"].p99
+                >= snap.histograms["roads.query_latency_ms"].p50
+        );
     }
 
     #[test]

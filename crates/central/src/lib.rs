@@ -74,11 +74,7 @@ impl CentralRepository {
 
     /// Storage at the repository in bytes (Table I's `r·K·N`).
     pub fn storage_bytes(&self) -> usize {
-        self.records
-            .iter()
-            .flatten()
-            .map(WireSize::wire_size)
-            .sum()
+        self.records.iter().flatten().map(WireSize::wire_size).sum()
     }
 
     /// Account one export round: every owner ships all its records to the
@@ -116,6 +112,17 @@ impl CentralRepository {
             matching_records,
         }
     }
+}
+
+/// Record one central-repository query outcome into `reg` under the
+/// `central.*` namespace, comparable with the `roads.*`/`sword.*` series.
+pub fn record_query_outcome(reg: &roads_telemetry::Registry, out: &CentralQueryOutcome) {
+    reg.counter("central.queries").inc();
+    reg.counter("central.query_bytes").add(out.query_bytes);
+    reg.counter("central.matching_records")
+        .add(out.matching_records as u64);
+    reg.histogram("central.query_latency_ms")
+        .record(out.latency_ms);
 }
 
 #[cfg(test)]
@@ -176,7 +183,9 @@ mod tests {
     fn query_from_repo_itself_is_free() {
         let (r, schema) = repo(4, 5);
         let delays = DelaySpace::paper(4, 4);
-        let q = QueryBuilder::new(&schema, QueryId(2)).range("x0", 0.0, 1.0).build();
+        let q = QueryBuilder::new(&schema, QueryId(2))
+            .range("x0", 0.0, 1.0)
+            .build();
         let out = r.execute_query(&delays, &q, 0);
         assert_eq!(out.latency_ms, 0.0);
         assert_eq!(out.matching_records, 20);

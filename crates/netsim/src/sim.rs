@@ -146,6 +146,17 @@ pub struct Simulator<P: Protocol> {
     /// Optional link bandwidth: when set, each message additionally incurs
     /// a serialization delay of `bytes × 8 / bandwidth`.
     bandwidth_mbps: Option<f64>,
+    /// Optional delivery hooks into a telemetry registry; `None` keeps the
+    /// hot path to a single branch per event.
+    telemetry: Option<SimTelemetry>,
+}
+
+/// Pre-resolved telemetry instruments for the event loop (cached `Arc`s so
+/// delivery never takes the registry lock).
+struct SimTelemetry {
+    delivered: std::sync::Arc<roads_telemetry::Counter>,
+    timers: std::sync::Arc<roads_telemetry::Counter>,
+    dropped: std::sync::Arc<roads_telemetry::Counter>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -173,7 +184,20 @@ impl<P: Protocol> Simulator<P> {
             loss_seed: 0,
             messages_dropped: 0,
             bandwidth_mbps: None,
+            telemetry: None,
         }
+    }
+
+    /// Count every delivery, timer firing, and loss-model drop into `reg`
+    /// (`netsim.messages_delivered`, `netsim.timers_fired`,
+    /// `netsim.messages_dropped`). Without a registry the event loop pays
+    /// only a `None` check.
+    pub fn set_telemetry(&mut self, reg: &roads_telemetry::Registry) {
+        self.telemetry = Some(SimTelemetry {
+            delivered: reg.counter("netsim.messages_delivered"),
+            timers: reg.counter("netsim.timers_fired"),
+            dropped: reg.counter("netsim.messages_dropped"),
+        });
     }
 
     /// Model finite link bandwidth: every message's delivery is delayed by
@@ -328,8 +352,18 @@ impl<P: Protocol> Simulator<P> {
             };
             let node = &mut self.nodes[ev.to.index()];
             match ev.payload {
-                Payload::Deliver { from, msg } => node.on_message(&mut ctx, from, msg),
-                Payload::Timer { tag } => node.on_timer(&mut ctx, tag),
+                Payload::Deliver { from, msg } => {
+                    if let Some(t) = &self.telemetry {
+                        t.delivered.inc();
+                    }
+                    node.on_message(&mut ctx, from, msg)
+                }
+                Payload::Timer { tag } => {
+                    if let Some(t) = &self.telemetry {
+                        t.timers.inc();
+                    }
+                    node.on_timer(&mut ctx, tag)
+                }
             }
         }
         for action in actions.drain(..) {
@@ -346,6 +380,9 @@ impl<P: Protocol> Simulator<P> {
                     if self.drops() {
                         self.seq += 1; // consume a loss-lottery ticket
                         self.messages_dropped += 1;
+                        if let Some(t) = &self.telemetry {
+                            t.dropped.inc();
+                        }
                         continue;
                     }
                     let at = self.now
@@ -562,9 +599,9 @@ mod tests {
         };
         let fast = run(None);
         let slow = run(Some(8.0)); // 8 Mbps = 1 byte/µs
-        // The injected request is not serialized (it enters at an absolute
-        // time); the measured arrival is node 0's 64-byte reply, which
-        // picks up exactly 64 µs.
+                                   // The injected request is not serialized (it enters at an absolute
+                                   // time); the measured arrival is node 0's 64-byte reply, which
+                                   // picks up exactly 64 µs.
         assert_eq!(slow.as_micros() - fast.as_micros(), 64);
     }
 
@@ -620,9 +657,49 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_hooks_count_events() {
+        let reg = roads_telemetry::Registry::new();
+        let mut s = sim(2);
+        s.set_telemetry(&reg);
+        s.schedule_timer(SimTime::from_millis(1), NodeId(0), 7);
+        s.inject(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(0),
+            Ping { ttl: 3 },
+            64,
+            TrafficClass::Query,
+        );
+        s.run_to_completion();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["netsim.messages_delivered"], 4);
+        assert_eq!(snap.counters["netsim.timers_fired"], 1);
+        assert_eq!(snap.counters["netsim.messages_dropped"], 0);
+
+        // Drops are counted too.
+        let reg = roads_telemetry::Registry::new();
+        let mut s = sim(2);
+        s.set_telemetry(&reg);
+        s.set_message_loss(1.0, 1);
+        s.inject(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(0),
+            Ping { ttl: 5 },
+            64,
+            TrafficClass::Query,
+        );
+        s.run_to_completion();
+        assert_eq!(reg.snapshot().counters["netsim.messages_dropped"], 1);
+    }
+
+    #[test]
     #[should_panic(expected = "one delay-space coordinate per node")]
     fn mismatched_delay_space_rejected() {
         let nodes = vec![PingPong::new()];
-        let _ = Simulator::new(nodes, DelaySpace::synthesize(2, DelaySpaceConfig::default(), 0));
+        let _ = Simulator::new(
+            nodes,
+            DelaySpace::synthesize(2, DelaySpaceConfig::default(), 0),
+        );
     }
 }

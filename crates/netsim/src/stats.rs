@@ -102,6 +102,25 @@ impl TrafficStats {
         }
     }
 
+    /// Fold `other` into `self` — the workspace's canonical merge name,
+    /// matching `roads_telemetry::Histogram::merge`. Equivalent to
+    /// [`TrafficStats::absorb`], which remains for existing callers.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.absorb(other);
+    }
+
+    /// Export the counters into a telemetry registry as
+    /// `<prefix>.bytes.<class>` / `<prefix>.messages.<class>` (additive:
+    /// repeated calls accumulate, mirroring [`TrafficStats::merge`]).
+    pub fn record_into(&self, reg: &roads_telemetry::Registry, prefix: &str) {
+        for class in TrafficClass::ALL {
+            reg.counter(&format!("{prefix}.bytes.{class}"))
+                .add(self.bytes(class));
+            reg.counter(&format!("{prefix}.messages.{class}"))
+                .add(self.messages(class));
+        }
+    }
+
     /// Reset all counters.
     pub fn clear(&mut self) {
         *self = Self::default();
@@ -149,6 +168,31 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.bytes(TrafficClass::Data), 12);
         assert_eq!(a.messages(TrafficClass::Maintenance), 1);
+    }
+
+    #[test]
+    fn merge_is_absorb() {
+        let mut a = TrafficStats::new();
+        a.record(TrafficClass::Query, 3);
+        let mut b = TrafficStats::new();
+        b.record(TrafficClass::Query, 4);
+        a.merge(&b);
+        assert_eq!(a.bytes(TrafficClass::Query), 7);
+        assert_eq!(a.messages(TrafficClass::Query), 2);
+    }
+
+    #[test]
+    fn record_into_registry() {
+        let mut s = TrafficStats::new();
+        s.record(TrafficClass::Update, 100);
+        s.record(TrafficClass::Query, 10);
+        let reg = roads_telemetry::Registry::new();
+        s.record_into(&reg, "netsim");
+        s.record_into(&reg, "netsim"); // additive
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["netsim.bytes.update"], 200);
+        assert_eq!(snap.counters["netsim.messages.query"], 2);
+        assert_eq!(snap.counters["netsim.bytes.data"], 0);
     }
 
     #[test]

@@ -11,7 +11,9 @@ use roads_records::{
 
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
-        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Float),
         any::<i64>().prop_map(Value::Int),
         "[a-zA-Z0-9 _-]{0,40}".prop_map(Value::Text),
         "[a-zA-Z0-9_-]{0,24}".prop_map(Value::Cat),

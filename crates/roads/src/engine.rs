@@ -63,7 +63,11 @@ impl RoadsNetwork {
     /// Build a converged network: form the hierarchy over
     /// `records_per_server.len()` servers (joining in id order), compute
     /// local summaries, aggregate bottom-up, and materialize the overlay.
-    pub fn build(schema: Schema, config: RoadsConfig, records_per_server: Vec<Vec<Record>>) -> Self {
+    pub fn build(
+        schema: Schema,
+        config: RoadsConfig,
+        records_per_server: Vec<Vec<Record>>,
+    ) -> Self {
         let n = records_per_server.len();
         assert!(n > 0, "a federation needs at least one server");
         let tree = HierarchyTree::build(n, config.max_children);
@@ -328,12 +332,7 @@ mod tests {
         let root = n.tree().root();
         assert_eq!(n.branch_summary(root).record_count(), 7);
         for s in n.tree().servers() {
-            let expected = 1 + n
-                .tree()
-                .subtree(s)
-                .iter()
-                .filter(|&&c| c != s)
-                .count() as u64;
+            let expected = 1 + n.tree().subtree(s).iter().filter(|&&c| c != s).count() as u64;
             assert_eq!(n.branch_summary(s).record_count(), expected);
         }
     }
@@ -404,7 +403,9 @@ mod tests {
     fn without_entry_no_replica_targets() {
         let n = small_network();
         let schema = n.schema().clone();
-        let q = QueryBuilder::new(&schema, QueryId(2)).range("x0", 0.0, 1.0).build();
+        let q = QueryBuilder::new(&schema, QueryId(2))
+            .range("x0", 0.0, 1.0)
+            .build();
         let leaf = *n.tree().leaves().first().unwrap();
         let ev = n.evaluate(leaf, &q, false);
         assert!(ev.replica_targets.is_empty());

@@ -37,14 +37,14 @@ pub mod updates;
 pub use config::RoadsConfig;
 pub use engine::{EvalResult, RoadsNetwork};
 pub use load::{choose_entry, EntryPolicy, LoadTracker};
-pub use metrics::LatencyStats;
+pub use metrics::{record_query_outcome, LatencyStats};
 pub use overlay::{replication_set, ReplicationSet};
 pub use policy::{
     apply_policy, Disclosure, OpenPolicy, RequesterId, SharingPolicy, TieredPolicy, TrustClass,
 };
 pub use queryexec::{
-    execute_query, execute_query_mode, execute_query_traced, ForwardingMode, QueryOutcome,
-    SearchScope, TraceEvent, TraceRole,
+    execute_query, execute_query_mode, execute_query_traced, trace_to_telemetry, ForwardingMode,
+    QueryOutcome, SearchScope, TraceEvent, TraceRole,
 };
 pub use tree::{BalanceStats, HierarchyTree, ServerId, TreeError};
 pub use updates::{update_round, UpdateBreakdown};

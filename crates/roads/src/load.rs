@@ -238,20 +238,19 @@ mod tests {
         let (net, delays) = network(20);
         let q = |i: u64| {
             QueryBuilder::new(net.schema(), QueryId(i))
-                .range("x0", (i as f64 / 20.0) % 1.0, ((i as f64 + 2.0) / 20.0) % 1.0)
+                .range(
+                    "x0",
+                    (i as f64 / 20.0) % 1.0,
+                    ((i as f64 + 2.0) / 20.0) % 1.0,
+                )
                 .build()
         };
         let mut root_tracker = LoadTracker::new(20, 0.9);
         let mut any_tracker = LoadTracker::new(20, 0.9);
         for i in 0..40u64 {
             let attachment = ServerId((i % 20) as u32);
-            let root_entry = choose_entry(
-                EntryPolicy::Root,
-                &net,
-                &delays,
-                &root_tracker,
-                attachment,
-            );
+            let root_entry =
+                choose_entry(EntryPolicy::Root, &net, &delays, &root_tracker, attachment);
             assert_eq!(root_entry, net.tree().root());
             let out = execute_query(&net, &delays, &q(i), root_entry, SearchScope::full());
             root_tracker.record_outcome(root_entry, &out);

@@ -303,9 +303,7 @@ impl MaintNode {
             }
         } else {
             // Grandparent first, then one level up per escalation.
-            let idx = above_parent
-                .len()
-                .saturating_sub(1 + self.rejoin_level);
+            let idx = above_parent.len().saturating_sub(1 + self.rejoin_level);
             above_parent[idx]
         };
         self.rejoin_level += 1;
@@ -498,11 +496,8 @@ impl Protocol for MaintNode {
                     if let Some(e) = entry {
                         self.state = MemberState::Joining(e);
                         self.send(ctx, e, MaintMsg::JoinProbe { prober_root: None });
-                    } else if let Some(&new_root) = self
-                        .root_children
-                        .iter()
-                        .filter(|&&c| c != from)
-                        .min()
+                    } else if let Some(&new_root) =
+                        self.root_children.iter().filter(|&&c| c != from).min()
                     {
                         if new_root == me {
                             let now_ms = ctx.now().as_micros() / 1000;
@@ -649,7 +644,10 @@ pub fn extract_tree(sim: &Simulator<MaintNode>) -> Result<HierarchyTree, String>
                 return Err(format!("{p} lists crashed child {c}"));
             }
             if child.parent() != Some(p) {
-                return Err(format!("{p} lists child {c}, but {c}'s parent is {:?}", child.parent()));
+                return Err(format!(
+                    "{p} lists child {c}, but {c}'s parent is {:?}",
+                    child.parent()
+                ));
             }
             tree.attach(ServerId(c.0), ServerId(p.0))
                 .map_err(|e| e.to_string())?;
@@ -732,12 +730,7 @@ mod tests {
         assert_ne!(after.root(), old_root);
         assert_eq!(after.len(), 19);
         // Election rule: smallest id among the old root's children.
-        let expected = before
-            .children(old_root)
-            .iter()
-            .min()
-            .copied()
-            .unwrap();
+        let expected = before.children(old_root).iter().min().copied().unwrap();
         assert_eq!(after.root(), expected);
     }
 

@@ -1,46 +1,29 @@
-//! Latency statistics helpers used by the evaluation harness.
+//! Latency statistics and query-metric recording.
+//!
+//! The summary type itself lives in `roads-telemetry` so that every crate
+//! in the workspace — the simulator harness, the threaded prototype, and
+//! the figure binaries — shares one latency currency (now including p99).
+//! It is re-exported here under its historical path for existing callers.
 
-/// Summary statistics over a set of latency (or any scalar) samples.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LatencyStats {
-    /// Number of samples.
-    pub count: usize,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Median (50th percentile).
-    pub p50: f64,
-    /// 90th percentile (the paper's Fig. 11 reports avg and p90).
-    pub p90: f64,
-    /// Minimum sample.
-    pub min: f64,
-    /// Maximum sample.
-    pub max: f64,
-}
+pub use roads_telemetry::LatencyStats;
 
-impl LatencyStats {
-    /// Compute from samples; `None` when empty.
-    pub fn from_samples(samples: &[f64]) -> Option<Self> {
-        if samples.is_empty() {
-            return None;
-        }
-        let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let count = sorted.len();
-        let mean = sorted.iter().sum::<f64>() / count as f64;
-        let pct = |q: f64| {
-            // Nearest-rank on the sorted samples.
-            let idx = ((count as f64) * q).ceil() as usize;
-            sorted[idx.clamp(1, count) - 1]
-        };
-        Some(LatencyStats {
-            count,
-            mean,
-            p50: pct(0.50),
-            p90: pct(0.90),
-            min: sorted[0],
-            max: sorted[count - 1],
-        })
-    }
+use crate::queryexec::QueryOutcome;
+use roads_telemetry::Registry;
+
+/// Record one executed query's outcome into `reg` under the `roads.*`
+/// namespace: query/message/byte counters plus latency and fan-out
+/// histograms. Figure binaries snapshot the registry into their JSON
+/// export.
+pub fn record_query_outcome(reg: &Registry, out: &QueryOutcome) {
+    reg.counter("roads.queries").inc();
+    reg.counter("roads.query_messages").add(out.query_messages);
+    reg.counter("roads.query_bytes").add(out.query_bytes);
+    reg.counter("roads.matching_records")
+        .add(out.matching_records as u64);
+    reg.histogram("roads.query_latency_ms")
+        .record(out.latency_ms);
+    reg.histogram("roads.servers_contacted")
+        .record(out.servers_contacted as f64);
 }
 
 #[cfg(test)]
@@ -58,6 +41,7 @@ mod tests {
         assert_eq!(s.mean, 42.0);
         assert_eq!(s.p50, 42.0);
         assert_eq!(s.p90, 42.0);
+        assert_eq!(s.p99, 42.0);
         assert_eq!(s.min, 42.0);
         assert_eq!(s.max, 42.0);
     }
@@ -68,6 +52,7 @@ mod tests {
         let s = LatencyStats::from_samples(&samples).unwrap();
         assert_eq!(s.p50, 50.0);
         assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p99, 99.0);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 100.0);
         assert!((s.mean - 50.5).abs() < 1e-12);
@@ -79,5 +64,25 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.p50, 2.0);
         assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn outcome_recorded_into_registry() {
+        let reg = Registry::new();
+        let out = QueryOutcome {
+            latency_ms: 12.5,
+            query_bytes: 400,
+            query_messages: 5,
+            servers_contacted: 5,
+            matching_servers: vec![],
+            matching_records: 2,
+        };
+        record_query_outcome(&reg, &out);
+        record_query_outcome(&reg, &out);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["roads.queries"], 2);
+        assert_eq!(snap.counters["roads.query_bytes"], 800);
+        assert_eq!(snap.counters["roads.matching_records"], 4);
+        assert_eq!(snap.histograms["roads.query_latency_ms"].count, 2);
     }
 }

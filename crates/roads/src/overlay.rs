@@ -59,10 +59,7 @@ impl ReplicationSet {
 pub fn replication_set(tree: &HierarchyTree, s: ServerId) -> ReplicationSet {
     let siblings = tree.siblings(s);
     let ancestors = tree.ancestors(s);
-    let ancestor_siblings = ancestors
-        .iter()
-        .flat_map(|&a| tree.siblings(a))
-        .collect();
+    let ancestor_siblings = ancestors.iter().flat_map(|&a| tree.siblings(a)).collect();
     ReplicationSet {
         siblings,
         ancestors,

@@ -461,7 +461,11 @@ mod tests {
         let p = QuotaPolicy::new(policy(&s), 3, TrustClass::Partner);
         assert_eq!(p.apply(RequesterId(99), &records).len(), 3, "public capped");
         assert_eq!(p.apply(RequesterId(2), &records).len(), 3, "member capped");
-        assert_eq!(p.apply(RequesterId(1), &records).len(), 10, "partner exempt");
+        assert_eq!(
+            p.apply(RequesterId(1), &records).len(),
+            10,
+            "partner exempt"
+        );
     }
 
     #[test]

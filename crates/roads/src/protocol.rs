@@ -177,7 +177,12 @@ impl DataNode {
         // Bottom-up: branch summary to the parent.
         if let Some(p) = self.parent {
             let summary = self.branch_summary(now_ms);
-            self.send(ctx, p, DataMsg::BranchSummary { summary }, TrafficClass::Update);
+            self.send(
+                ctx,
+                p,
+                DataMsg::BranchSummary { summary },
+                TrafficClass::Update,
+            );
         }
 
         // Top-down: to each child send its siblings' branch summaries, our
@@ -362,7 +367,13 @@ pub fn build_data_simulation(
         let s = ServerId(i as u32);
         let parent = tree.parent(s).map(|p| NodeId(p.0));
         let children = tree.children(s).iter().map(|c| NodeId(c.0)).collect();
-        nodes.push(DataNode::new(cfg, schema.clone(), parent, children, records));
+        nodes.push(DataNode::new(
+            cfg,
+            schema.clone(),
+            parent,
+            children,
+            records,
+        ));
     }
     let mut sim = Simulator::new(nodes, delays);
     for i in 0..n {
@@ -389,6 +400,17 @@ pub fn issue_query(sim: &mut Simulator<DataNode>, entry: NodeId, query: Query) {
         bytes,
         TrafficClass::Query,
     );
+}
+
+/// Snapshot a data-plane simulation's counters into a telemetry registry:
+/// processed events plus the per-class traffic totals under `protocol.*`.
+/// Additive — call once at the end of a run (or per measurement window
+/// after [`Simulator::clear_stats`]).
+pub fn record_simulation_telemetry(reg: &roads_telemetry::Registry, sim: &Simulator<DataNode>) {
+    reg.counter("protocol.events").add(sim.events_processed());
+    reg.counter("protocol.messages_dropped")
+        .add(sim.messages_dropped());
+    sim.stats().record_into(reg, "protocol");
 }
 
 #[cfg(test)]
@@ -477,19 +499,36 @@ mod tests {
     }
 
     #[test]
+    fn simulation_telemetry_snapshot() {
+        let (_, sim, _) = converged_sim(9);
+        let reg = roads_telemetry::Registry::new();
+        record_simulation_telemetry(&reg, &sim);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["protocol.events"], sim.events_processed());
+        assert_eq!(
+            snap.counters["protocol.bytes.update"],
+            sim.stats().bytes(TrafficClass::Update)
+        );
+        assert!(snap.counters["protocol.bytes.update"] > 0);
+    }
+
+    #[test]
     fn crashed_server_fades_from_parent_view() {
         let (tree, mut sim, _) = converged_sim(27);
         let leaf = *tree.leaves().iter().max().unwrap();
         let parent = tree.parent(leaf).unwrap();
         let now_ms = sim.now().as_micros() / 1000;
-        assert!(sim.node(NodeId(parent.0)).sees_child(NodeId(leaf.0), now_ms));
+        assert!(sim
+            .node(NodeId(parent.0))
+            .sees_child(NodeId(leaf.0), now_ms));
         sim.node_mut(NodeId(leaf.0)).crash();
         // TTL is 7s; run well past it.
         let deadline = sim.now() + SimTime::from_secs(20);
         sim.run_until(deadline);
         let now_ms = sim.now().as_micros() / 1000;
         assert!(
-            !sim.node(NodeId(parent.0)).sees_child(NodeId(leaf.0), now_ms),
+            !sim.node(NodeId(parent.0))
+                .sees_child(NodeId(leaf.0), now_ms),
             "soft state must expire without explicit teardown"
         );
     }
@@ -499,11 +538,12 @@ mod tests {
         let (tree, mut sim, schema) = converged_sim(12);
         // Give a leaf a brand-new record value no one else has.
         let leaf = *tree.leaves().iter().max().unwrap();
-        sim.node_mut(NodeId(leaf.0)).set_records(vec![Record::new_unchecked(
-            RecordId(999),
-            OwnerId(leaf.0),
-            vec![Value::Float(0.987_654)],
-        )]);
+        sim.node_mut(NodeId(leaf.0))
+            .set_records(vec![Record::new_unchecked(
+                RecordId(999),
+                OwnerId(leaf.0),
+                vec![Value::Float(0.987_654)],
+            )]);
         let deadline = sim.now() + SimTime::from_secs(20);
         sim.run_until(deadline);
         // Query for the new value from an unrelated entry.

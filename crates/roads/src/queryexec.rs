@@ -187,6 +187,61 @@ pub fn execute_query_traced(
     (outcome, trace)
 }
 
+/// Classify a contact trace into a telemetry [`QueryTrace`]
+/// (`roads_telemetry`), attributing a [`HopReason`] to every visit.
+///
+/// Reasons are reconstructed from the hierarchy: a branch contact whose
+/// forwarder is its tree parent is a summary-driven descent — and a
+/// descent that found nothing locally *and* had nowhere further to
+/// redirect is a false-positive redirect, the cost of lossy summaries. A
+/// branch contact reached from a non-parent came through the replication
+/// overlay (entry shortcuts to siblings and ancestors' siblings), and
+/// ancestor probes are the climb that widens the search scope.
+pub fn trace_to_telemetry(
+    net: &RoadsNetwork,
+    query_id: u64,
+    trace: &[TraceEvent],
+) -> roads_telemetry::QueryTrace {
+    use roads_telemetry::{Hop, HopReason};
+    let mut hops = Vec::with_capacity(trace.len());
+    let mut completed_ms = 0.0f64;
+    for (i, e) in trace.iter().enumerate() {
+        completed_ms = completed_ms.max(e.at_ms);
+        let reason = match e.role {
+            TraceRole::Entry => HopReason::Entry,
+            TraceRole::AncestorProbe => HopReason::ClimbToParent,
+            TraceRole::Branch => {
+                // The first earlier contact listing this server forwarded
+                // the query here (contacts are in arrival-time order).
+                let forwarder = trace[..i]
+                    .iter()
+                    .find(|p| p.forwarded_to.contains(&e.server))
+                    .map(|p| p.server);
+                let via_tree = forwarder.is_some() && net.tree().parent(e.server) == forwarder;
+                if !via_tree {
+                    HopReason::OverlayShortcut
+                } else if e.local_matches == 0 && e.forwarded_to.is_empty() {
+                    HopReason::FalsePositiveRedirect
+                } else {
+                    HopReason::SummaryHit
+                }
+            }
+        };
+        hops.push(Hop {
+            node: e.server.0,
+            reason,
+            at_ms: e.at_ms,
+            local_matches: e.local_matches,
+        });
+    }
+    roads_telemetry::QueryTrace {
+        query_id,
+        entry: trace.first().map(|e| e.server.0).unwrap_or(0),
+        hops,
+        completed_ms,
+    }
+}
+
 /// [`execute_query`] with an explicit [`ForwardingMode`].
 pub fn execute_query_mode(
     net: &RoadsNetwork,
@@ -208,7 +263,11 @@ fn execute_query_inner(
     mode: ForwardingMode,
     mut trace: Option<&mut Vec<TraceEvent>>,
 ) -> QueryOutcome {
-    assert_eq!(net.len(), delays.len(), "delay space must cover all servers");
+    assert_eq!(
+        net.len(),
+        delays.len(),
+        "delay space must cover all servers"
+    );
     let query_msg_bytes = query.wire_size() + MSG_HEADER_BYTES;
     let client = start.index();
 
@@ -510,7 +569,8 @@ mod tests {
         let q = QueryBuilder::new(net.schema(), QueryId(8))
             .range("x0", 0.0, 1.0)
             .build();
-        let (out, trace) = execute_query_traced(&net, &delays, &q, ServerId(11), SearchScope::full());
+        let (out, trace) =
+            execute_query_traced(&net, &delays, &q, ServerId(11), SearchScope::full());
         assert_eq!(trace.len(), out.servers_contacted);
         assert_eq!(trace[0].server, ServerId(11));
         assert_eq!(trace[0].role, TraceRole::Entry);
@@ -524,12 +584,44 @@ mod tests {
             trace.iter().map(|e| e.server).collect();
         for e in &trace {
             for f in &e.forwarded_to {
-                assert!(contacted.contains(f), "{f} forwarded-to but never contacted");
+                assert!(
+                    contacted.contains(f),
+                    "{f} forwarded-to but never contacted"
+                );
             }
         }
         // Local match counts agree with the outcome total.
         let total: usize = trace.iter().map(|e| e.local_matches).sum();
         assert_eq!(total, out.matching_records);
+    }
+
+    #[test]
+    fn telemetry_trace_classifies_hops() {
+        use roads_telemetry::HopReason;
+        let (net, delays) = network(30, 3);
+        let q = QueryBuilder::new(net.schema(), QueryId(9))
+            .range("x0", 0.0, 1.0)
+            .build();
+        // Start at a leaf: the overlay (siblings + ancestors' siblings)
+        // must be exercised alongside plain child descents.
+        let leaf = *net.tree().leaves().iter().max().unwrap();
+        let (out, trace) = execute_query_traced(&net, &delays, &q, leaf, SearchScope::full());
+        let t = trace_to_telemetry(&net, 9, &trace);
+        assert_eq!(t.hop_count(), out.servers_contacted);
+        assert_eq!(t.entry, leaf.0);
+        assert_eq!(t.hops[0].reason, HopReason::Entry);
+        assert_eq!(t.count_reason(HopReason::Entry), 1);
+        assert!(
+            t.count_reason(HopReason::OverlayShortcut) > 0,
+            "a leaf entry on a broad query must take overlay shortcuts"
+        );
+        assert!(
+            t.count_reason(HopReason::SummaryHit) > 0,
+            "child descents on a broad query are summary hits"
+        );
+        // Cumulative time is the max over hops.
+        let max_at = t.hops.iter().map(|h| h.at_ms).fold(0.0f64, f64::max);
+        assert_eq!(t.completed_ms, max_at);
     }
 
     #[test]

@@ -404,8 +404,7 @@ impl HierarchyTree {
     pub fn fail_root(&mut self, max_children: usize) -> Result<ServerId, TreeError> {
         let old = self.root;
         let children = std::mem::take(&mut self.children[old.index()]);
-        let new_root =
-            Self::elect_root(&children).ok_or(TreeError::NotJoined(old))?;
+        let new_root = Self::elect_root(&children).ok_or(TreeError::NotJoined(old))?;
         self.joined[old.index()] = false;
         self.parent[old.index()] = None;
         self.root = new_root;
@@ -571,7 +570,10 @@ mod tests {
     #[test]
     fn join_rejects_duplicates() {
         let mut t = HierarchyTree::build(4, 2);
-        assert_eq!(t.join(ServerId(1), 2), Err(TreeError::AlreadyJoined(ServerId(1))));
+        assert_eq!(
+            t.join(ServerId(1), 2),
+            Err(TreeError::AlreadyJoined(ServerId(1)))
+        );
     }
 
     #[test]

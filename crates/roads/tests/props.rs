@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use roads_core::overlay::coverage;
 use roads_core::{
-    execute_query, execute_query_mode, replication_set, ForwardingMode, HierarchyTree,
-    RoadsConfig, RoadsNetwork, SearchScope, ServerId,
+    execute_query, execute_query_mode, replication_set, ForwardingMode, HierarchyTree, RoadsConfig,
+    RoadsNetwork, SearchScope, ServerId,
 };
 use roads_netsim::DelaySpace;
 use roads_records::{AttrId, OwnerId, Predicate, Query, QueryId, Record, RecordId, Schema, Value};

@@ -1,9 +1,9 @@
 //! The live central-repository baseline: one server thread holding every
 //! record, serving queries in a single round trip with *serial* retrieval.
 
+use crate::cluster::RuntimeOutcome;
 use crate::config::RuntimeConfig;
 use crate::store::RecordStore;
-use crate::cluster::RuntimeOutcome;
 use crossbeam::channel::{unbounded, Sender};
 use roads_netsim::DelaySpace;
 use roads_records::{Query, Record, Schema, WireSize};
@@ -50,8 +50,7 @@ impl CentralCluster {
                         RepoRequest::Query { query, reply } => {
                             let records: Vec<Record> =
                                 store.search(&query).into_iter().cloned().collect();
-                            let result_bytes: usize =
-                                records.iter().map(WireSize::wire_size).sum();
+                            let result_bytes: usize = records.iter().map(WireSize::wire_size).sum();
                             // Serial retrieval of the whole result set at
                             // one server — the contrast to ROADS' parallel
                             // per-branch retrieval.

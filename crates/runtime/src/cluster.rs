@@ -14,9 +14,34 @@ use roads_core::policy::{apply_policy, OpenPolicy, RequesterId, SharingPolicy};
 use roads_core::{RoadsNetwork, ServerId};
 use roads_netsim::DelaySpace;
 use roads_records::{Query, Record, WireSize};
+use roads_telemetry::{span::timed, Histogram, Registry};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Pre-resolved phase histograms for an instrumented cluster. All three
+/// record wall-clock microseconds, aggregated across every server thread
+/// and every query:
+/// `runtime.local_search_us` (per-server record-store search),
+/// `runtime.channel_wait_us` (client blocked on reply channels), and
+/// `runtime.result_merge_us` (client folding replies and dispatching
+/// redirects).
+#[derive(Debug, Clone)]
+struct PhaseTimers {
+    local_search: Arc<Histogram>,
+    channel_wait: Arc<Histogram>,
+    result_merge: Arc<Histogram>,
+}
+
+impl PhaseTimers {
+    fn new(reg: &Registry) -> Self {
+        PhaseTimers {
+            local_search: reg.histogram("runtime.local_search_us"),
+            channel_wait: reg.histogram("runtime.channel_wait_us"),
+            result_merge: reg.histogram("runtime.result_merge_us"),
+        }
+    }
+}
 
 /// How a contacted server treats the query (mirrors the simulator's
 /// redirect protocol).
@@ -64,6 +89,7 @@ pub struct RoadsCluster {
     cfg: RuntimeConfig,
     senders: Vec<Sender<ServerRequest>>,
     handles: Vec<JoinHandle<()>>,
+    phases: Option<PhaseTimers>,
 }
 
 impl RoadsCluster {
@@ -71,9 +97,27 @@ impl RoadsCluster {
     /// the [`OpenPolicy`] (share everything).
     pub fn start(net: RoadsNetwork, delays: DelaySpace, cfg: RuntimeConfig) -> Self {
         let n = net.len();
-        let policies: Vec<Arc<dyn SharingPolicy>> =
-            (0..n).map(|_| Arc::new(OpenPolicy) as Arc<dyn SharingPolicy>).collect();
+        let policies: Vec<Arc<dyn SharingPolicy>> = (0..n)
+            .map(|_| Arc::new(OpenPolicy) as Arc<dyn SharingPolicy>)
+            .collect();
         Self::start_with_policies(net, delays, cfg, policies)
+    }
+
+    /// [`RoadsCluster::start`] with phase timing into `reg`: per-server
+    /// local store search, client channel wait, and result merge all land
+    /// in `runtime.*_us` histograms. The uninstrumented constructors skip
+    /// every timer (no telemetry cost when unused).
+    pub fn start_instrumented(
+        net: RoadsNetwork,
+        delays: DelaySpace,
+        cfg: RuntimeConfig,
+        reg: &Registry,
+    ) -> Self {
+        let n = net.len();
+        let policies: Vec<Arc<dyn SharingPolicy>> = (0..n)
+            .map(|_| Arc::new(OpenPolicy) as Arc<dyn SharingPolicy>)
+            .collect();
+        Self::start_inner(net, delays, cfg, policies, Some(PhaseTimers::new(reg)))
     }
 
     /// Spawn one server thread per federation member, each enforcing its
@@ -84,6 +128,16 @@ impl RoadsCluster {
         delays: DelaySpace,
         cfg: RuntimeConfig,
         policies: Vec<Arc<dyn SharingPolicy>>,
+    ) -> Self {
+        Self::start_inner(net, delays, cfg, policies, None)
+    }
+
+    fn start_inner(
+        net: RoadsNetwork,
+        delays: DelaySpace,
+        cfg: RuntimeConfig,
+        policies: Vec<Arc<dyn SharingPolicy>>,
+        phases: Option<PhaseTimers>,
     ) -> Self {
         assert_eq!(net.len(), delays.len(), "delay space must cover servers");
         assert_eq!(net.len(), policies.len(), "one policy per server");
@@ -97,9 +151,10 @@ impl RoadsCluster {
             let id = ServerId(s as u32);
             let store = RecordStore::new(net.schema().clone(), net.records(id).to_vec());
             let net = Arc::clone(&net);
+            let search_hist = phases.as_ref().map(|p| Arc::clone(&p.local_search));
             let handle = thread::Builder::new()
                 .name(format!("roads-server-{s}"))
-                .spawn(move || server_loop(id, store, net, cfg, policy, rx))
+                .spawn(move || server_loop(id, store, net, cfg, policy, rx, search_hist))
                 .expect("spawn server thread");
             handles.push(handle);
         }
@@ -109,6 +164,7 @@ impl RoadsCluster {
             cfg,
             senders,
             handles,
+            phases,
         }
     }
 
@@ -126,7 +182,12 @@ impl RoadsCluster {
 
     /// [`Self::query`] with an authenticated requester identity, which each
     /// owner's policy classifies independently.
-    pub fn query_as(&self, query: &Query, start: ServerId, requester: RequesterId) -> RuntimeOutcome {
+    pub fn query_as(
+        &self,
+        query: &Query,
+        start: ServerId,
+        requester: RequesterId,
+    ) -> RuntimeOutcome {
         let t0 = Instant::now();
         let (done_tx, done_rx) = unbounded::<ServerReply>();
         let visited = Arc::new(Mutex::new(std::collections::HashSet::<ServerId>::new()));
@@ -175,10 +236,20 @@ impl RoadsCluster {
 
         dispatch(start, ContactMode::Entry, &mut outstanding);
         while outstanding > 0 {
-            let reply = done_rx.recv().expect("helper threads hold the sender");
+            let reply = match &self.phases {
+                Some(p) => timed(&p.channel_wait, || done_rx.recv()),
+                None => done_rx.recv(),
+            }
+            .expect("helper threads hold the sender");
             debug_assert!(visited.lock().contains(&reply.server));
             outstanding -= 1;
             contacted += 1;
+            // RAII: the merge span covers folding this reply's records and
+            // dispatching its redirect targets, ending with the iteration.
+            let _merge_span = self
+                .phases
+                .as_ref()
+                .map(|p| roads_telemetry::SpanTimer::start(Arc::clone(&p.result_merge)));
             records.extend(reply.records);
             for (target, mode) in reply.targets {
                 dispatch(target, mode, &mut outstanding);
@@ -225,6 +296,7 @@ fn server_loop(
     cfg: RuntimeConfig,
     policy: Arc<dyn SharingPolicy>,
     rx: Receiver<ServerRequest>,
+    search_hist: Option<Arc<Histogram>>,
 ) {
     while let Ok(req) = rx.recv() {
         match req {
@@ -263,9 +335,13 @@ fn server_loop(
                     }
                 };
                 let records: Vec<Record> = if do_local {
+                    let found = match &search_hist {
+                        Some(h) => timed(h, || store.search(&query)),
+                        None => store.search(&query),
+                    };
                     // The owner's final say: policy filters/redacts what
                     // actually leaves this server.
-                    apply_policy(policy.as_ref(), requester, store.search(&query))
+                    apply_policy(policy.as_ref(), requester, found)
                 } else {
                     Vec::new()
                 };
@@ -358,7 +434,9 @@ mod tests {
         for start in 0..4u32 {
             let c = Arc::clone(&c);
             let q = q.clone();
-            handles.push(thread::spawn(move || c.query(&q, ServerId(start)).records.len()));
+            handles.push(thread::spawn(move || {
+                c.query(&q, ServerId(start)).records.len()
+            }));
         }
         for h in handles {
             assert_eq!(h.join().unwrap(), 120);
@@ -390,10 +468,7 @@ mod tests {
             .map(|_| Arc::new(roads_core::policy::OpenPolicy) as Arc<_>)
             .collect();
         // Member-tier default + no allowlisted members ⇒ public sees nothing.
-        policies[2] = Arc::new(TieredPolicy::new(
-            [roads_core::policy::RequesterId(42)],
-            [],
-        ));
+        policies[2] = Arc::new(TieredPolicy::new([roads_core::policy::RequesterId(42)], []));
         let c = RoadsCluster::start_with_policies(
             net,
             DelaySpace::paper(4, 3),
@@ -408,6 +483,47 @@ mod tests {
         let partner = c.query_as(&q, ServerId(0), roads_core::policy::RequesterId(42));
         assert_eq!(partner.records.len(), 4, "partner sees everything");
         c.shutdown();
+    }
+
+    #[test]
+    fn instrumented_cluster_records_phase_spans() {
+        let n = 9;
+        let schema = Schema::unit_numeric(1);
+        let cfg = RoadsConfig {
+            max_children: 3,
+            summary: SummaryConfig::with_buckets(100),
+            ..RoadsConfig::paper_default()
+        };
+        let records: Vec<Vec<Record>> = (0..n)
+            .map(|s| {
+                vec![Record::new_unchecked(
+                    RecordId(s as u64),
+                    OwnerId(s as u32),
+                    vec![Value::Float(s as f64 / n as f64)],
+                )]
+            })
+            .collect();
+        let net = RoadsNetwork::build(schema, cfg, records);
+        let reg = Registry::new();
+        let c = RoadsCluster::start_instrumented(
+            net,
+            DelaySpace::paper(n, 5),
+            RuntimeConfig::test_fast(),
+            &reg,
+        );
+        let q = QueryBuilder::new(c.network().schema(), QueryId(11))
+            .range("x0", 0.0, 1.0)
+            .build();
+        let out = c.query(&q, ServerId(0));
+        assert_eq!(out.records.len(), n);
+        c.shutdown();
+        let snap = reg.snapshot();
+        // Every contacted server searched its store once; the client waited
+        // on and merged one reply per server.
+        assert_eq!(snap.histograms["runtime.local_search_us"].count, n);
+        assert_eq!(snap.histograms["runtime.channel_wait_us"].count, n);
+        assert_eq!(snap.histograms["runtime.result_merge_us"].count, n);
+        assert!(snap.histograms["runtime.channel_wait_us"].max > 0.0);
     }
 
     #[test]

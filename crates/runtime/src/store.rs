@@ -255,7 +255,9 @@ mod tests {
     fn empty_store() {
         let s = RecordStore::new(mixed_schema(), Vec::new());
         assert!(s.is_empty());
-        let q = QueryBuilder::new(s.schema(), QueryId(7)).eq("type", "x").build();
+        let q = QueryBuilder::new(s.schema(), QueryId(7))
+            .eq("type", "x")
+            .build();
         assert!(s.search(&q).is_empty());
     }
 }

@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn coarser_levels_are_conservative() {
         let p = pyramid(&[0.05]); // finest bucket [0,0.125)
-        // Query [0.2,0.24] misses at finest level…
+                                  // Query [0.2,0.24] misses at finest level…
         assert!(!p.level(0).may_match_range(0.2, 0.24));
         // …but the 2-bucket level [0,0.5) must report a (false) positive —
         // coarsening never creates a false negative, only false positives.

@@ -108,9 +108,9 @@ impl Summary {
                 AttrType::Numeric | AttrType::Integer | AttrType::Timestamp => {
                     if config.multires {
                         let m = config.buckets.next_power_of_two();
-                        AttributeSummary::MultiRes(MultiResHistogram::from_finest(
-                            Histogram::new(def.lo, def.hi, m),
-                        ))
+                        AttributeSummary::MultiRes(MultiResHistogram::from_finest(Histogram::new(
+                            def.lo, def.hi, m,
+                        )))
                     } else {
                         AttributeSummary::Hist(Histogram::new(def.lo, def.hi, config.buckets))
                     }
@@ -243,11 +243,7 @@ impl Summary {
 impl WireSize for Summary {
     fn wire_size(&self) -> usize {
         // record count (8) + arity (2) + per-attribute summaries
-        10 + self
-            .per_attr
-            .iter()
-            .map(WireSize::wire_size)
-            .sum::<usize>()
+        10 + self.per_attr.iter().map(WireSize::wire_size).sum::<usize>()
     }
 }
 
@@ -295,7 +291,9 @@ mod tests {
         assert!(sum.may_match(&q));
 
         // encoding=H264 → definitely no match.
-        let q2 = QueryBuilder::new(&s, QueryId(2)).eq("encoding", "H264").build();
+        let q2 = QueryBuilder::new(&s, QueryId(2))
+            .eq("encoding", "H264")
+            .build();
         assert!(!sum.may_match(&q2));
 
         // rate>500 → no bucket beyond 500 is occupied.
@@ -307,7 +305,9 @@ mod tests {
     fn empty_summary_matches_nothing() {
         let s = schema();
         let sum = Summary::empty(&s, &config());
-        let q = QueryBuilder::new(&s, QueryId(1)).eq("type", "camera").build();
+        let q = QueryBuilder::new(&s, QueryId(1))
+            .eq("type", "camera")
+            .build();
         assert!(!sum.may_match(&q));
     }
 
@@ -378,7 +378,9 @@ mod tests {
         let one = Summary::from_records(&s, &cfg, &[camera(&s, 1, "x", 1.0)]);
         assert_eq!(sum.wire_size(), one.wire_size());
         // and still no false negatives:
-        let q = QueryBuilder::new(&s, QueryId(1)).eq("encoding", "codec-77").build();
+        let q = QueryBuilder::new(&s, QueryId(1))
+            .eq("encoding", "codec-77")
+            .build();
         assert!(sum.may_match(&q));
     }
 
@@ -396,9 +398,13 @@ mod tests {
             vec![Value::Float(0.3), Value::Float(0.7)],
         );
         let sum = Summary::from_records(&s, &cfg, &[r]);
-        let q = QueryBuilder::new(&s, QueryId(1)).range("x0", 0.25, 0.35).build();
+        let q = QueryBuilder::new(&s, QueryId(1))
+            .range("x0", 0.25, 0.35)
+            .build();
         assert!(sum.may_match(&q));
-        let q2 = QueryBuilder::new(&s, QueryId(2)).range("x0", 0.8, 0.9).build();
+        let q2 = QueryBuilder::new(&s, QueryId(2))
+            .range("x0", 0.8, 0.9)
+            .build();
         assert!(!sum.may_match(&q2));
     }
 

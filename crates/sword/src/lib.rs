@@ -23,5 +23,5 @@ pub mod network;
 pub mod ring;
 
 pub use churn::{DynamicRing, TransferCost};
-pub use network::{SwordNetwork, SwordQueryOutcome, SwordUpdateStats};
+pub use network::{record_query_outcome, SwordNetwork, SwordQueryOutcome, SwordUpdateStats};
 pub use ring::MultiRing;

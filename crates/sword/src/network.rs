@@ -125,7 +125,10 @@ impl SwordNetwork {
 
     /// Worst per-server storage.
     pub fn max_storage_bytes(&self) -> usize {
-        (0..self.len()).map(|s| self.storage_bytes(s)).max().unwrap_or(0)
+        (0..self.len())
+            .map(|s| self.storage_bytes(s))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Account one full re-registration round: every record routed to every
@@ -140,7 +143,10 @@ impl SwordNetwork {
                     // Routing to the home node forwards the record once per
                     // hop; a local home (0 hops) still costs the store
                     // message itself.
-                    let hops = self.ring.route_hops(*origin, self.ring.hash(attr, v)).max(1);
+                    let hops = self
+                        .ring
+                        .route_hops(*origin, self.ring.hash(attr, v))
+                        .max(1);
                     stats.bytes += bytes_per_msg * hops as u64;
                     stats.messages += hops as u64;
                     stats.copies += 1;
@@ -199,7 +205,9 @@ impl SwordNetwork {
         out.latency_ms = now_ms;
 
         // Phase 2: sweep the segment sequentially.
-        let segment = self.ring.segment(attr, lo.clamp(0.0, 1.0), hi.clamp(0.0, 1.0));
+        let segment = self
+            .ring
+            .segment(attr, lo.clamp(0.0, 1.0), hi.clamp(0.0, 1.0));
         let mut seen = std::collections::HashSet::new();
         for (i, &server) in segment.iter().enumerate() {
             if i > 0 {
@@ -221,7 +229,10 @@ impl SwordNetwork {
 
     /// Ground truth over the original records (not the ring copies).
     pub fn matching_records(&self, query: &Query) -> usize {
-        self.origins.iter().filter(|(_, r)| query.matches(r)).count()
+        self.origins
+            .iter()
+            .filter(|(_, r)| query.matches(r))
+            .count()
     }
 
     /// Execute with SWORD's query planner: resolve in the ring of the
@@ -239,9 +250,9 @@ impl SwordNetwork {
             .iter()
             .filter_map(|p| match p {
                 Predicate::Range { attr, lo, hi } => {
-                    let seg = self
-                        .ring
-                        .segment(attr.index(), lo.clamp(0.0, 1.0), hi.clamp(0.0, 1.0));
+                    let seg =
+                        self.ring
+                            .segment(attr.index(), lo.clamp(0.0, 1.0), hi.clamp(0.0, 1.0));
                     Some((seg.len(), p.clone()))
                 }
                 _ => None,
@@ -265,6 +276,21 @@ impl SwordNetwork {
     }
 }
 
+/// Record one SWORD query outcome into `reg` under the `sword.*`
+/// namespace — the same instruments the ROADS engine records under
+/// `roads.*`, so figure exports compare the systems field by field.
+pub fn record_query_outcome(reg: &roads_telemetry::Registry, out: &SwordQueryOutcome) {
+    reg.counter("sword.queries").inc();
+    reg.counter("sword.query_messages").add(out.query_messages);
+    reg.counter("sword.query_bytes").add(out.query_bytes);
+    reg.counter("sword.matching_records")
+        .add(out.matching_records as u64);
+    reg.histogram("sword.query_latency_ms")
+        .record(out.latency_ms);
+    reg.histogram("sword.servers_contacted")
+        .record(out.servers_contacted as f64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,9 +306,7 @@ mod tests {
                             RecordId(idx as u64),
                             OwnerId(s as u32),
                             (0..attrs)
-                                .map(|a| {
-                                    Value::Float(((idx * 7 + a * 13) % 100) as f64 / 100.0)
-                                })
+                                .map(|a| Value::Float(((idx * 7 + a * 13) % 100) as f64 / 100.0))
                                 .collect(),
                         )
                     })

@@ -197,7 +197,11 @@ mod tests {
         let seg = r.segment(2, 0.25, 0.75);
         // Attribute 2's arc is [0.5, 0.75); the hashed range spans
         // [0.5625, 0.6875] → 64 × 0.125 ≈ 8 or 9 servers.
-        assert!((8..=9).contains(&seg.len()), "segment {} servers", seg.len());
+        assert!(
+            (8..=9).contains(&seg.len()),
+            "segment {} servers",
+            seg.len()
+        );
         // Contiguity.
         for w in seg.windows(2) {
             assert_eq!(w[1], r.successor(w[0]));

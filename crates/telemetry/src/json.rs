@@ -1,0 +1,223 @@
+//! A minimal JSON value type with compact and pretty writers.
+//!
+//! Hand-rolled on purpose: the workspace's vendored `serde` is an inert
+//! API-compatibility shim, so figure export builds its documents
+//! explicitly. Output is strict JSON: strings are escaped, non-finite
+//! numbers serialize as `null`.
+
+use std::fmt::{self, Write as _};
+
+/// A JSON document fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number; non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A number.
+    pub fn num(v: f64) -> Json {
+        Json::Num(v)
+    }
+
+    /// A string.
+    pub fn str(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    /// An array.
+    pub fn arr(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// An array of numbers.
+    pub fn nums(values: &[f64]) -> Json {
+        Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())
+    }
+
+    /// Pretty-print with two-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k).expect("writing to String");
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => {
+                write!(out, "{other}").expect("writing to String");
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+fn write_num(f: &mut fmt::Formatter<'_>, v: f64) -> fmt::Result {
+    if !v.is_finite() {
+        return f.write_str("null");
+    }
+    // Integral values in the exactly-representable range print without a
+    // fraction; everything else uses Rust's shortest-roundtrip formatting.
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        write!(f, "{}", v as i64)
+    } else {
+        write!(f, "{v}")
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact (single-line) serialization.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(v) => write_num(f, *v),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_serialization() {
+        let doc = Json::obj(vec![
+            ("name", Json::str("fig3")),
+            ("n", Json::num(320.0)),
+            ("ratio", Json::num(0.5)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("xs", Json::nums(&[1.0, 2.5])),
+        ]);
+        assert_eq!(
+            doc.to_string(),
+            r#"{"name":"fig3","n":320,"ratio":0.5,"ok":true,"none":null,"xs":[1,2.5]}"#
+        );
+    }
+
+    #[test]
+    fn escaping() {
+        let doc = Json::str("a\"b\\c\nd\te\u{1}");
+        assert_eq!(doc.to_string(), r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn non_finite_numbers_are_null() {
+        assert_eq!(Json::num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn pretty_round_trips_structure() {
+        let doc = Json::obj(vec![
+            ("a", Json::arr(vec![Json::num(1.0), Json::str("x")])),
+            ("b", Json::obj(vec![("c", Json::Null)])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        let pretty = doc.to_string_pretty();
+        assert!(pretty.contains("\"a\": [\n"));
+        assert!(pretty.contains("\"c\": null"));
+        assert!(pretty.contains("\"empty_arr\": []"));
+        assert!(pretty.ends_with("}\n"));
+    }
+
+    #[test]
+    fn large_integers_stay_integral() {
+        assert_eq!(Json::num(1e15).to_string(), "1000000000000000");
+        // Beyond the i64-safe guard, float formatting takes over (and must
+        // not panic on values that would overflow an i64 cast).
+        assert_eq!(Json::num(1e19).to_string(), format!("{}", 1e19f64));
+    }
+}

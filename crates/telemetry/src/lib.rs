@@ -1,0 +1,37 @@
+//! Workspace-wide telemetry for the ROADS reproduction.
+//!
+//! Four pieces, all dependency-light and thread-safe:
+//!
+//! * [`registry`] — named monotonic [`Counter`]s, [`Gauge`]s and
+//!   log-bucketed latency [`Histogram`]s (fixed memory, mergeable across
+//!   threads), collected into a [`Registry`] and exported as a
+//!   [`MetricsSnapshot`] with p50/p90/p99 extraction.
+//! * [`trace`] — per-query [`QueryTrace`]s recording every hop a discovery
+//!   query takes through the federation with a [`HopReason`]
+//!   (summary hit, false-positive redirect, overlay shortcut, climb to
+//!   parent), plus an aggregator producing hop-count distributions,
+//!   false-positive redirect rates and per-node load concentration
+//!   (root-load share, Gini coefficient).
+//! * [`span`] — scoped wall-clock timers feeding histograms, used by the
+//!   threaded prototype runtime to attribute time to phases (local store
+//!   search, channel wait, result merge).
+//! * [`json`] / [`export`] — a small hand-rolled JSON value type and the
+//!   `results/<figure>.json` exporter used by every `fig*` binary.
+//!
+//! Everything is opt-in: simulation and runtime code paths accept an
+//! `Option`al registry/sink and do no work when it is absent, so the
+//! instrumented build costs nothing when telemetry is not requested.
+
+pub mod export;
+pub mod json;
+pub mod registry;
+pub mod span;
+pub mod stats;
+pub mod trace;
+
+pub use export::{FigureExport, ReferencePoint, Series};
+pub use json::Json;
+pub use registry::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+pub use span::SpanTimer;
+pub use stats::LatencyStats;
+pub use trace::{aggregate_traces, gini, Hop, HopReason, QueryTrace, TraceReport};

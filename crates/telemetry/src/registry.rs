@@ -1,0 +1,455 @@
+//! Named metrics: counters, gauges and log-bucketed histograms.
+//!
+//! A [`Registry`] hands out `Arc`-shared instruments keyed by name, so any
+//! layer of the stack (simulator, protocol engine, runtime threads, bench
+//! harness) can record into the same instrument concurrently. A
+//! [`MetricsSnapshot`] freezes every instrument for reporting/export.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::json::Json;
+use crate::stats::LatencyStats;
+
+/// A monotonic counter. There is deliberately no decrement operation.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that may move in either direction.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Shift the value by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets. With [`SUB_BUCKETS`] buckets per doubling
+/// this spans `LOWEST * 2^(BUCKETS/SUB_BUCKETS)` ≈ 19 orders of magnitude
+/// above [`LOWEST`] — every duration this workspace measures fits.
+const BUCKETS: usize = 512;
+/// Buckets per octave (value doubling); bounds relative precision at
+/// `2^(1/8) − 1` ≈ 9%.
+const SUB_BUCKETS: f64 = 8.0;
+/// Lower edge of bucket 1; smaller samples land in bucket 0.
+const LOWEST: f64 = 1e-3;
+
+/// Shared mutable histogram state, guarded by one `parking_lot` mutex.
+#[derive(Debug, Clone)]
+struct HistInner {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl HistInner {
+    fn empty() -> Self {
+        HistInner {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// A fixed-memory, log-bucketed (HDR-style) latency histogram.
+///
+/// Values map to geometrically spaced buckets ([`SUB_BUCKETS`] per
+/// doubling), so percentile estimates carry a bounded ~9% relative error
+/// while memory stays constant regardless of sample count. Histograms with
+/// the same layout (always true here — the layout is compile-time fixed)
+/// merge by bucket-wise addition, making per-thread recording plus
+/// end-of-run aggregation cheap and exact: merging two histograms is
+/// indistinguishable from recording the union of their samples.
+#[derive(Debug)]
+pub struct Histogram {
+    inner: Mutex<HistInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            inner: Mutex::new(HistInner::empty()),
+        }
+    }
+
+    /// Bucket index for a value (negative/NaN values clamp to bucket 0).
+    fn index(v: f64) -> usize {
+        // NaN intentionally lands in bucket 0 with everything <= LOWEST.
+        if v.partial_cmp(&LOWEST) != Some(std::cmp::Ordering::Greater) {
+            return 0;
+        }
+        // Clamp in f64 before the cast: `v / LOWEST` can overflow to
+        // infinity for huge inputs, and `inf as usize` saturates.
+        let i = ((v / LOWEST).log2() * SUB_BUCKETS).floor() + 1.0;
+        i.min((BUCKETS - 1) as f64) as usize
+    }
+
+    /// Upper edge of a bucket — used as its representative value so
+    /// percentile estimates are conservative (never under-report).
+    fn bucket_value(i: usize) -> f64 {
+        if i == 0 {
+            LOWEST
+        } else {
+            LOWEST * ((i as f64) / SUB_BUCKETS).exp2()
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: f64) {
+        let mut g = self.inner.lock();
+        g.buckets[Self::index(v)] += 1;
+        g.count += 1;
+        g.sum += v;
+        g.min = g.min.min(v);
+        g.max = g.max.max(v);
+    }
+
+    /// Fold `other` into `self`; equivalent to having recorded the union
+    /// of both sample sets.
+    pub fn merge(&self, other: &Histogram) {
+        // Clone the source first: taking both locks in callers' arbitrary
+        // orders could deadlock.
+        let src = other.inner.lock().clone();
+        let mut dst = self.inner.lock();
+        for (d, s) in dst.buckets.iter_mut().zip(&src.buckets) {
+            *d += s;
+        }
+        dst.count += src.count;
+        dst.sum += src.sum;
+        dst.min = dst.min.min(src.min);
+        dst.max = dst.max.max(src.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.inner.lock().sum
+    }
+
+    /// Nearest-rank percentile estimate (`q` in `[0, 1]`); `None` when
+    /// empty. Exact min/max are tracked separately and bound the result.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        let g = self.inner.lock();
+        if g.count == 0 {
+            return None;
+        }
+        let rank = ((g.count as f64) * q).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in g.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(Self::bucket_value(i).clamp(g.min, g.max));
+            }
+        }
+        Some(g.max)
+    }
+
+    /// Snapshot of the raw bucket counts (for tests and merge auditing).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.inner.lock().buckets.clone()
+    }
+
+    /// Freeze into a [`LatencyStats`]; `None` when empty. Mean/min/max are
+    /// exact; percentiles carry the bucket quantization error.
+    pub fn summary(&self) -> Option<LatencyStats> {
+        // One lock scope: the guard must be released before the
+        // percentile() calls below re-lock, and holding it across the
+        // whole struct literal would self-deadlock.
+        let (count, sum, min, max) = {
+            let g = self.inner.lock();
+            if g.count == 0 {
+                return None;
+            }
+            (g.count, g.sum, g.min, g.max)
+        };
+        Some(LatencyStats {
+            count: count as usize,
+            mean: sum / count as f64,
+            p50: self.percentile(0.50).expect("non-empty"),
+            p90: self.percentile(0.90).expect("non-empty"),
+            p99: self.percentile(0.99).expect("non-empty"),
+            min,
+            max,
+        })
+    }
+}
+
+/// A name-keyed collection of instruments shared across threads.
+///
+/// `counter`/`gauge`/`histogram` get-or-create, so call sites never need
+/// registration order coordination; the returned `Arc` can be cached.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Freeze every instrument. Empty histograms are omitted (they carry
+    /// no information and would serialize as nulls).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .filter_map(|(k, v)| v.summary().map(|s| (k.clone(), s)))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of every instrument in a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Summaries of the non-empty histograms by name.
+    pub histograms: BTreeMap<String, LatencyStats>,
+}
+
+impl MetricsSnapshot {
+    /// JSON object: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {name: {count, mean, p50, p90, p99, min, max}}}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::num(v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::num(v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.counter("q").inc();
+        r.counter("q").add(4);
+        assert_eq!(r.counter("q").get(), 5);
+        assert_eq!(r.counter("other").get(), 0);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-25);
+        assert_eq!(g.get(), -15);
+    }
+
+    #[test]
+    fn histogram_percentiles_bounded_error() {
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 1000);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+        // Log-bucketing guarantees <= ~9% relative error, upward-biased.
+        assert!(s.p50 >= 500.0 && s.p50 <= 500.0 * 1.1, "p50 {}", s.p50);
+        assert!(s.p90 >= 900.0 && s.p90 <= 900.0 * 1.1, "p90 {}", s.p90);
+        assert!(s.p99 >= 990.0 && s.p99 <= 990.0 * 1.1, "p99 {}", s.p99);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1000.0);
+    }
+
+    #[test]
+    fn histogram_extreme_values_clamp() {
+        let h = Histogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::MAX);
+        assert_eq!(h.count(), 3);
+        let s = h.summary().unwrap();
+        assert_eq!(s.min, -3.0);
+        assert_eq!(s.max, f64::MAX);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let (a, b, u) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for i in 0..100 {
+            let v = (i * 37 % 91) as f64 + 0.5;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            u.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), u.bucket_counts());
+        assert_eq!(a.summary(), u.summary());
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        h.record((t * 1000 + i) as f64);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn snapshot_skips_empty_histograms() {
+        let r = Registry::new();
+        r.histogram("empty");
+        r.histogram("full").record(1.0);
+        r.counter("c").inc();
+        let snap = r.snapshot();
+        assert!(!snap.histograms.contains_key("empty"));
+        assert!(snap.histograms.contains_key("full"));
+        assert_eq!(snap.counters["c"], 1);
+        let json = snap.to_json().to_string();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"p99\""));
+    }
+}

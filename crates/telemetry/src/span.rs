@@ -1,0 +1,76 @@
+//! Scoped wall-clock timers feeding histograms.
+//!
+//! Used by the threaded prototype runtime to attribute real elapsed time
+//! to phases (local store search, channel wait, result merge). A
+//! [`SpanTimer`] records the elapsed microseconds into its histogram when
+//! dropped, so instrumented code stays shaped like ordinary RAII Rust.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::registry::Histogram;
+
+/// Records elapsed wall-clock microseconds into a histogram on drop.
+#[derive(Debug)]
+pub struct SpanTimer {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Start timing into `hist`.
+    pub fn start(hist: Arc<Histogram>) -> Self {
+        SpanTimer {
+            hist,
+            start: Instant::now(),
+        }
+    }
+
+    /// Stop early and record; equivalent to dropping.
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let us = self.start.elapsed().as_secs_f64() * 1e6;
+        self.hist.record(us);
+    }
+}
+
+/// Time a closure into `hist` (microseconds), passing through its result.
+pub fn timed<R>(hist: &Arc<Histogram>, f: impl FnOnce() -> R) -> R {
+    let _span = SpanTimer::start(Arc::clone(hist));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _t = SpanTimer::start(Arc::clone(&h));
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 1000.0, "recorded {}us", h.sum());
+    }
+
+    #[test]
+    fn timed_passes_value_through() {
+        let h = Arc::new(Histogram::new());
+        let v = timed(&h, || 7 * 6);
+        assert_eq!(v, 42);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn finish_records_once() {
+        let h = Arc::new(Histogram::new());
+        let t = SpanTimer::start(Arc::clone(&h));
+        t.finish();
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,370 @@
+//! Query-path tracing and aggregation.
+//!
+//! A [`QueryTrace`] records every server a discovery query touched and
+//! *why* it was touched — the [`HopReason`]. Reasons map onto the ROADS
+//! mechanisms: a child summary claiming a match (summary hit), that claim
+//! turning out hollow (false-positive redirect, the cost of lossy
+//! summaries), a replication-overlay entry shortcut, and the climb towards
+//! ancestors that guarantees completeness.
+//!
+//! [`aggregate_traces`] folds a batch of traces into a [`TraceReport`]:
+//! hop-count distribution, false-positive redirect rate, and per-node load
+//! concentration (root-load share and Gini coefficient) — the quantities
+//! behind the paper's load-balance and bucket-count ablations.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// Why a query visited a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HopReason {
+    /// The query's entry server (client attachment point).
+    Entry,
+    /// A child branch summary claimed a possible match.
+    SummaryHit,
+    /// A summary hit that produced no matches anywhere below it — the
+    /// price of lossy (histogram/bloom) summaries.
+    FalsePositiveRedirect,
+    /// Reached directly from the entry via the replication overlay,
+    /// skipping the climb through common ancestors.
+    OverlayShortcut,
+    /// Climbing towards an ancestor to widen the search scope.
+    ClimbToParent,
+}
+
+impl HopReason {
+    /// Stable kebab-case label used in JSON exports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HopReason::Entry => "entry",
+            HopReason::SummaryHit => "summary-hit",
+            HopReason::FalsePositiveRedirect => "false-positive-redirect",
+            HopReason::OverlayShortcut => "overlay-shortcut",
+            HopReason::ClimbToParent => "climb-to-parent",
+        }
+    }
+}
+
+/// One server visit within a query's execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hop {
+    /// The visited server.
+    pub node: u32,
+    /// Why the query went there.
+    pub reason: HopReason,
+    /// Cumulative simulated time when the query arrived, in ms.
+    pub at_ms: f64,
+    /// Matching records found in the server's local store.
+    pub local_matches: usize,
+}
+
+/// The full path one query took through the federation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTrace {
+    /// Workload query id.
+    pub query_id: u64,
+    /// Entry server.
+    pub entry: u32,
+    /// Visits in arrival-time order (the entry hop first).
+    pub hops: Vec<Hop>,
+    /// Simulated time when the last result reached the client, in ms.
+    pub completed_ms: f64,
+}
+
+impl QueryTrace {
+    /// Number of server visits (including the entry).
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether `node` appears anywhere on the path.
+    pub fn visits(&self, node: u32) -> bool {
+        self.hops.iter().any(|h| h.node == node)
+    }
+
+    /// Number of hops with the given reason.
+    pub fn count_reason(&self, reason: HopReason) -> usize {
+        self.hops.iter().filter(|h| h.reason == reason).count()
+    }
+
+    /// JSON object with the full hop list.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("query_id", Json::num(self.query_id as f64)),
+            ("entry", Json::num(self.entry as f64)),
+            ("completed_ms", Json::num(self.completed_ms)),
+            (
+                "hops",
+                Json::Arr(
+                    self.hops
+                        .iter()
+                        .map(|h| {
+                            Json::obj(vec![
+                                ("node", Json::num(h.node as f64)),
+                                ("reason", Json::str(h.reason.as_str())),
+                                ("at_ms", Json::num(h.at_ms)),
+                                ("local_matches", Json::num(h.local_matches as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Aggregate statistics over a batch of [`QueryTrace`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Number of traces aggregated.
+    pub queries: usize,
+    /// hop-count → number of queries with that many hops.
+    pub hop_histogram: BTreeMap<usize, usize>,
+    /// Mean hops per query.
+    pub mean_hops: f64,
+    /// Largest hop count observed.
+    pub max_hops: usize,
+    /// Total non-entry hops across all traces.
+    pub probe_hops: usize,
+    /// Hops classified [`HopReason::FalsePositiveRedirect`].
+    pub fp_redirects: usize,
+    /// `fp_redirects / probe_hops` (0 when no probes).
+    pub fp_redirect_rate: f64,
+    /// Hops classified [`HopReason::OverlayShortcut`].
+    pub overlay_shortcuts: usize,
+    /// Hops classified [`HopReason::ClimbToParent`].
+    pub climb_hops: usize,
+    /// Visits landing on the hierarchy root.
+    pub root_visits: usize,
+    /// `root_visits / total visits` — how concentrated load is on the root.
+    pub root_load_share: f64,
+    /// Gini coefficient of per-node visit counts over all `nodes` servers
+    /// (0 = perfectly even, → 1 = all load on one server).
+    pub gini: f64,
+}
+
+impl TraceReport {
+    /// JSON object mirroring every field; the hop histogram becomes an
+    /// array of `[hops, queries]` pairs.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("queries", Json::num(self.queries as f64)),
+            (
+                "hop_histogram",
+                Json::Arr(
+                    self.hop_histogram
+                        .iter()
+                        .map(|(&h, &n)| Json::Arr(vec![Json::num(h as f64), Json::num(n as f64)]))
+                        .collect(),
+                ),
+            ),
+            ("mean_hops", Json::num(self.mean_hops)),
+            ("max_hops", Json::num(self.max_hops as f64)),
+            ("probe_hops", Json::num(self.probe_hops as f64)),
+            ("fp_redirects", Json::num(self.fp_redirects as f64)),
+            ("fp_redirect_rate", Json::num(self.fp_redirect_rate)),
+            (
+                "overlay_shortcuts",
+                Json::num(self.overlay_shortcuts as f64),
+            ),
+            ("climb_hops", Json::num(self.climb_hops as f64)),
+            ("root_visits", Json::num(self.root_visits as f64)),
+            ("root_load_share", Json::num(self.root_load_share)),
+            ("gini", Json::num(self.gini)),
+        ])
+    }
+}
+
+/// Gini coefficient of a load distribution; 0 for empty/uniform input.
+pub fn gini(counts: &[u64]) -> f64 {
+    let n = counts.len();
+    let total: u64 = counts.iter().sum();
+    if n == 0 || total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable();
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    let n = n as f64;
+    (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+}
+
+/// Fold traces into a [`TraceReport`]. `root` is the hierarchy root server
+/// and `nodes` the federation size (zero-visit servers count towards the
+/// Gini denominator — an idle server *is* imbalance).
+pub fn aggregate_traces(traces: &[QueryTrace], root: u32, nodes: usize) -> TraceReport {
+    let mut hop_histogram = BTreeMap::new();
+    let mut visits_per_node = vec![0u64; nodes];
+    let mut total_hops = 0usize;
+    let mut max_hops = 0usize;
+    let mut probe_hops = 0usize;
+    let mut fp_redirects = 0usize;
+    let mut overlay_shortcuts = 0usize;
+    let mut climb_hops = 0usize;
+    let mut root_visits = 0usize;
+
+    for t in traces {
+        let hops = t.hop_count();
+        *hop_histogram.entry(hops).or_insert(0) += 1;
+        total_hops += hops;
+        max_hops = max_hops.max(hops);
+        for h in &t.hops {
+            if let Some(slot) = visits_per_node.get_mut(h.node as usize) {
+                *slot += 1;
+            }
+            if h.node == root {
+                root_visits += 1;
+            }
+            match h.reason {
+                HopReason::Entry => {}
+                HopReason::FalsePositiveRedirect => {
+                    probe_hops += 1;
+                    fp_redirects += 1;
+                }
+                HopReason::OverlayShortcut => {
+                    probe_hops += 1;
+                    overlay_shortcuts += 1;
+                }
+                HopReason::ClimbToParent => {
+                    probe_hops += 1;
+                    climb_hops += 1;
+                }
+                HopReason::SummaryHit => {
+                    probe_hops += 1;
+                }
+            }
+        }
+    }
+
+    let queries = traces.len();
+    TraceReport {
+        queries,
+        hop_histogram,
+        mean_hops: if queries == 0 {
+            0.0
+        } else {
+            total_hops as f64 / queries as f64
+        },
+        max_hops,
+        probe_hops,
+        fp_redirects,
+        fp_redirect_rate: if probe_hops == 0 {
+            0.0
+        } else {
+            fp_redirects as f64 / probe_hops as f64
+        },
+        overlay_shortcuts,
+        climb_hops,
+        root_visits,
+        root_load_share: if total_hops == 0 {
+            0.0
+        } else {
+            root_visits as f64 / total_hops as f64
+        },
+        gini: gini(&visits_per_node),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(node: u32, reason: HopReason) -> Hop {
+        Hop {
+            node,
+            reason,
+            at_ms: 0.0,
+            local_matches: 0,
+        }
+    }
+
+    fn trace(entry: u32, hops: Vec<Hop>) -> QueryTrace {
+        QueryTrace {
+            query_id: 0,
+            entry,
+            hops,
+            completed_ms: 1.0,
+        }
+    }
+
+    #[test]
+    fn gini_uniform_is_zero() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[5, 5, 5, 5]), 0.0);
+    }
+
+    #[test]
+    fn gini_concentrated_approaches_one() {
+        let g = gini(&[0, 0, 0, 0, 0, 0, 0, 0, 0, 100]);
+        assert!(g > 0.85, "gini {g}");
+        assert!(g <= 1.0);
+    }
+
+    #[test]
+    fn gini_orders_by_inequality() {
+        let even = gini(&[3, 3, 3, 3]);
+        let mild = gini(&[1, 2, 4, 5]);
+        let harsh = gini(&[0, 0, 1, 11]);
+        assert!(even < mild && mild < harsh);
+    }
+
+    #[test]
+    fn aggregate_counts_reasons_and_rates() {
+        let traces = vec![
+            trace(
+                1,
+                vec![
+                    hop(1, HopReason::Entry),
+                    hop(0, HopReason::ClimbToParent),
+                    hop(2, HopReason::SummaryHit),
+                    hop(3, HopReason::FalsePositiveRedirect),
+                ],
+            ),
+            trace(
+                2,
+                vec![hop(2, HopReason::Entry), hop(3, HopReason::OverlayShortcut)],
+            ),
+        ];
+        let r = aggregate_traces(&traces, 0, 4);
+        assert_eq!(r.queries, 2);
+        assert_eq!(r.probe_hops, 4);
+        assert_eq!(r.fp_redirects, 1);
+        assert!((r.fp_redirect_rate - 0.25).abs() < 1e-12);
+        assert_eq!(r.overlay_shortcuts, 1);
+        assert_eq!(r.climb_hops, 1);
+        assert_eq!(r.root_visits, 1);
+        assert!((r.root_load_share - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(r.hop_histogram[&4], 1);
+        assert_eq!(r.hop_histogram[&2], 1);
+        assert!((r.mean_hops - 3.0).abs() < 1e-12);
+        assert_eq!(r.max_hops, 4);
+    }
+
+    #[test]
+    fn empty_aggregate_is_all_zero() {
+        let r = aggregate_traces(&[], 0, 8);
+        assert_eq!(r.queries, 0);
+        assert_eq!(r.fp_redirect_rate, 0.0);
+        assert_eq!(r.gini, 0.0);
+        assert_eq!(r.root_load_share, 0.0);
+    }
+
+    #[test]
+    fn trace_helpers() {
+        let t = trace(
+            5,
+            vec![hop(5, HopReason::Entry), hop(0, HopReason::ClimbToParent)],
+        );
+        assert_eq!(t.hop_count(), 2);
+        assert!(t.visits(0));
+        assert!(!t.visits(9));
+        assert_eq!(t.count_reason(HopReason::ClimbToParent), 1);
+        let json = t.to_json().to_string();
+        assert!(json.contains("climb-to-parent"));
+    }
+}

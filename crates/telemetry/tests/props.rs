@@ -1,0 +1,104 @@
+//! Property tests for the metrics registry primitives.
+
+use proptest::prelude::*;
+use roads_telemetry::{Histogram, LatencyStats, Registry};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A counter only ever moves up, and ends at the sum of its increments.
+    #[test]
+    fn counter_is_monotone(increments in prop::collection::vec(0u64..1_000_000, 0..64)) {
+        let reg = Registry::new();
+        let ctr = reg.counter("prop.counter");
+        let mut prev = ctr.get();
+        let mut total = 0u64;
+        for &n in &increments {
+            ctr.add(n);
+            total += n;
+            let now = ctr.get();
+            prop_assert!(now >= prev, "counter went backwards: {prev} -> {now}");
+            prev = now;
+        }
+        prop_assert_eq!(ctr.get(), total);
+    }
+
+    /// Merging histograms commutes: a+b and b+a agree bucket by bucket.
+    #[test]
+    fn histogram_merge_commutes(
+        xs in prop::collection::vec(0.0f64..1e6, 0..64),
+        ys in prop::collection::vec(0.0f64..1e6, 0..64),
+    ) {
+        let (a1, b1) = (Histogram::new(), Histogram::new());
+        let (a2, b2) = (Histogram::new(), Histogram::new());
+        for &x in &xs {
+            a1.record(x);
+            a2.record(x);
+        }
+        for &y in &ys {
+            b1.record(y);
+            b2.record(y);
+        }
+        a1.merge(&b1); // a+b
+        b2.merge(&a2); // b+a
+        prop_assert_eq!(a1.bucket_counts(), b2.bucket_counts());
+        prop_assert_eq!(a1.count(), b2.count());
+        prop_assert!((a1.sum() - b2.sum()).abs() <= 1e-9 * a1.sum().abs().max(1.0));
+    }
+
+    /// Merging two histograms is indistinguishable from recording the
+    /// union of their samples into one histogram.
+    #[test]
+    fn histogram_merge_is_sample_union(
+        xs in prop::collection::vec(1e-9f64..1e9, 0..64),
+        ys in prop::collection::vec(1e-9f64..1e9, 0..64),
+    ) {
+        let left = Histogram::new();
+        let right = Histogram::new();
+        let union = Histogram::new();
+        for &x in &xs {
+            left.record(x);
+            union.record(x);
+        }
+        for &y in &ys {
+            right.record(y);
+            union.record(y);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.bucket_counts(), union.bucket_counts());
+        prop_assert_eq!(left.count(), union.count());
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(left.percentile(q), union.percentile(q));
+        }
+    }
+
+    /// Histogram percentiles are monotone in the quantile, and the summary
+    /// sits inside the recorded range (up to one bucket of quantization).
+    #[test]
+    fn histogram_percentiles_are_ordered(
+        samples in prop::collection::vec(1e-6f64..1e6, 1..128),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let p50 = h.percentile(0.5).expect("non-empty");
+        let p90 = h.percentile(0.9).expect("non-empty");
+        let p99 = h.percentile(0.99).expect("non-empty");
+        prop_assert!(p50 <= p90 && p90 <= p99, "p50={p50} p90={p90} p99={p99}");
+        let stats = h.summary().expect("non-empty");
+        prop_assert_eq!(stats.count as u64, samples.len() as u64);
+        prop_assert!(stats.min <= stats.max);
+    }
+
+    /// Exact-sample stats keep min <= p50 <= p90 <= p99 <= max.
+    #[test]
+    fn latency_stats_ordered(samples in prop::collection::vec(0.0f64..1e9, 1..256)) {
+        let s = LatencyStats::from_samples(&samples).expect("non-empty");
+        prop_assert!(s.min <= s.p50);
+        prop_assert!(s.p50 <= s.p90);
+        prop_assert!(s.p90 <= s.p99);
+        prop_assert!(s.p99 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+}

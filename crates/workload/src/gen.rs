@@ -113,7 +113,10 @@ pub fn generate_node_records(cfg: &RecordWorkloadConfig) -> Vec<Vec<Record>> {
 /// the resource data of each server distribute within a range of length
 /// `Of/nodes`, randomly located within \[0,1\]". Remaining attributes follow
 /// the default families.
-pub fn generate_overlap_records(cfg: &RecordWorkloadConfig, overlap_factor: f64) -> Vec<Vec<Record>> {
+pub fn generate_overlap_records(
+    cfg: &RecordWorkloadConfig,
+    overlap_factor: f64,
+) -> Vec<Vec<Record>> {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0F0F);
     let window = overlap_factor / cfg.nodes as f64;
     let confined = cfg.attrs.min(8);
@@ -294,14 +297,8 @@ pub fn selectivity_query_groups(
                 .map(|_| {
                     let center = all[rng.gen_range(0..all.len())];
                     let attrs = pick_query_attrs(dims, schema.len(), &mut rng);
-                    let q = calibrate_query(
-                        schema,
-                        &all,
-                        center,
-                        &attrs,
-                        target,
-                        QueryId(next_qid),
-                    );
+                    let q =
+                        calibrate_query(schema, &all, center, &attrs, target, QueryId(next_qid));
                     next_qid += 1;
                     q
                 })

@@ -137,8 +137,7 @@ pub fn generate_mixed_records(
                     }
                     for _ in 0..cfg.timestamps {
                         values.push(Value::Timestamp(
-                            (ts_base + rng.gen_range(0..2_500_000_000i64))
-                                .min(1_230_768_000_000),
+                            (ts_base + rng.gen_range(0..2_500_000_000i64)).min(1_230_768_000_000),
                         ));
                     }
                     for c in 0..cfg.categoricals {

@@ -23,7 +23,12 @@ fn main() {
     // Phase 1: let everyone join.
     sim.run_until(SimTime::from_millis(30_000));
     let tree = extract_tree(&sim).expect("converged after joins");
-    println!("t=30s   {} servers joined, {} levels, root {}", tree.len(), tree.levels(), tree.root());
+    println!(
+        "t=30s   {} servers joined, {} levels, root {}",
+        tree.len(),
+        tree.levels(),
+        tree.root()
+    );
 
     // Phase 2: crash an internal (non-root) server with children.
     let victim = tree
@@ -36,11 +41,19 @@ fn main() {
     sim.node_mut(NodeId(victim.0)).crash();
     sim.run_until(SimTime::from_millis(90_000));
     let tree = extract_tree(&sim).expect("healed after internal failure");
-    println!("t=90s   healed: {} servers, {} levels (orphans rejoined via grandparents)", tree.len(), tree.levels());
+    println!(
+        "t=90s   healed: {} servers, {} levels (orphans rejoined via grandparents)",
+        tree.len(),
+        tree.levels()
+    );
 
     // Phase 3: crash the root.
     let old_root = tree.root();
-    let heir = *tree.children(old_root).iter().min().expect("root has children");
+    let heir = *tree
+        .children(old_root)
+        .iter()
+        .min()
+        .expect("root has children");
     println!("t=90s   crashing ROOT {old_root} (expected heir by smallest-id rule: {heir})");
     sim.node_mut(NodeId(old_root.0)).crash();
     sim.run_until(SimTime::from_millis(180_000));
@@ -48,7 +61,11 @@ fn main() {
     println!(
         "t=180s  new root {} ({}), {} servers, {} levels",
         tree.root(),
-        if tree.root() == heir { "as elected" } else { "fallback" },
+        if tree.root() == heir {
+            "as elected"
+        } else {
+            "fallback"
+        },
         tree.len(),
         tree.levels()
     );
@@ -59,5 +76,8 @@ fn main() {
         sim.stats().bytes(TrafficClass::Maintenance),
         sim.stats().messages(TrafficClass::Maintenance)
     );
-    println!("per server per second: {:.1} bytes", sim.stats().bytes(TrafficClass::Maintenance) as f64 / n as f64 / 180.0);
+    println!(
+        "per server per second: {:.1} bytes",
+        sim.stats().bytes(TrafficClass::Maintenance) as f64 / n as f64 / 180.0
+    );
 }

@@ -49,11 +49,20 @@ fn site_records(schema: &Schema, rng: &mut StdRng) -> Vec<Vec<Record>> {
                     let id = RecordId(next_id);
                     next_id += 1;
                     RecordBuilder::new(schema, id, OwnerId(site as u32))
-                        .set("cpu_cores_free", (base_cpu + rng.gen_range(-4.0..4.0)).clamp(0.0, 128.0))
-                        .set("memory_gb_free", (base_mem + rng.gen_range(-16.0..16.0)).clamp(0.0, 512.0))
+                        .set(
+                            "cpu_cores_free",
+                            (base_cpu + rng.gen_range(-4.0..4.0)).clamp(0.0, 128.0),
+                        )
+                        .set(
+                            "memory_gb_free",
+                            (base_mem + rng.gen_range(-16.0..16.0)).clamp(0.0, 512.0),
+                        )
                         .set("uplink_mbps", rng.gen_range(100.0..10_000.0))
                         .set("stream_rate_kbps", rng.gen_range(10.0..5_000.0))
-                        .set("source_kind", kinds[(site + rng.gen_range(0..2)) % kinds.len()])
+                        .set(
+                            "source_kind",
+                            kinds[(site + rng.gen_range(0..2)) % kinds.len()],
+                        )
                         .set("region", region)
                         .build()
                         .expect("record fits schema")

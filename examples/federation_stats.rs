@@ -33,7 +33,10 @@ fn main() {
                     let id = RecordId(next_id);
                     next_id += 1;
                     RecordBuilder::new(&schema, id, OwnerId(org))
-                        .set("cpu_load", (busy + rng.gen_range(-0.2..0.2)).clamp(0.0, 1.0))
+                        .set(
+                            "cpu_load",
+                            (busy + rng.gen_range(-0.2..0.2)).clamp(0.0, 1.0),
+                        )
                         .set("free_storage_tb", rng.gen_range(0.0..100.0))
                         .build()
                         .expect("record fits schema")
@@ -70,7 +73,10 @@ fn main() {
     let AttributeSummary::Hist(h) = root_summary.attr(0) else {
         panic!("cpu_load is summarized as a histogram");
     };
-    println!("{:>10} {:>12} {:>12} {:>10}", "quantile", "summary", "exact", "error");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "quantile", "summary", "exact", "error"
+    );
     for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
         let est = h.quantile(q).expect("non-empty");
         let act = exact_q(q);
@@ -96,6 +102,9 @@ fn main() {
     for ((lo, hi), count) in h.top_buckets(3) {
         println!("   [{lo:.3}, {hi:.3})  {count} records");
     }
-    println!("\nall of the above was read from {} bytes of aggregated summary —", root_summary.wire_size());
+    println!(
+        "\nall of the above was read from {} bytes of aggregated summary —",
+        root_summary.wire_size()
+    );
     println!("none of the {} raw records was disclosed.", exact.len());
 }

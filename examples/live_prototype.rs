@@ -50,7 +50,10 @@ fn main() {
     let central = CentralCluster::start(schema.clone(), records.clone(), delays, 0, runtime_cfg);
 
     let groups = selectivity_query_groups(&schema, &records, &[0.1, 1.0, 5.0], 5, 6, 77);
-    println!("\n{:>8} {:>6} {:>14} {:>14}", "sel(%)", "recs", "ROADS (ms)", "central (ms)");
+    println!(
+        "\n{:>8} {:>6} {:>14} {:>14}",
+        "sel(%)", "recs", "ROADS (ms)", "central (ms)"
+    );
     for (target, queries) in &groups {
         for (i, q) in queries.iter().enumerate() {
             let r = roads.query(q, ServerId((i % nodes) as u32));

@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --example voluntary_views`
 
-use roads_federation::core::policy::{
-    DecisionKind, DisclosureAudit, RequesterId, TieredPolicy,
-};
+use roads_federation::core::policy::{DecisionKind, DisclosureAudit, RequesterId, TieredPolicy};
 use roads_federation::prelude::*;
 
 fn main() {
@@ -72,7 +70,11 @@ fn main() {
                 "   {:<12} {:>4.0} gpus  vram: {}",
                 r.get(schema.id("gpu_model").unwrap()).to_string(),
                 r.get_f64(schema.id("gpus_free").unwrap()).unwrap(),
-                if vram.is_nan() { "<redacted>".into() } else { format!("{vram:.0} GB") },
+                if vram.is_nan() {
+                    "<redacted>".into()
+                } else {
+                    format!("{vram:.0} GB")
+                },
             );
         }
         println!();

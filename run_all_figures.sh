@@ -1,14 +1,23 @@
 #!/bin/bash
 # Regenerate every table and figure of the paper.
 # Usage: ./run_all_figures.sh [--quick] [--runs N]
+#
+# Each binary writes two artifacts under results/ (override the directory
+# with ROADS_RESULTS_DIR):
+#   results/<name>.txt   the rendered console table/chart
+#   results/<name>.json  machine-readable export: series, measured-vs-paper
+#                        reference points, telemetry snapshot (counters +
+#                        latency percentiles incl. p99), query traces
 set -u
 ARGS="${@:-}"
+mkdir -p "${ROADS_RESULTS_DIR:-results}"
 BINS="table_analysis table1_storage fig3_latency_vs_nodes fig4_update_vs_nodes \
 fig5_query_vs_nodes fig6_latency_vs_dims fig7_query_vs_dims fig8_update_vs_records \
 fig9_latency_vs_overlap fig10_latency_vs_degree fig11_prototype_response \
 fig_ablation_overlay fig_ablation_buckets fig_ablation_join fig_ablation_churn fig_ablation_scope"
 cargo build --release -q -p roads-bench
+OUT="${ROADS_RESULTS_DIR:-results}"
 for bin in $BINS; do
   echo "=== $bin ==="
-  ./target/release/$bin $ARGS | tee results/$bin.txt
+  ./target/release/$bin $ARGS | tee "$OUT/$bin.txt"
 done

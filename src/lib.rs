@@ -57,24 +57,24 @@
 //! | [`analysis`] | closed-form model of §IV |
 //! | [`runtime`] | threaded prototype with an indexed record store |
 
-/// Resource records, schemas and queries.
-pub use roads_records as records;
-/// Summary structures and TTL soft state.
-pub use roads_summary as summary;
-/// Discrete-event network simulation.
-pub use roads_netsim as netsim;
-/// The ROADS system itself.
-pub use roads_core as core;
-/// The SWORD DHT baseline.
-pub use roads_sword as sword;
-/// The central-repository baseline.
-pub use roads_central as central;
-/// Workload generation.
-pub use roads_workload as workload;
 /// Closed-form analytic model.
 pub use roads_analysis as analysis;
+/// The central-repository baseline.
+pub use roads_central as central;
+/// The ROADS system itself.
+pub use roads_core as core;
+/// Discrete-event network simulation.
+pub use roads_netsim as netsim;
+/// Resource records, schemas and queries.
+pub use roads_records as records;
 /// Threaded prototype runtime.
 pub use roads_runtime as runtime;
+/// Summary structures and TTL soft state.
+pub use roads_summary as summary;
+/// The SWORD DHT baseline.
+pub use roads_sword as sword;
+/// Workload generation.
+pub use roads_workload as workload;
 
 /// Everything a typical application needs, in one import.
 pub mod prelude {

@@ -42,13 +42,7 @@ fn live_data_plane_update_bytes_match_accounting() {
     let net = RoadsNetwork::with_tree(schema.clone(), cfg, tree.clone(), records.clone());
     let predicted = update_round(&net);
 
-    let mut sim = build_data_simulation(
-        &tree,
-        cfg,
-        schema,
-        records,
-        DelaySpace::paper(nodes, 9),
-    );
+    let mut sim = build_data_simulation(&tree, cfg, schema, records, DelaySpace::paper(nodes, 9));
     // Warm up until replication converges, then measure whole rounds.
     sim.run_until(SimTime::from_millis(30_000));
     sim.clear_stats();
@@ -59,8 +53,7 @@ fn live_data_plane_update_bytes_match_accounting() {
 
     // The analytic round includes the owner-export wave the live sim skips
     // (owners are co-located); compare against aggregation + replication.
-    let predicted_wire =
-        (predicted.aggregation_bytes + predicted.replication_bytes) as f64;
+    let predicted_wire = (predicted.aggregation_bytes + predicted.replication_bytes) as f64;
     let ratio = measured_per_round / predicted_wire;
     assert!(
         (0.9..1.1).contains(&ratio),

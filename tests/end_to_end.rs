@@ -42,7 +42,11 @@ fn all_three_systems_agree_on_match_counts() {
         .map(|(q, _)| records.iter().flatten().filter(|r| q.matches(r)).count())
         .collect();
 
-    let roads = RoadsNetwork::build(schema.clone(), RoadsConfig::paper_default(), records.clone());
+    let roads = RoadsNetwork::build(
+        schema.clone(),
+        RoadsConfig::paper_default(),
+        records.clone(),
+    );
     let sword = SwordNetwork::build(schema.clone(), records.clone());
     let central = CentralRepository::build(0, records);
     let delays = DelaySpace::paper(40, 5);
@@ -77,8 +81,17 @@ fn roads_complete_from_every_entry_point() {
         .range("x4", 0.3, 0.55)
         .range("x8", 0.0, 1.0)
         .build();
-    let reference = execute_query(&roads, &delays, &q, roads.tree().root(), SearchScope::full());
-    assert!(reference.matching_records > 0, "query should be non-trivial");
+    let reference = execute_query(
+        &roads,
+        &delays,
+        &q,
+        roads.tree().root(),
+        SearchScope::full(),
+    );
+    assert!(
+        reference.matching_records > 0,
+        "query should be non-trivial"
+    );
     for entry in 0..25u32 {
         let out = execute_query(&roads, &delays, &q, ServerId(entry), SearchScope::full());
         assert_eq!(
@@ -92,7 +105,11 @@ fn roads_complete_from_every_entry_point() {
 #[test]
 fn summaries_never_produce_false_negatives_end_to_end() {
     let (schema, records, queries) = workload(30, 40, 50);
-    let roads = RoadsNetwork::build(schema.clone(), RoadsConfig::paper_default(), records.clone());
+    let roads = RoadsNetwork::build(
+        schema.clone(),
+        RoadsConfig::paper_default(),
+        records.clone(),
+    );
     for (q, _) in &queries {
         for server in roads.tree().servers() {
             let has_match = records[server.index()].iter().any(|r| q.matches(r));
@@ -135,7 +152,9 @@ fn scoped_search_trades_coverage_for_cost() {
     let (schema, records, _) = workload(40, 30, 0);
     let roads = RoadsNetwork::build(schema.clone(), RoadsConfig::with_degree(2), records);
     let delays = DelaySpace::paper(40, 7);
-    let q = QueryBuilder::new(&schema, QueryId(9)).range("x0", 0.0, 1.0).build();
+    let q = QueryBuilder::new(&schema, QueryId(9))
+        .range("x0", 0.0, 1.0)
+        .build();
     let leaf = *roads.tree().leaves().iter().max().unwrap();
     let full = execute_query(&roads, &delays, &q, leaf, SearchScope::full());
     let near = execute_query(&roads, &delays, &q, leaf, SearchScope::levels(1));

@@ -47,8 +47,14 @@ fn mean_latencies(nodes: usize, dims: usize, degree: usize) -> (f64, f64) {
     let delays = DelaySpace::paper(nodes, 3);
     let (mut rl, mut sl) = (0.0, 0.0);
     for (q, start) in &queries {
-        rl += execute_query(&roads, &delays, q, ServerId(*start as u32), SearchScope::full())
-            .latency_ms;
+        rl += execute_query(
+            &roads,
+            &delays,
+            q,
+            ServerId(*start as u32),
+            SearchScope::full(),
+        )
+        .latency_ms;
         sl += sword.execute_query(&delays, q, *start).latency_ms;
     }
     (rl / queries.len() as f64, sl / queries.len() as f64)
@@ -82,7 +88,11 @@ fn fig4_roads_update_overhead_orders_below_sword() {
         attrs: 16,
         seed: 5,
     });
-    let roads = RoadsNetwork::build(schema.clone(), RoadsConfig::paper_default(), records.clone());
+    let roads = RoadsNetwork::build(
+        schema.clone(),
+        RoadsConfig::paper_default(),
+        records.clone(),
+    );
     let sword = SwordNetwork::build(schema.clone(), records.clone());
     let central = CentralRepository::build(0, records);
     let cfg = RoadsConfig::paper_default();
@@ -94,7 +104,10 @@ fn fig4_roads_update_overhead_orders_below_sword() {
         "1-2 orders of magnitude: got {:.1}x",
         sword_bps / roads_bps
     );
-    assert!(sword_bps > central_bps, "SWORD replicates r times, central once");
+    assert!(
+        sword_bps > central_bps,
+        "SWORD replicates r times, central once"
+    );
 }
 
 #[test]
@@ -119,13 +132,23 @@ fn fig5_roads_query_overhead_above_sword() {
             seed: 2,
         },
     );
-    let roads = RoadsNetwork::build(schema.clone(), RoadsConfig::paper_default(), records.clone());
+    let roads = RoadsNetwork::build(
+        schema.clone(),
+        RoadsConfig::paper_default(),
+        records.clone(),
+    );
     let sword = SwordNetwork::build(schema, records);
     let delays = DelaySpace::paper(nodes, 4);
     let (mut rb, mut sb) = (0u64, 0u64);
     for (q, start) in &queries {
-        rb += execute_query(&roads, &delays, q, ServerId(*start as u32), SearchScope::full())
-            .query_bytes;
+        rb += execute_query(
+            &roads,
+            &delays,
+            q,
+            ServerId(*start as u32),
+            SearchScope::full(),
+        )
+        .query_bytes;
         sb += sword.execute_query(&delays, q, *start).query_bytes;
     }
     let ratio = rb as f64 / sb as f64;
@@ -160,7 +183,11 @@ fn fig8_roads_update_constant_sword_linear_in_records() {
             attrs: 16,
             seed: 3,
         });
-        let roads = RoadsNetwork::build(schema.clone(), RoadsConfig::paper_default(), records.clone());
+        let roads = RoadsNetwork::build(
+            schema.clone(),
+            RoadsConfig::paper_default(),
+            records.clone(),
+        );
         let sword = SwordNetwork::build(schema.clone(), records);
         (
             update_round(&roads).total_bytes(),
@@ -196,7 +223,11 @@ fn table1_storage_ordering() {
         attrs: 16,
         seed: 13,
     });
-    let roads = RoadsNetwork::build(schema.clone(), RoadsConfig::paper_default(), records.clone());
+    let roads = RoadsNetwork::build(
+        schema.clone(),
+        RoadsConfig::paper_default(),
+        records.clone(),
+    );
     let sword = SwordNetwork::build(schema.clone(), records.clone());
     let central = CentralRepository::build(0, records);
     let r = roads.max_storage_bytes();

@@ -1,0 +1,192 @@
+//! Minimal vendored stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's `harness = false` bench targets
+//! use: `Criterion::benchmark_group`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical machinery it runs a short calibrated loop and prints the
+//! mean wall-clock time per iteration. When invoked by `cargo test`
+//! (detected via the `--test` CLI flag) every benchmark body runs exactly
+//! once, as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark (kept tiny — this is a stand-in).
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self }
+    }
+
+    /// Run a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.test_mode, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the stub runs a fixed number of iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark identified by a plain string.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.criterion.test_mode, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.0, self.criterion.test_mode, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark's identifier, optionally carrying a parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timer handed to each benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean wall-clock time per iteration, when measured.
+    elapsed_per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, running it repeatedly until the measurement target
+    /// is reached (or exactly once in test mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: grow the batch until it takes a measurable slice.
+        let mut batch = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE_TARGET || batch >= 1 << 20 {
+                break elapsed / batch as u32;
+            }
+            batch = batch.saturating_mul(4);
+        };
+        self.elapsed_per_iter = Some(per_iter);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, test_mode: bool, f: &mut F) {
+    let mut b = Bencher {
+        test_mode,
+        elapsed_per_iter: None,
+    };
+    f(&mut b);
+    match b.elapsed_per_iter {
+        Some(t) => println!("  {id}: {t:?}/iter"),
+        None if test_mode => println!("  {id}: ok (test mode)"),
+        None => println!("  {id}: no measurement (Bencher::iter never called)"),
+    }
+}
+
+/// Bundle benchmark functions under one group-runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench_fn:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($bench_fn(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sample");
+        g.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        g.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n) * 3)
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(9), &9u64, |b, &n| {
+            b.iter(|| black_box(n) + 1)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn runs_in_test_mode() {
+        let mut c = Criterion { test_mode: true };
+        sample_bench(&mut c);
+        c.bench_function("top-level", |b| b.iter(|| black_box(1)));
+    }
+
+    #[test]
+    fn measures_when_not_in_test_mode() {
+        let mut c = Criterion { test_mode: false };
+        let mut g = c.benchmark_group("measured");
+        g.bench_function("noop", |b| b.iter(|| black_box(0u64)));
+        g.finish();
+    }
+}

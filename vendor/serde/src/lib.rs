@@ -1,0 +1,18 @@
+//! Minimal vendored stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data model so the
+//! types are serialization-ready once a real serde is available, but no code
+//! path serializes through serde at runtime (wire encoding is hand-rolled in
+//! `roads-records::wire`, JSON export is hand-rolled in `roads-telemetry`).
+//! The traits here are satisfied by every type and the derive macros are
+//! inert, which keeps the annotations compiling without the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

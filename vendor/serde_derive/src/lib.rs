@@ -1,0 +1,19 @@
+//! Inert derive macros matching `serde_derive`'s names.
+//!
+//! The vendored `serde` traits are blanket-implemented, so the derives have
+//! nothing to generate; they only need to exist (and swallow serde's helper
+//! attributes) for `#[derive(Serialize, Deserialize)]` to compile.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
