@@ -3,7 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use roads_core::{
-    execute_query, update_round, HierarchyTree, RoadsConfig, RoadsNetwork, SearchScope, ServerId,
+    execute_query, execute_query_recorded, update_round, HierarchyTree, RoadsConfig, RoadsNetwork,
+    SearchScope, ServerId,
 };
 use roads_netsim::DelaySpace;
 use roads_summary::SummaryConfig;
@@ -92,6 +93,44 @@ fn bench_query_exec(c: &mut Criterion) {
     g.finish();
 }
 
+/// Flight-recorder acceptance check: running the recorded query path with
+/// the recorder disabled (`None`) must cost the same as the plain path.
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recorder_overhead");
+    g.sample_size(20);
+    let (net, _, delays, queries) = setup(64);
+    g.bench_function("plain", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (q, start) = &queries[i % queries.len()];
+            i += 1;
+            execute_query(
+                &net,
+                &delays,
+                black_box(q),
+                ServerId(*start as u32),
+                SearchScope::full(),
+            )
+        })
+    });
+    g.bench_function("recorder_disabled", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (q, start) = &queries[i % queries.len()];
+            i += 1;
+            execute_query_recorded(
+                &net,
+                &delays,
+                black_box(q),
+                ServerId(*start as u32),
+                SearchScope::full(),
+                None,
+            )
+        })
+    });
+    g.finish();
+}
+
 fn bench_update_round(c: &mut Criterion) {
     let mut g = c.benchmark_group("update_round");
     g.sample_size(10);
@@ -105,6 +144,7 @@ criterion_group!(
     benches,
     bench_tree_build,
     bench_query_exec,
+    bench_recorder_overhead,
     bench_update_round
 );
 criterion_main!(benches);

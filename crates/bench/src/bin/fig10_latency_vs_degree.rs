@@ -6,8 +6,8 @@
 //! leaf nodes in fewer hops", with query overhead dropping 3500 → 2000
 //! bytes for the same reason.
 
-use roads_bench::{banner, figure_config, run_comparison_instrumented, TrialConfig};
-use roads_telemetry::{FigureExport, Registry};
+use roads_bench::{banner, figure_config, run_comparison_recorded, TrialConfig};
+use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder, Registry};
 
 fn main() {
     banner(
@@ -16,6 +16,7 @@ fn main() {
     );
     let base = figure_config();
     let reg = Registry::new();
+    let rec = Recorder::new(65_536);
     let mut latency_pts = Vec::new();
     let mut bytes_pts = Vec::new();
     println!(
@@ -24,7 +25,7 @@ fn main() {
     );
     for degree in 4..=12 {
         let cfg = TrialConfig { degree, ..base };
-        let (r, _) = run_comparison_instrumented(&cfg, Some(&reg));
+        let (r, _) = run_comparison_recorded(&cfg, Some(&reg), Some(&rec));
         let levels = roads_core::HierarchyTree::build(cfg.nodes, degree).levels();
         println!(
             "{:>6} {:>8} {:>14.1} {:>14.0} {:>12.1}",
@@ -48,4 +49,5 @@ fn main() {
     fig.push_note("paper: 1000 ms at degree 4 -> 650 ms at degree 12 (flatter tree)");
     fig.set_telemetry(reg.snapshot());
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

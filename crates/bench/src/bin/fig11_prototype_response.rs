@@ -22,7 +22,7 @@ use roads_core::{LatencyStats, RoadsConfig, RoadsNetwork, ServerId};
 use roads_netsim::DelaySpace;
 use roads_runtime::{CentralCluster, RoadsCluster, RuntimeConfig};
 use roads_summary::SummaryConfig;
-use roads_telemetry::{FigureExport, Registry};
+use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder, Registry};
 use roads_workload::{
     default_schema, generate_node_records, selectivity_query_groups, RecordWorkloadConfig,
 };
@@ -66,8 +66,10 @@ fn main() {
     };
     let delays = DelaySpace::paper(nodes, 7);
     let reg = Registry::new();
+    let rec = std::sync::Arc::new(Recorder::new(65_536));
     let net = RoadsNetwork::build(schema.clone(), roads_cfg, records.clone());
-    let roads = RoadsCluster::start_instrumented(net, delays.clone(), runtime_cfg, &reg);
+    let mut roads = RoadsCluster::start_instrumented(net, delays.clone(), runtime_cfg, &reg);
+    roads.set_recorder(std::sync::Arc::clone(&rec));
     let central = CentralCluster::start(schema, records, delays, 0, runtime_cfg);
 
     println!(
@@ -144,4 +146,5 @@ fn main() {
     );
     fig.set_telemetry(reg.snapshot());
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

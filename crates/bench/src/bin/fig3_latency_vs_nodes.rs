@@ -6,8 +6,8 @@
 //! from 4 to 5 levels.
 
 use roads_bench::chart::{render, Series};
-use roads_bench::{banner, figure_config, run_comparison_instrumented, TrialConfig};
-use roads_telemetry::{FigureExport, Registry};
+use roads_bench::{banner, figure_config, run_comparison_recorded, TrialConfig};
+use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder, Registry};
 
 fn main() {
     banner(
@@ -16,6 +16,7 @@ fn main() {
     );
     let base = figure_config();
     let reg = Registry::new();
+    let rec = Recorder::new(65_536);
     let mut traces = None;
     println!(
         "{:>6} {:>14} {:>14} {:>10} {:>8}",
@@ -30,7 +31,7 @@ fn main() {
     let mut sword_pts = Vec::new();
     for nodes in sweep {
         let cfg = TrialConfig { nodes, ..base };
-        let (r, report) = run_comparison_instrumented(&cfg, Some(&reg));
+        let (r, report) = run_comparison_recorded(&cfg, Some(&reg), Some(&rec));
         // Keep the trace report of the paper's headline point (or the
         // closest we run), not the union across incomparable topologies.
         if nodes == base.nodes || traces.is_none() {
@@ -77,4 +78,5 @@ fn main() {
         fig.set_traces(t);
     }
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

@@ -5,8 +5,8 @@
 //! than SWORD due to the use of condensed summary."
 
 use roads_bench::chart::{render_log, Series};
-use roads_bench::{banner, figure_config, run_comparison_instrumented, TrialConfig};
-use roads_telemetry::{FigureExport, Registry};
+use roads_bench::{banner, figure_config, run_comparison_recorded, TrialConfig};
+use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder, Registry};
 
 fn main() {
     banner(
@@ -15,6 +15,7 @@ fn main() {
     );
     let base = figure_config();
     let reg = Registry::new();
+    let rec = Recorder::new(65_536);
     println!(
         "{:>6} {:>16} {:>16} {:>16} {:>12}",
         "nodes", "ROADS (B/s)", "SWORD (B/s)", "Central (B/s)", "SWORD/ROADS"
@@ -29,7 +30,7 @@ fn main() {
     let mut central_pts = Vec::new();
     for nodes in sweep {
         let cfg = TrialConfig { nodes, ..base };
-        let (r, _) = run_comparison_instrumented(&cfg, Some(&reg));
+        let (r, _) = run_comparison_recorded(&cfg, Some(&reg), Some(&rec));
         println!(
             "{:>6} {:>16.3e} {:>16.3e} {:>16.3e} {:>12.1}",
             nodes,
@@ -74,4 +75,5 @@ fn main() {
     fig.push_note("paper: 1-2 orders of magnitude between ROADS and SWORD (log-scale figure)");
     fig.set_telemetry(reg.snapshot());
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

@@ -5,8 +5,8 @@
 //! every owner retains its records, so the query must reach all owners with
 //! matches, while SWORD concentrates matching records on fewer DHT servers.
 
-use roads_bench::{banner, figure_config, run_comparison_instrumented, TrialConfig};
-use roads_telemetry::{FigureExport, Registry};
+use roads_bench::{banner, figure_config, run_comparison_recorded, TrialConfig};
+use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder, Registry};
 
 fn main() {
     banner(
@@ -15,6 +15,7 @@ fn main() {
     );
     let base = figure_config();
     let reg = Registry::new();
+    let rec = Recorder::new(65_536);
     let mut roads_pts = Vec::new();
     let mut sword_pts = Vec::new();
     let mut ratio_pts = Vec::new();
@@ -29,7 +30,7 @@ fn main() {
     };
     for nodes in sweep {
         let cfg = TrialConfig { nodes, ..base };
-        let (r, _) = run_comparison_instrumented(&cfg, Some(&reg));
+        let (r, _) = run_comparison_recorded(&cfg, Some(&reg), Some(&rec));
         println!(
             "{:>6} {:>14.0} {:>14.0} {:>12.2} {:>12.1} {:>12.1}",
             nodes,
@@ -59,4 +60,5 @@ fn main() {
     fig.push_note("paper: ROADS 2-5x higher query overhead than SWORD");
     fig.set_telemetry(reg.snapshot());
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

@@ -5,8 +5,8 @@
 //! only uses one dimension in the search. Thus its query latency remains
 //! largely the same."
 
-use roads_bench::{banner, figure_config, run_comparison_instrumented, TrialConfig};
-use roads_telemetry::{FigureExport, Registry};
+use roads_bench::{banner, figure_config, run_comparison_recorded, TrialConfig};
+use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder, Registry};
 
 fn main() {
     banner(
@@ -15,6 +15,7 @@ fn main() {
     );
     let base = figure_config();
     let reg = Registry::new();
+    let rec = Recorder::new(65_536);
     let mut roads_pts = Vec::new();
     let mut sword_pts = Vec::new();
     println!(
@@ -26,7 +27,7 @@ fn main() {
             query_dims: dims,
             ..base
         };
-        let (r, _) = run_comparison_instrumented(&cfg, Some(&reg));
+        let (r, _) = run_comparison_recorded(&cfg, Some(&reg), Some(&rec));
         println!(
             "{:>5} {:>14.1} {:>14.1} {:>12.1} {:>12.1}",
             dims,
@@ -53,4 +54,5 @@ fn main() {
     fig.push_note("paper: ROADS drops ~40% from 2 to 8 dims; SWORD flat");
     fig.set_telemetry(reg.snapshot());
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

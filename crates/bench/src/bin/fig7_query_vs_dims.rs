@@ -6,8 +6,8 @@
 //! confined … the query overhead increases again because the reduction of
 //! search scope flattens out."
 
-use roads_bench::{banner, figure_config, run_comparison_instrumented, TrialConfig};
-use roads_telemetry::{FigureExport, Registry};
+use roads_bench::{banner, figure_config, run_comparison_recorded, TrialConfig};
+use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder, Registry};
 
 fn main() {
     banner(
@@ -16,6 +16,7 @@ fn main() {
     );
     let base = figure_config();
     let reg = Registry::new();
+    let rec = Recorder::new(65_536);
     let mut roads_pts = Vec::new();
     let mut sword_pts = Vec::new();
     println!(
@@ -27,7 +28,7 @@ fn main() {
             query_dims: dims,
             ..base
         };
-        let (r, _) = run_comparison_instrumented(&cfg, Some(&reg));
+        let (r, _) = run_comparison_recorded(&cfg, Some(&reg), Some(&rec));
         println!(
             "{:>5} {:>14.0} {:>14.0} {:>12.1}",
             dims, r.roads_query_bytes, r.sword_query_bytes, r.roads_servers_contacted,
@@ -50,4 +51,5 @@ fn main() {
     fig.push_note("paper: SWORD linear up with dims; ROADS dips then rises");
     fig.set_telemetry(reg.snapshot());
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

@@ -5,8 +5,8 @@
 //! In contrast, Sword exports original records and thus its update overhead
 //! grows linearly."
 
-use roads_bench::{banner, figure_config, run_comparison_instrumented, TrialConfig};
-use roads_telemetry::{FigureExport, Registry};
+use roads_bench::{banner, figure_config, run_comparison_recorded, TrialConfig};
+use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder, Registry};
 
 fn main() {
     banner(
@@ -15,6 +15,7 @@ fn main() {
     );
     let base = figure_config();
     let reg = Registry::new();
+    let rec = Recorder::new(65_536);
     let mut roads_pts = Vec::new();
     let mut sword_pts = Vec::new();
     let mut central_pts = Vec::new();
@@ -32,7 +33,7 @@ fn main() {
             records_per_node,
             ..base
         };
-        let (r, _) = run_comparison_instrumented(&cfg, Some(&reg));
+        let (r, _) = run_comparison_recorded(&cfg, Some(&reg), Some(&rec));
         println!(
             "{:>8} {:>16.3e} {:>16.3e} {:>16.3e}",
             records_per_node, r.roads_update_bps, r.sword_update_bps, r.central_update_bps
@@ -57,4 +58,5 @@ fn main() {
     fig.push_note("paper: ROADS flat (constant-size summaries); SWORD linear in record count");
     fig.set_telemetry(reg.snapshot());
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

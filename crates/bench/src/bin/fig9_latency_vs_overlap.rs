@@ -7,8 +7,8 @@
 //! records when their data exhibit larger overlaps", with a similar ~10%
 //! increase in query overhead.
 
-use roads_bench::{banner, figure_config, run_comparison_instrumented, TrialConfig};
-use roads_telemetry::{FigureExport, Registry};
+use roads_bench::{banner, figure_config, run_comparison_recorded, TrialConfig};
+use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder, Registry};
 
 fn main() {
     banner(
@@ -17,6 +17,7 @@ fn main() {
     );
     let base = figure_config();
     let reg = Registry::new();
+    let rec = Recorder::new(65_536);
     let mut latency_pts = Vec::new();
     let mut bytes_pts = Vec::new();
     println!(
@@ -30,7 +31,7 @@ fn main() {
             overlap_factor: Some(of),
             ..base
         };
-        let (r, _) = run_comparison_instrumented(&cfg, Some(&reg));
+        let (r, _) = run_comparison_recorded(&cfg, Some(&reg), Some(&rec));
         println!(
             "{:>4.0} {:>14.1} {:>14.0} {:>12.1}",
             of, r.roads_latency.mean, r.roads_query_bytes, r.roads_servers_contacted
@@ -59,4 +60,5 @@ fn main() {
     fig.push_note("paper: latency rises ~8% (810 -> 860 ms) as Of grows 1 -> 12");
     fig.set_telemetry(reg.snapshot());
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

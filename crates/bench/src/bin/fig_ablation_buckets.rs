@@ -5,8 +5,8 @@
 //! that drag the query to servers with no real matches. This sweep
 //! quantifies the trade-off the paper fixes at m = 1000.
 
-use roads_bench::{banner, figure_config, run_comparison_instrumented, TrialConfig};
-use roads_telemetry::{FigureExport, Registry};
+use roads_bench::{banner, figure_config, run_comparison_recorded, TrialConfig};
+use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder, Registry};
 
 fn main() {
     banner(
@@ -18,6 +18,7 @@ fn main() {
         ..figure_config()
     };
     let reg = Registry::new();
+    let rec = Recorder::new(65_536);
     println!(
         "{:>8} {:>16} {:>14} {:>12} {:>14} {:>10}",
         "buckets", "ROADS upd (B/s)", "latency (ms)", "servers", "B/query", "FP rate"
@@ -28,7 +29,7 @@ fn main() {
     let mut paper_point = None;
     for buckets in [10, 50, 100, 250, 500, 1000, 2000] {
         let cfg = TrialConfig { buckets, ..base };
-        let (r, report) = run_comparison_instrumented(&cfg, Some(&reg));
+        let (r, report) = run_comparison_recorded(&cfg, Some(&reg), Some(&rec));
         // False-positive redirect rate comes from the per-hop traces: a
         // descent that finds no local matches and forwards nowhere onward.
         let fp_rate = report.as_ref().map_or(0.0, |t| t.fp_redirect_rate);
@@ -69,4 +70,5 @@ fn main() {
         fig.set_traces(t);
     }
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

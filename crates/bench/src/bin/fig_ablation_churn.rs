@@ -14,7 +14,9 @@ use roads_core::{update_round, RoadsConfig, RoadsNetwork};
 use roads_records::WireSize;
 use roads_summary::SummaryConfig;
 use roads_sword::DynamicRing;
-use roads_telemetry::{FigureExport, Registry};
+use roads_telemetry::{
+    write_chrome_trace_default, EventKind, FigureExport, Recorder, Registry, SpanId,
+};
 use roads_workload::{default_schema, generate_node_records, RecordWorkloadConfig};
 
 fn main() {
@@ -64,6 +66,11 @@ fn main() {
         "event", "kind", "DHT moved (recs)", "DHT sync bytes", "ROADS sync"
     );
     let reg = Registry::new();
+    let rec = Recorder::new(4096);
+    let churn_trace = rec.next_trace_id();
+    // One Mark span brackets the whole churn schedule; each membership
+    // event hangs off it as a ChurnJoin/ChurnLeave child span.
+    let churn_root = rec.record_span(churn_trace, SpanId::NONE, 0, EventKind::Mark, 0, 21_000, 0);
     let dht_bytes_ctr = reg.counter("churn.dht_sync_bytes");
     let dht_moved_ctr = reg.counter("churn.dht_records_moved");
     let events_ctr = reg.counter("churn.events");
@@ -84,6 +91,20 @@ fn main() {
         dht_bytes_ctr.add(dht_bytes);
         dht_moved_ctr.add(cost.records_moved);
         dht_pts.push((event as f64, dht_bytes as f64));
+        let event_kind = if kind == "join" {
+            EventKind::ChurnJoin
+        } else {
+            EventKind::ChurnLeave
+        };
+        rec.record_span(
+            churn_trace,
+            churn_root,
+            1000 + event,
+            event_kind,
+            (event as u64 + 1) * 1_000,
+            1_000,
+            dht_bytes,
+        );
         println!(
             "{:>6} {:>10} {:>18} {:>18} {:>14}",
             event, kind, cost.records_moved, dht_bytes, 0
@@ -119,4 +140,5 @@ fn main() {
     ));
     fig.set_telemetry(reg.snapshot());
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

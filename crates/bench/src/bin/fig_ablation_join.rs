@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use roads_bench::{banner, figure_config};
 use roads_core::{HierarchyTree, ServerId};
-use roads_telemetry::FigureExport;
+use roads_telemetry::{write_chrome_trace_default, EventKind, FigureExport, Recorder, SpanId};
 
 /// Build a tree by attaching each new server under a random server with
 /// spare capacity.
@@ -48,14 +48,23 @@ fn main() {
         "balance-aware joins keep the tree flat (fewer hops per query, Fig. 10)",
     );
     let cfg = figure_config();
+    let rec = Recorder::new(4096);
+    let t0 = std::time::Instant::now();
     let mut balanced_pts = Vec::new();
     let mut random_pts = Vec::new();
     for (n, k) in [(cfg.nodes, cfg.degree), (640, 8), (320, 4)] {
         println!("\n{n} servers, degree {k}:");
+        // One wall-clock trace per configuration: a Mark root spanning
+        // both build strategies, with one child Mark span each.
+        let trace = rec.next_trace_id();
+        let cfg_start = t0.elapsed().as_micros() as u64;
+        let build_start = t0.elapsed().as_micros() as u64;
         let balanced = HierarchyTree::build(n, k);
+        let build_end = t0.elapsed().as_micros() as u64;
         describe("least-depth", &balanced);
         let mut worst_levels = 0;
         let mut sum_levels = 0;
+        let random_start = t0.elapsed().as_micros() as u64;
         for seed in 0..5u64 {
             let t = random_tree(n, k, seed);
             worst_levels = worst_levels.max(t.levels());
@@ -64,6 +73,34 @@ fn main() {
                 describe("random (seed 0)", &t);
             }
         }
+        let random_end = t0.elapsed().as_micros() as u64;
+        let root_span = rec.record_span(
+            trace,
+            SpanId::NONE,
+            n as u32,
+            EventKind::Mark,
+            cfg_start,
+            random_end.saturating_sub(cfg_start).max(1),
+            k as u64,
+        );
+        rec.record_span(
+            trace,
+            root_span,
+            n as u32,
+            EventKind::Mark,
+            build_start,
+            build_end.saturating_sub(build_start).max(1),
+            balanced.levels() as u64,
+        );
+        rec.record_span(
+            trace,
+            root_span,
+            n as u32,
+            EventKind::Mark,
+            random_start,
+            random_end.saturating_sub(random_start).max(1),
+            worst_levels as u64,
+        );
         println!(
             "{:<18} mean levels={:.1} worst={}",
             "random (5 seeds)",
@@ -86,4 +123,5 @@ fn main() {
     fig.push_series("random_mean_levels", &random_pts);
     fig.push_note("balance-aware joins keep the tree no deeper than random attachment");
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

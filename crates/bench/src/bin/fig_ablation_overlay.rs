@@ -9,12 +9,14 @@
 
 use roads_bench::{banner, figure_config, TrialConfig};
 use roads_core::{
-    execute_query_traced, trace_to_telemetry, LatencyStats, RoadsConfig, RoadsNetwork, SearchScope,
-    ServerId,
+    execute_query_traced, record_query_events, trace_to_telemetry, LatencyStats, RoadsConfig,
+    RoadsNetwork, SearchScope, ServerId,
 };
 use roads_netsim::DelaySpace;
 use roads_summary::SummaryConfig;
-use roads_telemetry::{aggregate_traces, FigureExport, Registry};
+use roads_telemetry::{
+    aggregate_traces, write_chrome_trace_default, FigureExport, Recorder, Registry,
+};
 use roads_workload::{
     default_schema, generate_node_records, generate_queries, QueryWorkloadConfig,
     RecordWorkloadConfig,
@@ -60,6 +62,7 @@ fn main() {
     let root = net.tree().root();
 
     let reg = Registry::new();
+    let rec = Recorder::new(65_536);
     let mut on_lat = Vec::new();
     let mut off_lat = Vec::new();
     let mut on_root_hits = 0usize;
@@ -71,6 +74,8 @@ fn main() {
         let entry = ServerId(*start as u32);
         let (on, trace) = execute_query_traced(&net, &delays, q, entry, SearchScope::full());
         on_traces.push(trace_to_telemetry(&net, q.id.0, &trace));
+        let trace_id = rec.next_trace_id();
+        let _ = record_query_events(&rec, trace_id, &trace);
         roads_core::record_query_outcome(&reg, &on);
         on_lat.push(on.latency_ms);
         on_bytes += on.query_bytes as f64;
@@ -150,4 +155,5 @@ fn main() {
     // ablation is about.
     fig.set_traces(on_report);
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

@@ -11,12 +11,12 @@
 
 use roads_bench::{banner, figure_config, TrialConfig};
 use roads_core::{
-    execute_query, record_query_outcome, LatencyStats, RoadsConfig, RoadsNetwork, SearchScope,
-    ServerId,
+    execute_query, execute_query_recorded, record_query_outcome, LatencyStats, RoadsConfig,
+    RoadsNetwork, SearchScope, ServerId,
 };
 use roads_netsim::DelaySpace;
 use roads_summary::SummaryConfig;
-use roads_telemetry::{FigureExport, Registry};
+use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder, Registry};
 use roads_workload::{
     default_schema, generate_node_records, generate_queries, QueryWorkloadConfig,
     RecordWorkloadConfig,
@@ -74,6 +74,7 @@ fn main() {
         })
         .sum();
     let reg = Registry::new();
+    let rec = Recorder::new(65_536);
     let mut recall_pts = Vec::new();
     let mut servers_pts = Vec::new();
     let mut latency_pts = Vec::new();
@@ -84,7 +85,8 @@ fn main() {
         let mut bytes = 0.0;
         let mut lat = Vec::new();
         for (q, s) in &queries {
-            let out = execute_query(&net, &delays, q, ServerId(*s as u32), scope);
+            let out =
+                execute_query_recorded(&net, &delays, q, ServerId(*s as u32), scope, Some(&rec));
             record_query_outcome(&reg, &out);
             recs += out.matching_records;
             servers += out.servers_contacted as f64;
@@ -126,4 +128,5 @@ fn main() {
     fig.push_series("latency_ms", &latency_pts);
     fig.set_telemetry(reg.snapshot());
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

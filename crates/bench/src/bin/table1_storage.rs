@@ -7,7 +7,7 @@ use roads_central::CentralRepository;
 use roads_core::{RoadsConfig, RoadsNetwork};
 use roads_summary::SummaryConfig;
 use roads_sword::SwordNetwork;
-use roads_telemetry::FigureExport;
+use roads_telemetry::{write_chrome_trace_default, EventKind, FigureExport, Recorder, SpanId};
 use roads_workload::{default_schema, generate_node_records, RecordWorkloadConfig};
 
 /// Worst-server storage bytes of (ROADS, SWORD, Central) for one workload.
@@ -68,6 +68,9 @@ fn main() {
         "ROADS orders of magnitude below SWORD and Central",
     );
     let cfg = figure_config();
+    let rec = Recorder::new(1024);
+    let trace = rec.next_trace_id();
+    let t0 = std::time::Instant::now();
     // Row 1: the simulation workload (K = 500 records per node). At this
     // scale summaries and per-server record shares are comparable.
     let row1 = measure(
@@ -86,7 +89,37 @@ fn main() {
     } else {
         (64, 2_000)
     };
+    let row1_end = t0.elapsed().as_micros() as u64;
     let row2 = measure(n2, k2, 25, 100, 5, cfg.seed);
+    let row2_end = t0.elapsed().as_micros() as u64;
+    // Wall-clock Mark spans: one root covering both measured rows.
+    let root_span = rec.record_span(
+        trace,
+        SpanId::NONE,
+        0,
+        EventKind::Mark,
+        0,
+        row2_end.max(1),
+        0,
+    );
+    rec.record_span(
+        trace,
+        root_span,
+        0,
+        EventKind::Mark,
+        0,
+        row1_end.max(1),
+        row1.0,
+    );
+    rec.record_span(
+        trace,
+        root_span,
+        0,
+        EventKind::Mark,
+        row1_end,
+        row2_end.saturating_sub(row1_end).max(1),
+        row2.0,
+    );
     println!("\n(paper exemplary values: ROADS 2e5, SWORD 6.4e8, Central 1e9 attribute values;");
     println!(" the ROADS advantage grows linearly with records per owner, K)");
 
@@ -113,4 +146,5 @@ fn main() {
     );
     fig.push_note("ROADS worst-server storage is summaries only; SWORD/Central hold records");
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

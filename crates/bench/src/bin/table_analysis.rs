@@ -2,9 +2,11 @@
 //! parameters and cross-check the conclusions the paper draws from them.
 
 use roads_analysis::{maintenance_overhead, storage_overhead, update_overhead, ModelParams};
-use roads_telemetry::FigureExport;
+use roads_telemetry::{write_chrome_trace_default, EventKind, FigureExport, Recorder, SpanId};
 
 fn main() {
+    let rec = Recorder::new(256);
+    let t0 = std::time::Instant::now();
     let p = ModelParams::paper_example();
     println!("==================================================================");
     println!("Section IV — analytic model (paper worked example)");
@@ -67,5 +69,17 @@ fn main() {
         &[(0.0, u.roads), (1.0, u.sword), (2.0, u.central)],
     );
     fig.push_note("series x: 0 = ROADS, 1 = SWORD, 2 = Central (Eq. (1)-(3))");
+    // One wall-clock Mark span covering the whole analytic evaluation.
+    let trace = rec.next_trace_id();
+    rec.record_span(
+        trace,
+        SpanId::NONE,
+        0,
+        EventKind::Mark,
+        0,
+        (t0.elapsed().as_micros() as u64).max(1),
+        u.roads as u64,
+    );
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
 }

@@ -16,14 +16,14 @@ pub mod chart;
 
 use roads_central::CentralRepository;
 use roads_core::{
-    execute_query, execute_query_traced, trace_to_telemetry, LatencyStats, RoadsConfig,
-    RoadsNetwork, SearchScope,
+    execute_query, execute_query_traced, record_query_events, trace_to_telemetry, LatencyStats,
+    RoadsConfig, RoadsNetwork, SearchScope,
 };
 use roads_netsim::DelaySpace;
 use roads_records::Schema;
 use roads_summary::SummaryConfig;
 use roads_sword::SwordNetwork;
-use roads_telemetry::{aggregate_traces, QueryTrace, Registry, TraceReport};
+use roads_telemetry::{aggregate_traces, QueryTrace, Recorder, Registry, TraceReport};
 use roads_workload::{
     default_schema, generate_node_records, generate_overlap_records, generate_queries,
     QueryWorkloadConfig, RecordWorkloadConfig,
@@ -163,6 +163,20 @@ pub fn run_comparison_instrumented(
     cfg: &TrialConfig,
     telemetry: Option<&Registry>,
 ) -> (ComparisonResult, Option<TraceReport>) {
+    run_comparison_recorded(cfg, telemetry, None)
+}
+
+/// [`run_comparison_instrumented`] that additionally feeds every executed
+/// query into a flight [`Recorder`]: ROADS executions become causal
+/// span trees (one trace per query), SWORD and central executions become
+/// hop chains — all exportable as one Chrome/Perfetto trace via
+/// [`roads_telemetry::write_chrome_trace_default`]. With `recorder =
+/// None` this is exactly [`run_comparison_instrumented`].
+pub fn run_comparison_recorded(
+    cfg: &TrialConfig,
+    telemetry: Option<&Registry>,
+    recorder: Option<&Recorder>,
+) -> (ComparisonResult, Option<TraceReport>) {
     let mut roads_lat = Vec::new();
     let mut sword_lat = Vec::new();
     let mut roads_qb = 0.0;
@@ -195,26 +209,31 @@ pub fn run_comparison_instrumented(
 
         for (q, start) in &queries {
             let entry = roads_core::ServerId(*start as u32);
-            let r = match telemetry {
-                Some(reg) => {
-                    let (r, trace) =
-                        execute_query_traced(&roads, &delays, q, entry, SearchScope::full());
+            let r = if telemetry.is_some() || recorder.is_some() {
+                let (r, trace) =
+                    execute_query_traced(&roads, &delays, q, entry, SearchScope::full());
+                if let Some(reg) = telemetry {
                     traces.push(trace_to_telemetry(&roads, q.id.0, &trace));
                     roads_core::record_query_outcome(reg, &r);
-                    r
                 }
-                None => execute_query(&roads, &delays, q, entry, SearchScope::full()),
+                if let Some(rec) = recorder {
+                    let trace_id = rec.next_trace_id();
+                    let _ = record_query_events(rec, trace_id, &trace);
+                }
+                r
+            } else {
+                execute_query(&roads, &delays, q, entry, SearchScope::full())
             };
             roads_lat.push(r.latency_ms);
             roads_qb += r.query_bytes as f64;
             roads_contacted += r.servers_contacted as f64;
 
-            let s = sword.execute_query(&delays, q, *start);
+            let s = sword.execute_query_recorded(&delays, q, *start, recorder);
             if let Some(reg) = telemetry {
                 roads_sword::record_query_outcome(reg, &s);
                 roads_central::record_query_outcome(
                     reg,
-                    &central.execute_query(&delays, q, *start),
+                    &central.execute_query_recorded(&delays, q, *start, recorder),
                 );
             }
             sword_lat.push(s.latency_ms);
@@ -348,6 +367,31 @@ mod tests {
             snap.histograms["roads.query_latency_ms"].p99
                 >= snap.histograms["roads.query_latency_ms"].p50
         );
+    }
+
+    #[test]
+    fn recorded_comparison_fills_the_flight_recorder() {
+        let cfg = TrialConfig {
+            nodes: 32,
+            records_per_node: 20,
+            queries: 10,
+            buckets: 100,
+            runs: 1,
+            ..TrialConfig::quick()
+        };
+        let rec = Recorder::new(8192);
+        let (r, _) = run_comparison_recorded(&cfg, None, Some(&rec));
+        assert_eq!(r.roads_latency.count, 10);
+        let events = rec.events();
+        // One ROADS trace + one SWORD trace per query.
+        let traces = roads_telemetry::trace_ids(&events);
+        assert_eq!(traces.len(), 20, "10 roads + 10 sword traces");
+        // Every trace is a valid span tree.
+        for t in traces {
+            let tev = roads_telemetry::trace_events(&events, t);
+            roads_telemetry::span_tree_root(&tev, t)
+                .unwrap_or_else(|e| panic!("trace {}: {e}", t.0));
+        }
     }
 
     #[test]

@@ -5,13 +5,27 @@
 //! [`TrafficClass`]. Determinism: events are totally ordered by
 //! `(time, sequence number)`, and all randomness lives inside protocols
 //! (which should use seeded RNGs).
+//!
+//! ## Causal tracing
+//!
+//! Every message envelope carries a ([`TraceId`], [`SpanId`], parent
+//! [`SpanId`]) triple. When a flight [`Recorder`] is attached via
+//! [`Simulator::set_recorder`], each send allocates a child span of the
+//! handler's current span and records `message-send` / `message-deliver`
+//! events, so one injected request's entire causal fan-out forms a span
+//! tree; timer firings start fresh traces (a periodic tick is its own
+//! causal root). Protocol code can add domain events with [`Ctx::record`].
+//! Without a recorder the triple is three copied zeros and every hook is
+//! one `Option` check — no allocation, no locking.
 
 use crate::delay::DelaySpace;
 use crate::stats::{TrafficClass, TrafficStats};
 use crate::time::SimTime;
+use roads_telemetry::{Event, EventKind, Recorder, SpanId, TraceId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Index of a node in the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,6 +79,10 @@ enum Action<M> {
 pub struct Ctx<'a, M> {
     now: SimTime,
     self_id: NodeId,
+    trace: TraceId,
+    span: SpanId,
+    parent: SpanId,
+    recorder: Option<&'a Recorder>,
     actions: &'a mut Vec<Action<M>>,
 }
 
@@ -77,6 +95,39 @@ impl<M> Ctx<'_, M> {
     /// The node handling this event.
     pub fn self_id(&self) -> NodeId {
         self.self_id
+    }
+
+    /// The causal trace this event belongs to ([`TraceId::NONE`] when the
+    /// triggering message was untraced).
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+
+    /// The current span ([`SpanId::NONE`] without a recorder).
+    pub fn span(&self) -> SpanId {
+        self.span
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder
+    }
+
+    /// Record a domain event (summary merge, TTL expiry, …) on this node
+    /// under the current span. A no-op without a recorder.
+    pub fn record(&self, kind: EventKind, detail: u64) {
+        if let Some(rec) = self.recorder {
+            rec.record(Event {
+                at_us: self.now.as_micros(),
+                dur_us: 0,
+                node: self.self_id.0,
+                trace: self.trace,
+                span: self.span,
+                parent: self.parent,
+                kind,
+                detail,
+            });
+        }
     }
 
     /// Send `msg` to `to`; it arrives after the delay-space latency.
@@ -98,7 +149,7 @@ impl<M> Ctx<'_, M> {
 }
 
 enum Payload<M> {
-    Deliver { from: NodeId, msg: M },
+    Deliver { from: NodeId, msg: M, bytes: usize },
     Timer { tag: TimerTag },
 }
 
@@ -107,6 +158,11 @@ struct QueuedEvent<M> {
     seq: u64,
     to: NodeId,
     payload: Payload<M>,
+    /// Causal envelope: the trace the message belongs to, its span, and
+    /// the sender's span. All zero when untraced.
+    trace: TraceId,
+    span: SpanId,
+    parent: SpanId,
 }
 
 impl<M> PartialEq for QueuedEvent<M> {
@@ -149,6 +205,11 @@ pub struct Simulator<P: Protocol> {
     /// Optional delivery hooks into a telemetry registry; `None` keeps the
     /// hot path to a single branch per event.
     telemetry: Option<SimTelemetry>,
+    /// Optional causal flight recorder; `None` keeps envelope handling to
+    /// copying three zeroed ids.
+    recorder: Option<Arc<Recorder>>,
+    /// Per-node delivery counts (timeline load-share gauge).
+    deliveries: Vec<u64>,
 }
 
 /// Pre-resolved telemetry instruments for the event loop (cached `Arc`s so
@@ -171,6 +232,7 @@ impl<P: Protocol> Simulator<P> {
             delays.len(),
             "one delay-space coordinate per node"
         );
+        let n = nodes.len();
         Simulator {
             nodes,
             delays,
@@ -185,7 +247,27 @@ impl<P: Protocol> Simulator<P> {
             messages_dropped: 0,
             bandwidth_mbps: None,
             telemetry: None,
+            recorder: None,
+            deliveries: vec![0; n],
         }
+    }
+
+    /// Attach a causal flight recorder: every send/deliver/timer event is
+    /// recorded with trace and span ids, and protocol callbacks can add
+    /// domain events via [`Ctx::record`]. Without one, the event loop
+    /// pays only an `Option` check.
+    pub fn set_recorder(&mut self, rec: Arc<Recorder>) {
+        self.recorder = Some(rec);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Per-node delivered-message counts since construction.
+    pub fn deliveries(&self) -> &[u64] {
+        &self.deliveries
     }
 
     /// Count every delivery, timer firing, and loss-model drop into `reg`
@@ -299,7 +381,15 @@ impl<P: Protocol> Simulator<P> {
         &self.delays
     }
 
-    fn push(&mut self, at: SimTime, to: NodeId, payload: Payload<P::Msg>) {
+    fn push(
+        &mut self,
+        at: SimTime,
+        to: NodeId,
+        payload: Payload<P::Msg>,
+        trace: TraceId,
+        span: SpanId,
+        parent: SpanId,
+    ) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(QueuedEvent {
@@ -310,6 +400,9 @@ impl<P: Protocol> Simulator<P> {
             seq,
             to,
             payload,
+            trace,
+            span,
+            parent,
         });
     }
 
@@ -325,13 +418,61 @@ impl<P: Protocol> Simulator<P> {
         bytes: usize,
         class: TrafficClass,
     ) {
+        self.inject_traced(at, from, to, msg, bytes, class, TraceId::NONE);
+    }
+
+    /// Like [`Simulator::inject`], but the message (and its whole causal
+    /// fan-out) belongs to `trace`. With a recorder attached the message
+    /// gets a root span — returned so callers can hang more events off it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn inject_traced(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: P::Msg,
+        bytes: usize,
+        class: TrafficClass,
+        trace: TraceId,
+    ) -> SpanId {
         self.stats.record(class, bytes);
-        self.push(at, to, Payload::Deliver { from, msg });
+        let span = if let Some(rec) = &self.recorder {
+            let span = rec.next_span_id();
+            rec.record(Event {
+                at_us: at.max(self.now).as_micros(),
+                dur_us: 0,
+                node: from.0,
+                trace,
+                span,
+                parent: SpanId::NONE,
+                kind: EventKind::MessageSend,
+                detail: bytes as u64,
+            });
+            span
+        } else {
+            SpanId::NONE
+        };
+        self.push(
+            at,
+            to,
+            Payload::Deliver { from, msg, bytes },
+            trace,
+            span,
+            SpanId::NONE,
+        );
+        span
     }
 
     /// Schedule a timer on `node` at absolute time `at`.
     pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, tag: TimerTag) {
-        self.push(at, node, Payload::Timer { tag });
+        self.push(
+            at,
+            node,
+            Payload::Timer { tag },
+            TraceId::NONE,
+            SpanId::NONE,
+            SpanId::NONE,
+        );
     }
 
     /// Process a single event; returns false when the queue is empty.
@@ -343,24 +484,61 @@ impl<P: Protocol> Simulator<P> {
         self.now = ev.at;
         self.events_processed += 1;
 
+        // A delivery handler runs under the envelope's (trace, span); a
+        // timer tick starts a fresh trace when a recorder is attached.
+        let (cur_trace, cur_span, cur_parent) = match (&ev.payload, &self.recorder) {
+            (Payload::Timer { .. }, Some(rec)) => {
+                (rec.next_trace_id(), rec.next_span_id(), SpanId::NONE)
+            }
+            _ => (ev.trace, ev.span, ev.parent),
+        };
         let mut actions = std::mem::take(&mut self.scratch);
         {
             let mut ctx = Ctx {
                 now: self.now,
                 self_id: ev.to,
+                trace: cur_trace,
+                span: cur_span,
+                parent: cur_parent,
+                recorder: self.recorder.as_deref(),
                 actions: &mut actions,
             };
             let node = &mut self.nodes[ev.to.index()];
             match ev.payload {
-                Payload::Deliver { from, msg } => {
+                Payload::Deliver { from, msg, bytes } => {
                     if let Some(t) = &self.telemetry {
                         t.delivered.inc();
+                    }
+                    self.deliveries[ev.to.index()] += 1;
+                    if let Some(rec) = &self.recorder {
+                        rec.record(Event {
+                            at_us: self.now.as_micros(),
+                            dur_us: 0,
+                            node: ev.to.0,
+                            trace: cur_trace,
+                            span: cur_span,
+                            parent: cur_parent,
+                            kind: EventKind::MessageDeliver,
+                            detail: bytes as u64,
+                        });
                     }
                     node.on_message(&mut ctx, from, msg)
                 }
                 Payload::Timer { tag } => {
                     if let Some(t) = &self.telemetry {
                         t.timers.inc();
+                    }
+                    if let Some(rec) = &self.recorder {
+                        rec.record(Event {
+                            at_us: self.now.as_micros(),
+                            dur_us: 0,
+                            node: ev.to.0,
+                            trace: cur_trace,
+                            span: cur_span,
+                            parent: cur_parent,
+                            kind: EventKind::TimerFire,
+                            detail: tag,
+                        });
                     }
                     node.on_timer(&mut ctx, tag)
                 }
@@ -388,11 +566,48 @@ impl<P: Protocol> Simulator<P> {
                     let at = self.now
                         + self.delays.delay(ev.to.index(), to.index())
                         + self.serialization_delay(bytes);
-                    self.push(at, to, Payload::Deliver { from: ev.to, msg });
+                    // Each send becomes a child span of the handler's span,
+                    // spanning the message's flight (delay + serialization)
+                    // so exported traces show it as a complete slice.
+                    let (span, parent) = if let Some(rec) = &self.recorder {
+                        let child = rec.next_span_id();
+                        rec.record(Event {
+                            at_us: self.now.as_micros(),
+                            dur_us: (at - self.now).as_micros(),
+                            node: ev.to.0,
+                            trace: cur_trace,
+                            span: child,
+                            parent: cur_span,
+                            kind: EventKind::MessageSend,
+                            detail: bytes as u64,
+                        });
+                        (child, cur_span)
+                    } else {
+                        (SpanId::NONE, SpanId::NONE)
+                    };
+                    self.push(
+                        at,
+                        to,
+                        Payload::Deliver {
+                            from: ev.to,
+                            msg,
+                            bytes,
+                        },
+                        cur_trace,
+                        span,
+                        parent,
+                    );
                 }
                 Action::Timer { delay, tag } => {
                     let at = self.now + delay;
-                    self.push(at, ev.to, Payload::Timer { tag });
+                    self.push(
+                        at,
+                        ev.to,
+                        Payload::Timer { tag },
+                        TraceId::NONE,
+                        SpanId::NONE,
+                        SpanId::NONE,
+                    );
                 }
             }
         }
@@ -691,6 +906,81 @@ mod tests {
         );
         s.run_to_completion();
         assert_eq!(reg.snapshot().counters["netsim.messages_dropped"], 1);
+    }
+
+    #[test]
+    fn recorder_builds_span_tree_for_injected_trace() {
+        use roads_telemetry::{span_tree_root, trace_events, EventKind, Recorder};
+
+        let rec = Arc::new(Recorder::new(1024));
+        let mut s = sim(2);
+        s.set_recorder(rec.clone());
+        let trace = rec.next_trace_id();
+        let root = s.inject_traced(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(0),
+            Ping { ttl: 3 },
+            64,
+            TrafficClass::Query,
+            trace,
+        );
+        assert!(!root.is_none());
+        s.run_to_completion();
+
+        let events = rec.events();
+        let mine = trace_events(&events, trace);
+        // 4 sends + 4 delivers, all on one trace rooted at the injection.
+        assert_eq!(
+            mine.iter()
+                .filter(|e| e.kind == EventKind::MessageSend)
+                .count(),
+            4
+        );
+        assert_eq!(
+            mine.iter()
+                .filter(|e| e.kind == EventKind::MessageDeliver)
+                .count(),
+            4
+        );
+        assert_eq!(span_tree_root(&events, trace), Ok(root));
+        assert_eq!(s.deliveries(), &[2, 2]);
+    }
+
+    #[test]
+    fn timer_fires_start_fresh_traces() {
+        use roads_telemetry::{EventKind, Recorder};
+
+        let rec = Arc::new(Recorder::new(64));
+        let mut s = sim(1);
+        s.set_recorder(rec.clone());
+        s.schedule_timer(SimTime::from_millis(1), NodeId(0), 7);
+        s.schedule_timer(SimTime::from_millis(2), NodeId(0), 8);
+        s.run_to_completion();
+        let events = rec.events();
+        let fires: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::TimerFire)
+            .collect();
+        assert_eq!(fires.len(), 2);
+        assert!(!fires[0].trace.is_none());
+        assert_ne!(fires[0].trace, fires[1].trace);
+    }
+
+    #[test]
+    fn no_recorder_means_no_span_ids() {
+        let mut s = sim(2);
+        s.inject(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(0),
+            Ping { ttl: 1 },
+            64,
+            TrafficClass::Query,
+        );
+        s.run_to_completion();
+        assert!(s.recorder().is_none());
+        assert_eq!(s.deliveries(), &[1, 1]);
     }
 
     #[test]

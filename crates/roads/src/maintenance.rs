@@ -16,6 +16,7 @@
 
 use crate::tree::{HierarchyTree, ServerId};
 use roads_netsim::{Ctx, NodeId, Protocol, SimTime, Simulator, TimerTag, TrafficClass};
+use roads_telemetry::EventKind;
 use std::collections::BTreeMap;
 
 /// Timer tags.
@@ -474,6 +475,7 @@ impl Protocol for MaintNode {
                     self.rejoin_level = 0;
                     self.probation_until_ms = 0;
                     self.merge_candidates.clear();
+                    ctx.record(EventKind::ChurnJoin, from.0 as u64);
                 }
             }
             MaintMsg::JoinRedirect { next } => {
@@ -483,6 +485,7 @@ impl Protocol for MaintNode {
                 }
             }
             MaintMsg::Leave => {
+                ctx.record(EventKind::ChurnLeave, from.0 as u64);
                 if self.parent == Some(from) {
                     // Parent left gracefully: rejoin immediately from the
                     // grandparent (last element of the path above parent).

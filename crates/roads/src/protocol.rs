@@ -18,6 +18,7 @@ use crate::tree::{HierarchyTree, ServerId};
 use roads_netsim::{Ctx, NodeId, Protocol, SimTime, Simulator, TimerTag, TrafficClass};
 use roads_records::{wire::MSG_HEADER_BYTES, Query, QueryId, Record, Schema, WireSize};
 use roads_summary::{SoftStateTable, Summary};
+use roads_telemetry::{EventKind, SpanId, Timeline, TraceId};
 use std::collections::HashMap;
 
 /// Periodic aggregation/replication tick.
@@ -148,6 +149,11 @@ impl DataNode {
         self.replicas.iter_fresh(now_ms).count()
     }
 
+    /// Number of fresh child branch summaries currently held.
+    pub fn fresh_child_summaries(&self, now_ms: u64) -> usize {
+        self.child_summaries.iter_fresh(now_ms).count()
+    }
+
     /// Whether the fresh child-summary view still contains `child`.
     pub fn sees_child(&self, child: NodeId, now_ms: u64) -> bool {
         self.child_summaries.get(&child, now_ms).is_some()
@@ -171,12 +177,15 @@ impl DataNode {
 
     fn aggregation_tick(&mut self, ctx: &mut Ctx<'_, DataMsg>) {
         let now_ms = ctx.now().as_micros() / 1000;
-        self.child_summaries.sweep(now_ms);
-        self.replicas.sweep(now_ms);
+        let expired = self.child_summaries.sweep(now_ms).len() + self.replicas.sweep(now_ms).len();
+        if expired > 0 {
+            ctx.record(EventKind::TtlExpire, expired as u64);
+        }
 
         // Bottom-up: branch summary to the parent.
         if let Some(p) = self.parent {
             let summary = self.branch_summary(now_ms);
+            ctx.record(EventKind::SummaryPublish, summary.wire_size() as u64);
             self.send(
                 ctx,
                 p,
@@ -235,6 +244,7 @@ impl DataNode {
 
         // Local search and report.
         let matches = self.records.iter().filter(|r| query.matches(r)).count() as u32;
+        ctx.record(EventKind::QueryHop, matches as u64);
         if matches > 0 {
             let report = DataMsg::Matches {
                 query: query.id,
@@ -322,13 +332,27 @@ impl Protocol for DataNode {
         match msg {
             DataMsg::BranchSummary { summary } => {
                 if self.children.contains(&from) {
+                    ctx.record(EventKind::SummaryMerge, from.0 as u64);
                     self.child_summaries.insert(from, summary, now_ms);
                 }
             }
             DataMsg::Replicate { entries } => {
                 if self.parent == Some(from) {
+                    let mut installed = 0u64;
+                    let mut refreshed = 0u64;
                     for (origin, summary) in entries {
+                        if self.replicas.get_ignoring_ttl(&origin).is_some() {
+                            refreshed += 1;
+                        } else {
+                            installed += 1;
+                        }
                         self.replicas.insert(origin, summary, now_ms);
+                    }
+                    if installed > 0 {
+                        ctx.record(EventKind::ReplicaInstall, installed);
+                    }
+                    if refreshed > 0 {
+                        ctx.record(EventKind::ReplicaRefresh, refreshed);
                     }
                 }
             }
@@ -384,10 +408,26 @@ pub fn build_data_simulation(
 }
 
 /// Issue a query into a running data-plane simulation at `entry`,
-/// originating from the same node (client co-located).
+/// originating from the same node (client co-located). With a flight
+/// recorder attached the query gets a fresh trace id automatically.
 pub fn issue_query(sim: &mut Simulator<DataNode>, entry: NodeId, query: Query) {
+    let trace = match sim.recorder() {
+        Some(rec) => rec.next_trace_id(),
+        None => TraceId::NONE,
+    };
+    issue_query_traced(sim, entry, query, trace);
+}
+
+/// [`issue_query`] under a caller-chosen trace id; returns the root span
+/// of the query's causal tree ([`SpanId::NONE`] without a recorder).
+pub fn issue_query_traced(
+    sim: &mut Simulator<DataNode>,
+    entry: NodeId,
+    query: Query,
+    trace: TraceId,
+) -> SpanId {
     let bytes = query.wire_size() + MSG_HEADER_BYTES + 6;
-    sim.inject(
+    sim.inject_traced(
         sim.now(),
         entry,
         entry,
@@ -399,7 +439,58 @@ pub fn issue_query(sim: &mut Simulator<DataNode>, entry: NodeId, query: Query) {
         },
         bytes,
         TrafficClass::Query,
-    );
+        trace,
+    )
+}
+
+/// Run the data plane until `until`, sampling federation-wide gauges into
+/// `timeline` at its configured interval: fresh child summaries
+/// (`live_summaries`), overlay replicas (`overlay_replicas`), the busiest
+/// server's share of all deliveries (`load_share_max`) and total
+/// deliveries (`deliveries`). Returns events processed.
+pub fn run_with_timeline(
+    sim: &mut Simulator<DataNode>,
+    until: SimTime,
+    timeline: &mut Timeline,
+) -> u64 {
+    let mut processed = 0;
+    loop {
+        let now = sim.now();
+        let now_ms = now.as_millis_f64();
+        if timeline.due(now_ms) {
+            let t_ms = now.as_micros() / 1000;
+            let live: usize = sim
+                .nodes()
+                .map(|(_, n)| n.fresh_child_summaries(t_ms))
+                .sum();
+            let replicas: usize = sim.nodes().map(|(_, n)| n.fresh_replicas(t_ms)).sum();
+            let deliveries = sim.deliveries();
+            let total: u64 = deliveries.iter().sum();
+            let max = deliveries.iter().copied().max().unwrap_or(0);
+            let share = if total == 0 {
+                0.0
+            } else {
+                max as f64 / total as f64
+            };
+            timeline.sample(
+                now_ms,
+                [
+                    ("live_summaries", live as f64),
+                    ("overlay_replicas", replicas as f64),
+                    ("load_share_max", share),
+                    ("deliveries", total as f64),
+                ],
+            );
+        }
+        if now >= until {
+            break;
+        }
+        let step_to = SimTime::from_millis_f64(now_ms + timeline.interval_ms())
+            .min(until)
+            .max(now + SimTime(1));
+        processed += sim.run_until(step_to);
+    }
+    processed
 }
 
 /// Snapshot a data-plane simulation's counters into a telemetry registry:
@@ -556,6 +647,69 @@ mod tests {
         sim.run_until(deadline);
         let (servers, _) = sim.node(entry).result(q.id).expect("result recorded");
         assert_eq!(servers, 1, "the updated leaf must be discoverable");
+    }
+
+    #[test]
+    fn flight_recorder_captures_data_plane_events() {
+        use roads_telemetry::Recorder;
+        use std::sync::Arc;
+        let schema = Schema::unit_numeric(1);
+        let cfg = config();
+        let tree = HierarchyTree::build(27, cfg.max_children);
+        let mut sim = build_data_simulation(
+            &tree,
+            cfg,
+            schema.clone(),
+            records(27),
+            DelaySpace::paper(27, 17),
+        );
+        let rec = Arc::new(Recorder::new(1 << 16));
+        sim.set_recorder(rec.clone());
+        sim.run_until(SimTime::from_millis(30_000));
+        let events = rec.events();
+        let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+        assert!(count(EventKind::SummaryPublish) > 0, "publishes recorded");
+        assert!(count(EventKind::SummaryMerge) > 0, "merges recorded");
+        assert!(count(EventKind::ReplicaInstall) > 0, "installs recorded");
+        assert!(
+            count(EventKind::ReplicaRefresh) > 0,
+            "repeat rounds refresh replicas"
+        );
+        // Crash a leaf: its soft state must visibly expire.
+        let leaf = *tree.leaves().iter().max().unwrap();
+        sim.node_mut(NodeId(leaf.0)).crash();
+        let deadline = sim.now() + SimTime::from_secs(20);
+        sim.run_until(deadline);
+        assert!(
+            rec.events().iter().any(|e| e.kind == EventKind::TtlExpire),
+            "crash must surface as ttl-expire events"
+        );
+    }
+
+    #[test]
+    fn timeline_tracks_convergence() {
+        let schema = Schema::unit_numeric(1);
+        let cfg = config();
+        let tree = HierarchyTree::build(27, cfg.max_children);
+        let mut sim =
+            build_data_simulation(&tree, cfg, schema, records(27), DelaySpace::paper(27, 17));
+        let mut timeline = Timeline::new(2_000.0);
+        run_with_timeline(&mut sim, SimTime::from_millis(30_000), &mut timeline);
+        let live = timeline
+            .series()
+            .iter()
+            .find(|s| s.name == "live_summaries")
+            .expect("live_summaries sampled");
+        assert!(live.points.len() >= 10, "one sample per interval");
+        // Before the first aggregation round nothing is live; once
+        // converged every parent sees every child (26 edges in a 27-tree).
+        assert_eq!(live.points.first().unwrap().1, 0.0);
+        assert_eq!(live.points.last().unwrap().1, 26.0);
+        assert!(timeline
+            .series()
+            .iter()
+            .any(|s| s.name == "overlay_replicas"));
+        assert!(timeline.series().iter().any(|s| s.name == "load_share_max"));
     }
 
     #[test]

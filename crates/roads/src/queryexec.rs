@@ -17,6 +17,7 @@ use crate::engine::RoadsNetwork;
 use crate::tree::ServerId;
 use roads_netsim::DelaySpace;
 use roads_records::{wire::MSG_HEADER_BYTES, Query, WireSize};
+use roads_telemetry::{Event, EventKind, Recorder, SpanId, TraceId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -239,6 +240,113 @@ pub fn trace_to_telemetry(
         entry: trace.first().map(|e| e.server.0).unwrap_or(0),
         hops,
         completed_ms,
+    }
+}
+
+/// Record a contact trace into the flight recorder as a span tree under
+/// `trace_id`: one `query-hop` span per contact, parented on the contact
+/// that forwarded the query there (the entry is the root), plus
+/// `query-start` / `query-complete` instants on the entry server. Each
+/// hop's duration covers its whole redirect subtree, so the slowest
+/// root-to-leaf chain is the query's critical path. Returns the root span.
+pub fn record_query_events(
+    rec: &Recorder,
+    trace_id: TraceId,
+    trace: &[TraceEvent],
+) -> Option<SpanId> {
+    let first = trace.first()?;
+    let to_us = |ms: f64| (ms * 1000.0).round().max(0.0) as u64;
+    // Who forwarded the query to each contact (contacts are time-ordered).
+    let parent_idx: Vec<Option<usize>> = trace
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            if i == 0 {
+                None
+            } else {
+                trace[..i]
+                    .iter()
+                    .position(|p| p.forwarded_to.contains(&e.server))
+            }
+        })
+        .collect();
+    // Latest arrival inside each contact's redirect subtree.
+    let mut end_ms: Vec<f64> = trace.iter().map(|e| e.at_ms).collect();
+    for i in (1..trace.len()).rev() {
+        if let Some(p) = parent_idx[i] {
+            end_ms[p] = end_ms[p].max(end_ms[i]);
+        }
+    }
+    let spans: Vec<SpanId> = trace.iter().map(|_| rec.next_span_id()).collect();
+    rec.record(Event {
+        at_us: to_us(first.at_ms),
+        dur_us: 0,
+        node: first.server.0,
+        trace: trace_id,
+        span: spans[0],
+        parent: SpanId::NONE,
+        kind: EventKind::QueryStart,
+        detail: trace_id.0,
+    });
+    let mut total_matches = 0u64;
+    for (i, e) in trace.iter().enumerate() {
+        total_matches += e.local_matches as u64;
+        let parent = match parent_idx[i] {
+            Some(p) => spans[p],
+            // The entry roots the tree; a contact with no recorded
+            // forwarder (defensive — should not happen) hangs off it.
+            None if i == 0 => SpanId::NONE,
+            None => spans[0],
+        };
+        let mut dur_us = to_us(end_ms[i]).saturating_sub(to_us(e.at_ms));
+        if i == 0 {
+            // The root renders as a complete slice even for single-hop
+            // queries.
+            dur_us = dur_us.max(1);
+        }
+        rec.record(Event {
+            at_us: to_us(e.at_ms),
+            dur_us,
+            node: e.server.0,
+            trace: trace_id,
+            span: spans[i],
+            parent,
+            kind: EventKind::QueryHop,
+            detail: e.local_matches as u64,
+        });
+    }
+    let completed = trace.iter().map(|e| e.at_ms).fold(0.0f64, f64::max);
+    rec.record(Event {
+        at_us: to_us(completed),
+        dur_us: 0,
+        node: first.server.0,
+        trace: trace_id,
+        span: spans[0],
+        parent: SpanId::NONE,
+        kind: EventKind::QueryComplete,
+        detail: total_matches,
+    });
+    Some(spans[0])
+}
+
+/// [`execute_query`] that, when a flight recorder is attached, also
+/// records the execution as a span tree under a fresh trace id. With
+/// `None` it is exactly [`execute_query`] — no tracing, no allocation.
+pub fn execute_query_recorded(
+    net: &RoadsNetwork,
+    delays: &DelaySpace,
+    query: &Query,
+    start: ServerId,
+    scope: SearchScope,
+    rec: Option<&Recorder>,
+) -> QueryOutcome {
+    match rec {
+        None => execute_query(net, delays, query, start, scope),
+        Some(r) => {
+            let (outcome, trace) = execute_query_traced(net, delays, query, start, scope);
+            record_query_events(r, r.next_trace_id(), &trace);
+            outcome
+        }
     }
 }
 
@@ -622,6 +730,61 @@ mod tests {
         // Cumulative time is the max over hops.
         let max_at = t.hops.iter().map(|h| h.at_ms).fold(0.0f64, f64::max);
         assert_eq!(t.completed_ms, max_at);
+    }
+
+    #[test]
+    fn recorded_span_tree_is_acyclic_and_rooted_at_entry() {
+        use roads_telemetry::{critical_path, span_tree_root, Recorder};
+        let (net, delays) = network(30, 3);
+        let q = QueryBuilder::new(net.schema(), QueryId(12))
+            .range("x0", 0.0, 1.0)
+            .build();
+        let rec = Recorder::new(4096);
+        let trace_id = rec.next_trace_id();
+        let (out, trace) =
+            execute_query_traced(&net, &delays, &q, ServerId(11), SearchScope::full());
+        let root = record_query_events(&rec, trace_id, &trace).expect("non-empty trace");
+        let events = rec.events();
+        // `span_tree_root` validates acyclicity and single-rootedness.
+        assert_eq!(span_tree_root(&events, trace_id), Ok(root));
+        // …and the root span lives on the entry server.
+        let root_hop = events
+            .iter()
+            .find(|e| e.span == root && e.kind == EventKind::QueryHop)
+            .expect("root hop recorded");
+        assert_eq!(root_hop.node, 11);
+        // One hop span per contacted server, plus start/complete markers.
+        let hops = events
+            .iter()
+            .filter(|e| e.kind == EventKind::QueryHop)
+            .count();
+        assert_eq!(hops, out.servers_contacted);
+        // The critical path starts at the entry and is a real chain.
+        let path = critical_path(&events, trace_id);
+        assert_eq!(path.first().map(|e| e.span), Some(root));
+        assert!(path.len() >= 2, "a 30-server broad query spans levels");
+    }
+
+    #[test]
+    fn execute_query_recorded_matches_plain_execution() {
+        use roads_telemetry::Recorder;
+        let (net, delays) = network(30, 3);
+        let q = point_query(&net, 0.5);
+        let plain = execute_query(&net, &delays, &q, ServerId(3), SearchScope::full());
+        let none =
+            execute_query_recorded(&net, &delays, &q, ServerId(3), SearchScope::full(), None);
+        assert_eq!(plain, none);
+        let rec = Recorder::new(1024);
+        let some = execute_query_recorded(
+            &net,
+            &delays,
+            &q,
+            ServerId(3),
+            SearchScope::full(),
+            Some(&rec),
+        );
+        assert_eq!(plain, some);
+        assert!(!rec.is_empty(), "recorded execution must emit events");
     }
 
     #[test]

@@ -19,6 +19,8 @@ use crate::engine::RoadsNetwork;
 use crate::tree::ServerId;
 use roads_records::wire::MSG_HEADER_BYTES;
 use roads_records::WireSize;
+use roads_telemetry::{Event, EventKind, Recorder, SpanId, TraceId};
+use std::collections::BTreeMap;
 
 /// Byte/message counts for one ROADS update round, split by wave.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -105,6 +107,66 @@ pub fn update_round(net: &RoadsNetwork) -> UpdateBreakdown {
     out
 }
 
+/// Record one analytic update round into the flight recorder as a
+/// synthetic span tree: a root `Mark` span covering the round, one
+/// `SummaryPublish` span per non-root server parented on its tree
+/// parent's span (detail = branch-summary wire bytes), and a final
+/// `SummaryMerge` instant at the root. Timestamps are synthetic — deeper
+/// servers publish earlier, mirroring the bottom-up aggregation wave —
+/// so the exported trace shows the wave structure, not wall time.
+pub fn record_update_round_events(rec: &Recorder, net: &RoadsNetwork) -> TraceId {
+    let tree = net.tree();
+    let trace = rec.next_trace_id();
+    let levels = tree.levels() as u64;
+    let root = tree.root();
+    let root_span = rec.record_span(
+        trace,
+        SpanId::NONE,
+        root.0,
+        EventKind::Mark,
+        0,
+        (levels + 1) * 1_000,
+        0,
+    );
+    let mut spans: BTreeMap<ServerId, SpanId> = BTreeMap::new();
+    spans.insert(root, root_span);
+    // Parents before children so every publish span has its parent's span.
+    let mut order = tree.servers();
+    order.sort_by_key(|&s| tree.depth(s));
+    let mut merged = 0u64;
+    for s in order {
+        if s == root {
+            continue;
+        }
+        let parent = tree.parent(s).expect("non-root server has a parent");
+        let depth = tree.depth(s) as u64;
+        let at_us = levels.saturating_sub(depth) * 1_000;
+        let bytes = net.branch_summary(s).wire_size() as u64;
+        let span = rec.record_span(
+            trace,
+            spans[&parent],
+            s.0,
+            EventKind::SummaryPublish,
+            at_us,
+            1_000,
+            bytes,
+        );
+        spans.insert(s, span);
+        merged += 1;
+    }
+    rec.record(Event {
+        at_us: (levels + 1) * 1_000,
+        dur_us: 0,
+        node: root.0,
+        trace,
+        span: root_span,
+        parent: SpanId::NONE,
+        kind: EventKind::SummaryMerge,
+        detail: merged,
+    });
+    trace
+}
+
 /// Summaries replicated *to* one server per round (its replication-set
 /// size) — the per-node maintenance load of Eq. (4), worst-case
 /// `O(k² log n)` at the deepest level.
@@ -151,6 +213,29 @@ mod tests {
             })
             .collect();
         RoadsNetwork::build(schema, cfg, records)
+    }
+
+    #[test]
+    fn recorded_update_round_spans_mirror_the_tree() {
+        let net = network(40, 3, 2, 32);
+        let rec = Recorder::new(4096);
+        let trace = record_update_round_events(&rec, &net);
+        let events = rec.events();
+        let tree_events = roads_telemetry::trace_events(&events, trace);
+        // One Mark root + one publish per non-root + one merge instant.
+        assert_eq!(tree_events.len(), 40 + 1);
+        let root = roads_telemetry::span_tree_root(&tree_events, trace)
+            .expect("update-round trace forms a valid span tree");
+        let root_ev = tree_events.iter().find(|e| e.span == root).unwrap();
+        assert_eq!(root_ev.node, net.tree().root().0);
+        let publishes = tree_events
+            .iter()
+            .filter(|e| e.kind == EventKind::SummaryPublish)
+            .count();
+        assert_eq!(publishes, 39);
+        assert!(tree_events
+            .iter()
+            .any(|e| e.kind == EventKind::SummaryMerge && e.detail == 39));
     }
 
     #[test]

@@ -14,7 +14,10 @@ use roads_core::policy::{apply_policy, OpenPolicy, RequesterId, SharingPolicy};
 use roads_core::{RoadsNetwork, ServerId};
 use roads_netsim::DelaySpace;
 use roads_records::{Query, Record, WireSize};
-use roads_telemetry::{span::timed, Histogram, Registry};
+use roads_telemetry::{
+    span::timed, Event, EventKind, Histogram, Recorder, Registry, SpanId, TraceId,
+};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -90,6 +93,7 @@ pub struct RoadsCluster {
     senders: Vec<Sender<ServerRequest>>,
     handles: Vec<JoinHandle<()>>,
     phases: Option<PhaseTimers>,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl RoadsCluster {
@@ -165,7 +169,21 @@ impl RoadsCluster {
             senders,
             handles,
             phases,
+            recorder: None,
         }
+    }
+
+    /// Attach a flight recorder: every subsequent [`Self::query_as`]
+    /// records its dispatch tree as causal `QueryHop` spans (wall-clock
+    /// microseconds from query start) under a fresh trace. Without a
+    /// recorder, queries do zero event-recording work.
+    pub fn set_recorder(&mut self, rec: Arc<Recorder>) {
+        self.recorder = Some(rec);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
     }
 
     /// The converged control state.
@@ -194,47 +212,73 @@ impl RoadsCluster {
         let mut outstanding = 0usize;
         let mut records = Vec::new();
         let mut contacted = 0usize;
+        let rec = self.recorder.as_deref();
+        let trace = rec.map(|r| r.next_trace_id()).unwrap_or(TraceId::NONE);
+        // Per-server (span, dispatch-time µs, parent span): filled at
+        // dispatch, turned into a QueryHop event when the reply lands.
+        let spans = Mutex::new(HashMap::<ServerId, (SpanId, u64, SpanId)>::new());
 
-        let dispatch = |target: ServerId, mode: ContactMode, outstanding: &mut usize| {
-            if !visited.lock().insert(target) {
-                return;
-            }
-            *outstanding += 1;
-            let delay_out = self.scaled_delay(start, target);
-            let sender = self.senders[target.index()].clone();
-            let done = done_tx.clone();
-            let q = query.clone();
-            let delay_back = delay_out; // symmetric one-way latency
-            thread::spawn(move || {
-                thread::sleep(delay_out);
-                let (reply_tx, reply_rx) = unbounded();
-                if sender
-                    .send(ServerRequest::Query {
-                        query: q,
-                        mode,
-                        requester,
-                        reply: reply_tx.clone(),
-                    })
-                    .is_err()
-                {
-                    // Channel closed (cluster shutting down): synthesize an
-                    // empty reply below via the dropped sender.
-                    drop(reply_tx);
+        let dispatch =
+            |target: ServerId, mode: ContactMode, parent: SpanId, outstanding: &mut usize| {
+                if !visited.lock().insert(target) {
+                    return;
                 }
-                let reply = reply_rx.recv().unwrap_or(ServerReply {
-                    // Server thread gone (crashed or shut down): report an
-                    // empty reply so the client's outstanding count drains
-                    // instead of hanging forever.
-                    server: target,
-                    targets: Vec::new(),
-                    records: Vec::new(),
+                if let Some(r) = rec {
+                    let span = r.next_span_id();
+                    spans
+                        .lock()
+                        .insert(target, (span, t0.elapsed().as_micros() as u64, parent));
+                }
+                *outstanding += 1;
+                let delay_out = self.scaled_delay(start, target);
+                let sender = self.senders[target.index()].clone();
+                let done = done_tx.clone();
+                let q = query.clone();
+                let delay_back = delay_out; // symmetric one-way latency
+                thread::spawn(move || {
+                    thread::sleep(delay_out);
+                    let (reply_tx, reply_rx) = unbounded();
+                    if sender
+                        .send(ServerRequest::Query {
+                            query: q,
+                            mode,
+                            requester,
+                            reply: reply_tx.clone(),
+                        })
+                        .is_err()
+                    {
+                        // Channel closed (cluster shutting down): synthesize an
+                        // empty reply below via the dropped sender.
+                        drop(reply_tx);
+                    }
+                    let reply = reply_rx.recv().unwrap_or(ServerReply {
+                        // Server thread gone (crashed or shut down): report an
+                        // empty reply so the client's outstanding count drains
+                        // instead of hanging forever.
+                        server: target,
+                        targets: Vec::new(),
+                        records: Vec::new(),
+                    });
+                    thread::sleep(delay_back);
+                    let _ = done.send(reply);
                 });
-                thread::sleep(delay_back);
-                let _ = done.send(reply);
-            });
-        };
+            };
 
-        dispatch(start, ContactMode::Entry, &mut outstanding);
+        dispatch(start, ContactMode::Entry, SpanId::NONE, &mut outstanding);
+        if let Some(r) = rec {
+            if let Some(&(span, at_us, _)) = spans.lock().get(&start) {
+                r.record(Event {
+                    at_us,
+                    dur_us: 0,
+                    node: start.0,
+                    trace,
+                    span,
+                    parent: SpanId::NONE,
+                    kind: EventKind::QueryStart,
+                    detail: trace.0,
+                });
+            }
+        }
         while outstanding > 0 {
             let reply = match &self.phases {
                 Some(p) => timed(&p.channel_wait, || done_rx.recv()),
@@ -250,9 +294,38 @@ impl RoadsCluster {
                 .phases
                 .as_ref()
                 .map(|p| roads_telemetry::SpanTimer::start(Arc::clone(&p.result_merge)));
+            let reply_span = spans.lock().get(&reply.server).copied();
+            if let (Some(r), Some((span, at_us, parent))) = (rec, reply_span) {
+                let now_us = t0.elapsed().as_micros() as u64;
+                r.record(Event {
+                    at_us,
+                    dur_us: now_us.saturating_sub(at_us).max(1),
+                    node: reply.server.0,
+                    trace,
+                    span,
+                    parent,
+                    kind: EventKind::QueryHop,
+                    detail: reply.records.len() as u64,
+                });
+            }
+            let parent_span = reply_span.map(|(s, _, _)| s).unwrap_or(SpanId::NONE);
             records.extend(reply.records);
             for (target, mode) in reply.targets {
-                dispatch(target, mode, &mut outstanding);
+                dispatch(target, mode, parent_span, &mut outstanding);
+            }
+        }
+        if let Some(r) = rec {
+            if let Some(&(span, _, _)) = spans.lock().get(&start) {
+                r.record(Event {
+                    at_us: t0.elapsed().as_micros() as u64,
+                    dur_us: 0,
+                    node: start.0,
+                    trace,
+                    span,
+                    parent: SpanId::NONE,
+                    kind: EventKind::QueryComplete,
+                    detail: records.len() as u64,
+                });
             }
         }
 
@@ -524,6 +597,40 @@ mod tests {
         assert_eq!(snap.histograms["runtime.channel_wait_us"].count, n);
         assert_eq!(snap.histograms["runtime.result_merge_us"].count, n);
         assert!(snap.histograms["runtime.channel_wait_us"].max > 0.0);
+    }
+
+    #[test]
+    fn recorded_live_query_builds_wall_clock_span_tree() {
+        use roads_telemetry::{span_tree_root, trace_events, TraceId};
+        let mut c = cluster(9);
+        let rec = Arc::new(Recorder::new(1024));
+        c.set_recorder(Arc::clone(&rec));
+        let q = QueryBuilder::new(c.network().schema(), QueryId(5))
+            .range("x0", 0.0, 1.0)
+            .range("x1", 0.0, 1.0)
+            .build();
+        let out = c.query(&q, ServerId(4));
+        assert_eq!(out.records.len(), 9 * 20);
+        let events = rec.events();
+        let tev = trace_events(&events, TraceId(1));
+        let root = span_tree_root(&tev, TraceId(1)).expect("valid span tree");
+        let hops: Vec<_> = tev
+            .iter()
+            .filter(|e| e.kind == EventKind::QueryHop)
+            .collect();
+        assert_eq!(hops.len(), out.servers_contacted);
+        let root_hop = hops.iter().find(|e| e.span == root).unwrap();
+        assert_eq!(root_hop.node, 4, "rooted at the entry server");
+        assert!(
+            hops.iter().all(|e| e.dur_us >= 1),
+            "hop spans carry wall-clock durations"
+        );
+        let total: u64 = hops.iter().map(|e| e.detail).sum();
+        assert_eq!(total, (9 * 20) as u64, "hop details sum to records");
+        assert!(tev
+            .iter()
+            .any(|e| e.kind == EventKind::QueryComplete && e.detail == (9 * 20) as u64));
+        c.shutdown();
     }
 
     #[test]

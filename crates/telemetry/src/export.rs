@@ -219,10 +219,30 @@ mod tests {
     fn write_creates_dir_and_file() {
         let dir = std::env::temp_dir().join(format!("roads-telemetry-test-{}", std::process::id()));
         let fig = FigureExport::new("fig_unit", "t");
-        let path = fig.write(&dir).unwrap();
-        let body = std::fs::read_to_string(&path).unwrap();
+        let path = fig
+            .write(&dir)
+            .unwrap_or_else(|e| panic!("writing figure under {}: {e}", dir.display()));
+        let body = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading back {}: {e}", path.display()));
         assert!(body.starts_with('{'));
         assert!(body.ends_with("}\n"));
-        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap_or_else(|e| panic!("removing {}: {e}", dir.display()));
+    }
+
+    #[test]
+    fn write_creates_nested_results_dirs() {
+        // ROADS_RESULTS_DIR may point several levels deep; `write` must
+        // create the whole chain and report failures as io::Result, not
+        // panic.
+        let root =
+            std::env::temp_dir().join(format!("roads-telemetry-nested-{}", std::process::id()));
+        let dir = root.join("a").join("b").join("results");
+        let fig = FigureExport::new("fig_nested", "t");
+        let path = fig
+            .write(&dir)
+            .unwrap_or_else(|e| panic!("writing figure under {}: {e}", dir.display()));
+        assert!(path.exists(), "missing {}", path.display());
+        std::fs::remove_dir_all(&root)
+            .unwrap_or_else(|e| panic!("removing {}: {e}", root.display()));
     }
 }

@@ -15,23 +15,38 @@
 //! * [`span`] — scoped wall-clock timers feeding histograms, used by the
 //!   threaded prototype runtime to attribute time to phases (local store
 //!   search, channel wait, result merge).
-//! * [`json`] / [`export`] — a small hand-rolled JSON value type and the
-//!   `results/<figure>.json` exporter used by every `fig*` binary.
+//! * [`event`] — the causal flight recorder: a bounded ring buffer of
+//!   structured events ([`Event`]) stamped with node, time and
+//!   [`TraceId`]/[`SpanId`] causal parents, plus span-tree analysis
+//!   (root/acyclicity validation, critical paths) and a Chrome
+//!   trace-event / Perfetto exporter (`results/<figure>.trace.json`).
+//! * [`timeline`] — a fixed-interval gauge sampler producing
+//!   `timeline.<gauge>` time-series inside a [`FigureExport`].
+//! * [`json`] / [`export`] — a small hand-rolled JSON value type (writer
+//!   *and* parser) and the `results/<figure>.json` exporter used by every
+//!   `fig*` binary.
 //!
 //! Everything is opt-in: simulation and runtime code paths accept an
-//! `Option`al registry/sink and do no work when it is absent, so the
+//! `Option`al registry/recorder and do no work when it is absent, so the
 //! instrumented build costs nothing when telemetry is not requested.
 
+pub mod event;
 pub mod export;
 pub mod json;
 pub mod registry;
 pub mod span;
 pub mod stats;
+pub mod timeline;
 pub mod trace;
 
+pub use event::{
+    chrome_trace_json, critical_path, slowest_trace, span_tree_root, trace_events, trace_ids,
+    write_chrome_trace, write_chrome_trace_default, Event, EventKind, Recorder, SpanId, TraceId,
+};
 pub use export::{FigureExport, ReferencePoint, Series};
 pub use json::Json;
 pub use registry::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use span::SpanTimer;
 pub use stats::LatencyStats;
+pub use timeline::{Timeline, TimelineSeries};
 pub use trace::{aggregate_traces, gini, Hop, HopReason, QueryTrace, TraceReport};

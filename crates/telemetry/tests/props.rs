@@ -1,7 +1,26 @@
-//! Property tests for the metrics registry primitives.
+//! Property tests for the metrics registry primitives and the flight
+//! recorder's bounded event ring.
 
 use proptest::prelude::*;
-use roads_telemetry::{Histogram, LatencyStats, Registry};
+use roads_telemetry::{
+    Event, EventKind, Histogram, LatencyStats, Recorder, Registry, SpanId, TraceId,
+};
+
+/// A minimal event for ring-buffer tests: `detail` doubles as a sequence
+/// number so ordering assertions can follow each event through evictions
+/// and merges.
+fn ev(at_us: u64, trace: u64, seq: u64) -> Event {
+    Event {
+        at_us,
+        dur_us: 0,
+        node: 0,
+        trace: TraceId(trace),
+        span: SpanId(seq + 1),
+        parent: SpanId::NONE,
+        kind: EventKind::Mark,
+        detail: seq,
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -100,5 +119,68 @@ proptest! {
         prop_assert!(s.p90 <= s.p99);
         prop_assert!(s.p99 <= s.max);
         prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    /// The recorder never retains more than `capacity` events, and the
+    /// eviction counter accounts for every overflow exactly.
+    #[test]
+    fn recorder_memory_is_bounded(capacity in 1usize..64, n in 0usize..256) {
+        let rec = Recorder::new(capacity);
+        for i in 0..n {
+            rec.record(ev(i as u64, 1, i as u64));
+        }
+        prop_assert!(rec.len() <= rec.capacity());
+        prop_assert_eq!(rec.len(), n.min(capacity));
+        prop_assert_eq!(rec.evicted(), n.saturating_sub(capacity) as u64);
+        prop_assert_eq!(rec.events().len(), rec.len());
+    }
+
+    /// A full ring evicts strictly FIFO: after `n` appends the survivors
+    /// are exactly the most recent `capacity` events, still in insertion
+    /// order.
+    #[test]
+    fn recorder_evicts_oldest_first(capacity in 1usize..32, n in 0usize..128) {
+        let rec = Recorder::new(capacity);
+        for i in 0..n {
+            rec.record(ev(i as u64, 1, i as u64));
+        }
+        let got: Vec<u64> = rec.events().iter().map(|e| e.detail).collect();
+        let expect: Vec<u64> = (n.saturating_sub(capacity) as u64..n as u64).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Merging one node's recorder into another yields a globally
+    /// time-ordered ring in which each trace's own events keep their
+    /// relative (causal) order.
+    #[test]
+    fn recorder_merge_preserves_per_trace_order(
+        ta in prop::collection::vec(0u64..1_000, 0..64),
+        tb in prop::collection::vec(0u64..1_000, 0..64),
+    ) {
+        let a = Recorder::new(256);
+        let b = Recorder::new(256);
+        let mut ta = ta;
+        let mut tb = tb;
+        ta.sort_unstable();
+        tb.sort_unstable();
+        for (i, &t) in ta.iter().enumerate() {
+            a.record(ev(t, 1, i as u64));
+        }
+        for (i, &t) in tb.iter().enumerate() {
+            b.record(ev(t, 2, i as u64));
+        }
+        a.merge(&b);
+        let all = a.events();
+        prop_assert_eq!(all.len(), ta.len() + tb.len());
+        prop_assert!(all.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        for trace in [1u64, 2] {
+            let seqs: Vec<u64> = all
+                .iter()
+                .filter(|e| e.trace.0 == trace)
+                .map(|e| e.detail)
+                .collect();
+            let expect: Vec<u64> = (0..seqs.len() as u64).collect();
+            prop_assert_eq!(seqs, expect);
+        }
     }
 }
