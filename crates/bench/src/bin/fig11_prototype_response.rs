@@ -58,6 +58,7 @@ fn main() {
         base_query_cost_us: 5_000,
         bandwidth_mbps: 100.0,
         delay_scale: 0.25,
+        ..RuntimeConfig::paper_like()
     };
     let roads_cfg = RoadsConfig {
         max_children: 4,

@@ -263,7 +263,7 @@ pub fn run_comparison_recorded(
 }
 
 /// Parse the common CLI flags shared by all figure binaries:
-/// `--quick`, `--runs N`, `--seed S`.
+/// `--quick` (alias `--smoke`), `--runs N`, `--seed S`.
 pub fn parse_args() -> (bool, Option<usize>) {
     let (quick, runs, _) = parse_args_full();
     (quick, runs)
@@ -277,7 +277,7 @@ pub fn parse_args_full() -> (bool, Option<usize>, Option<u64>) {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--quick" => quick = true,
+            "--quick" | "--smoke" => quick = true,
             "--runs" => runs = Some(required_number(&mut args, "--runs")),
             "--seed" => seed = Some(required_number(&mut args, "--seed")),
             other => eprintln!("ignoring unknown argument {other:?}"),

@@ -43,6 +43,19 @@ impl ReplicationSet {
         v
     }
 
+    /// Servers that can stand in for this one when it is unreachable,
+    /// best first: siblings (they replicate this server's branch summary
+    /// and sit closest to its subtree), then ancestors nearest-first (the
+    /// parent holds the branch summaries of *all* this server's children
+    /// and can route around it directly). Ancestor siblings replicate the
+    /// branch summary too but sit in foreign branches with no better
+    /// knowledge than a sibling, so they are not nominated.
+    pub fn failover_candidates(&self) -> Vec<ServerId> {
+        let mut v = self.siblings.clone();
+        v.extend(&self.ancestors);
+        v
+    }
+
     /// Total number of replicated summaries (the paper's per-node storage
     /// term `k·i` for a level-`i` node with degree `k`).
     pub fn len(&self) -> usize {
@@ -102,6 +115,21 @@ mod tests {
         assert_eq!(rs.ancestors.len(), 3);
         assert_eq!(rs.ancestor_siblings.len(), 2);
         assert_eq!(rs.len(), 6);
+    }
+
+    #[test]
+    fn failover_candidates_prefer_siblings_then_nearest_ancestor() {
+        let t = HierarchyTree::build(15, 2);
+        let d1 = *t.leaves().iter().min().unwrap();
+        let rs = replication_set(&t, d1);
+        let cands = rs.failover_candidates();
+        assert_eq!(cands.len(), rs.siblings.len() + rs.ancestors.len());
+        assert_eq!(&cands[..rs.siblings.len()], &rs.siblings[..]);
+        // Ancestors follow, parent first: the parent already stores every
+        // branch summary of the dead server's children.
+        assert_eq!(cands[rs.siblings.len()], t.parent(d1).unwrap());
+        // Candidates never include the server itself.
+        assert!(!cands.contains(&d1));
     }
 
     #[test]

@@ -92,6 +92,9 @@ impl CentralCluster {
             response_ms: t0.elapsed().as_secs_f64() * 1000.0,
             records,
             servers_contacted: 1,
+            complete: true,
+            failed_servers: Vec::new(),
+            retries: 0,
         }
     }
 

@@ -5,10 +5,25 @@
 //! could not simulate — concurrent query processing against per-server
 //! record stores, with real parallelism across servers and delay-space
 //! latencies applied per message.
+//!
+//! # Fault model
+//!
+//! Message delivery runs on a bounded dispatcher pool
+//! ([`crate::faults::Dispatcher`]) instead of one helper thread per
+//! contacted server. Every dispatched sub-query carries a per-dispatch
+//! timeout; expiry triggers bounded retry with exponential backoff, then
+//! replica-overlay failover: a sibling or ancestor holding the dead
+//! server's branch summary (§III-C) stands in and forwards the sub-query
+//! to the dead server's children. A per-query deadline bounds the whole
+//! operation, and [`RuntimeOutcome::complete`] reports truthfully whether
+//! anything may be missing. Threads can be torn down and respawned live
+//! via [`RoadsCluster::kill_server`] / [`RoadsCluster::restart_server`]
+//! for fault injection.
 
 use crate::config::RuntimeConfig;
+use crate::faults::{backoff_delay, mode_rank, DispatchHandle, Dispatcher, VisitLedger};
 use crate::store::RecordStore;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use roads_core::policy::{apply_policy, OpenPolicy, RequesterId, SharingPolicy};
 use roads_core::{RoadsNetwork, ServerId};
@@ -17,7 +32,8 @@ use roads_records::{Query, Record, WireSize};
 use roads_telemetry::{
     span::timed, Event, EventKind, Histogram, Recorder, Registry, SpanId, TraceId,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -56,22 +72,119 @@ pub enum ContactMode {
     Branch,
     /// Ancestor probe: local data only.
     LocalOnly,
+    /// Overlay stand-in for a crashed server: forward to `dead`'s children
+    /// using its replicated branch summary, no local search here.
+    Failover {
+        /// The unreachable server being routed around.
+        dead: ServerId,
+    },
 }
 
-enum ServerRequest {
+pub(crate) enum ServerRequest {
     Query {
         query: Query,
         mode: ContactMode,
         requester: RequesterId,
-        reply: Sender<ServerReply>,
+        reply: ReplyHandle,
     },
     Shutdown,
 }
 
-struct ServerReply {
+/// What the dispatcher reports back to a querying client.
+pub(crate) enum Notice {
+    /// A server's reply landed (after the return delay).
+    Reply {
+        attempt: u64,
+        server: ServerId,
+        targets: Vec<(ServerId, ContactMode)>,
+        records: Vec<Record>,
+    },
+    /// The target's mailbox was already closed — its thread exited or
+    /// panicked before the request could even be queued. The attempt id
+    /// identifies which dispatch (and server) this was.
+    Down { attempt: u64 },
+}
+
+/// One-shot reply path handed to a server with each request. Replying
+/// schedules delivery after the return delay on the dispatcher; dropping
+/// it (server killed or panicked mid-request) sends nothing, which the
+/// client turns into a timeout instead of a hang.
+pub(crate) struct ReplyHandle {
+    timer: DispatchHandle,
+    done: Sender<Notice>,
+    attempt: u64,
     server: ServerId,
-    targets: Vec<(ServerId, ContactMode)>,
-    records: Vec<Record>,
+    delay_back: Duration,
+}
+
+impl ReplyHandle {
+    fn send(self, targets: Vec<(ServerId, ContactMode)>, records: Vec<Record>) {
+        let ReplyHandle {
+            timer,
+            done,
+            attempt,
+            server,
+            delay_back,
+        } = self;
+        timer.schedule_after(
+            delay_back,
+            DispatchJob::Notify {
+                done,
+                notice: Notice::Reply {
+                    attempt,
+                    server,
+                    targets,
+                    records,
+                },
+            },
+        );
+    }
+}
+
+/// A unit of timed work on the dispatcher pool.
+pub(crate) enum DispatchJob {
+    /// Deliver a request to a server's mailbox; a closed mailbox is
+    /// reported straight back as [`Notice::Down`].
+    Send {
+        sender: Sender<ServerRequest>,
+        request: ServerRequest,
+        done: Sender<Notice>,
+        attempt: u64,
+    },
+    /// Deliver a notice to the querying client.
+    Notify {
+        done: Sender<Notice>,
+        notice: Notice,
+    },
+    #[cfg(test)]
+    Probe(Box<dyn FnOnce() + Send>),
+}
+
+impl DispatchJob {
+    pub(crate) fn run(self) {
+        match self {
+            DispatchJob::Send {
+                sender,
+                request,
+                done,
+                attempt,
+            } => {
+                if sender.send(request).is_err() {
+                    let _ = done.send(Notice::Down { attempt });
+                }
+            }
+            DispatchJob::Notify { done, notice } => {
+                let _ = done.send(notice);
+            }
+            #[cfg(test)]
+            DispatchJob::Probe(f) => f(),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn test_probe(f: impl FnOnce() + Send + 'static) -> Self {
+        DispatchJob::Probe(Box::new(f))
+    }
 }
 
 /// Result of one live query.
@@ -83,6 +196,26 @@ pub struct RuntimeOutcome {
     pub records: Vec<Record>,
     /// Servers contacted.
     pub servers_contacted: usize,
+    /// Whether the result provably covers every matching record: the
+    /// deadline did not cut the query short, and for every failed server
+    /// the summaries prove neither its local data nor any unreached child
+    /// branch could match. `false` promises only that records MAY be
+    /// missing — never that returned records are wrong.
+    pub complete: bool,
+    /// Servers given up on (mailbox closed or timed out past all
+    /// retries), ascending by id. Overlay stand-ins that failed are not
+    /// listed — only servers whose own data/branch was being queried.
+    pub failed_servers: Vec<ServerId>,
+    /// Dispatches re-sent after a per-dispatch timeout.
+    pub retries: usize,
+}
+
+/// One live server: mailbox, thread, liveness flag, owner policy.
+struct ServerSlot {
+    sender: Sender<ServerRequest>,
+    handle: Option<JoinHandle<()>>,
+    alive: Arc<AtomicBool>,
+    policy: Arc<dyn SharingPolicy>,
 }
 
 /// A running ROADS federation of server threads.
@@ -90,8 +223,8 @@ pub struct RoadsCluster {
     net: Arc<RoadsNetwork>,
     delays: Arc<DelaySpace>,
     cfg: RuntimeConfig,
-    senders: Vec<Sender<ServerRequest>>,
-    handles: Vec<JoinHandle<()>>,
+    servers: Vec<Mutex<ServerSlot>>,
+    dispatcher: Dispatcher,
     phases: Option<PhaseTimers>,
     recorder: Option<Arc<Recorder>>,
 }
@@ -147,27 +280,26 @@ impl RoadsCluster {
         assert_eq!(net.len(), policies.len(), "one policy per server");
         let net = Arc::new(net);
         let delays = Arc::new(delays);
-        let mut senders = Vec::with_capacity(net.len());
-        let mut handles = Vec::with_capacity(net.len());
-        for (s, policy) in policies.into_iter().enumerate() {
-            let (tx, rx) = unbounded::<ServerRequest>();
-            senders.push(tx);
-            let id = ServerId(s as u32);
-            let store = RecordStore::new(net.schema().clone(), net.records(id).to_vec());
-            let net = Arc::clone(&net);
-            let search_hist = phases.as_ref().map(|p| Arc::clone(&p.local_search));
-            let handle = thread::Builder::new()
-                .name(format!("roads-server-{s}"))
-                .spawn(move || server_loop(id, store, net, cfg, policy, rx, search_hist))
-                .expect("spawn server thread");
-            handles.push(handle);
-        }
+        let servers = policies
+            .into_iter()
+            .enumerate()
+            .map(|(s, policy)| {
+                Mutex::new(spawn_server(
+                    ServerId(s as u32),
+                    &net,
+                    cfg,
+                    policy,
+                    phases.as_ref().map(|p| Arc::clone(&p.local_search)),
+                ))
+            })
+            .collect();
+        let dispatcher = Dispatcher::start(cfg.dispatcher_threads);
         RoadsCluster {
             net,
             delays,
             cfg,
-            senders,
-            handles,
+            servers,
+            dispatcher,
             phases,
             recorder: None,
         }
@@ -175,8 +307,9 @@ impl RoadsCluster {
 
     /// Attach a flight recorder: every subsequent [`Self::query_as`]
     /// records its dispatch tree as causal `QueryHop` spans (wall-clock
-    /// microseconds from query start) under a fresh trace. Without a
-    /// recorder, queries do zero event-recording work.
+    /// microseconds from query start) under a fresh trace, plus
+    /// `DispatchTimeout`/`Retry`/`Failover` events on the fault paths.
+    /// Without a recorder, queries do zero event-recording work.
     pub fn set_recorder(&mut self, rec: Arc<Recorder>) {
         self.recorder = Some(rec);
     }
@@ -191,6 +324,53 @@ impl RoadsCluster {
         &self.net
     }
 
+    /// Tear down server `id`'s thread for fault injection: in-flight work
+    /// is abandoned (its reply is dropped, surfacing to clients as a
+    /// dispatch timeout) and the mailbox closes, so later dispatches fail
+    /// fast. Blocks until the thread exits (at most one emulated backend
+    /// busy period). Returns `false` if the server was already killed.
+    pub fn kill_server(&self, id: ServerId) -> bool {
+        let handle = {
+            let mut slot = self.servers[id.index()].lock();
+            let Some(handle) = slot.handle.take() else {
+                return false;
+            };
+            slot.alive.store(false, Ordering::Relaxed);
+            // Wake the thread if it is idle in recv(); the flag makes it
+            // drop anything still queued.
+            let _ = slot.sender.send(ServerRequest::Shutdown);
+            handle
+        };
+        let _ = handle.join();
+        true
+    }
+
+    /// Respawn a killed server with a fresh mailbox, its records reloaded
+    /// from the converged control state and its original sharing policy.
+    /// Returns `false` if the server is not currently killed.
+    pub fn restart_server(&self, id: ServerId) -> bool {
+        let mut slot = self.servers[id.index()].lock();
+        if slot.handle.is_some() {
+            return false;
+        }
+        *slot = spawn_server(
+            id,
+            &self.net,
+            self.cfg,
+            Arc::clone(&slot.policy),
+            self.phases.as_ref().map(|p| Arc::clone(&p.local_search)),
+        );
+        true
+    }
+
+    /// Whether `id` has a running thread per the kill/restart bookkeeping.
+    /// (A thread that *panicked* still counts as alive here until a
+    /// dispatch discovers its closed mailbox.)
+    pub fn is_alive(&self, id: ServerId) -> bool {
+        let slot = self.servers[id.index()].lock();
+        slot.handle.is_some() && slot.alive.load(Ordering::Relaxed)
+    }
+
     /// Execute one query from a client co-located with `start`, driving the
     /// redirect protocol and gathering records in parallel. The client is
     /// anonymous (requester 0) — owners treat it per their public tier.
@@ -200,6 +380,11 @@ impl RoadsCluster {
 
     /// [`Self::query`] with an authenticated requester identity, which each
     /// owner's policy classifies independently.
+    ///
+    /// Returns within [`RuntimeConfig::query_deadline_ms`] even when
+    /// servers are dead, retrying and failing over per the fault model in
+    /// the module docs; [`RuntimeOutcome::complete`] says whether anything
+    /// may be missing.
     pub fn query_as(
         &self,
         query: &Query,
@@ -207,133 +392,31 @@ impl RoadsCluster {
         requester: RequesterId,
     ) -> RuntimeOutcome {
         let t0 = Instant::now();
-        let (done_tx, done_rx) = unbounded::<ServerReply>();
-        let visited = Arc::new(Mutex::new(std::collections::HashSet::<ServerId>::new()));
-        let mut outstanding = 0usize;
-        let mut records = Vec::new();
-        let mut contacted = 0usize;
         let rec = self.recorder.as_deref();
-        let trace = rec.map(|r| r.next_trace_id()).unwrap_or(TraceId::NONE);
-        // Per-server (span, dispatch-time µs, parent span): filled at
-        // dispatch, turned into a QueryHop event when the reply lands.
-        let spans = Mutex::new(HashMap::<ServerId, (SpanId, u64, SpanId)>::new());
-
-        let dispatch =
-            |target: ServerId, mode: ContactMode, parent: SpanId, outstanding: &mut usize| {
-                if !visited.lock().insert(target) {
-                    return;
-                }
-                if let Some(r) = rec {
-                    let span = r.next_span_id();
-                    spans
-                        .lock()
-                        .insert(target, (span, t0.elapsed().as_micros() as u64, parent));
-                }
-                *outstanding += 1;
-                let delay_out = self.scaled_delay(start, target);
-                let sender = self.senders[target.index()].clone();
-                let done = done_tx.clone();
-                let q = query.clone();
-                let delay_back = delay_out; // symmetric one-way latency
-                thread::spawn(move || {
-                    thread::sleep(delay_out);
-                    let (reply_tx, reply_rx) = unbounded();
-                    if sender
-                        .send(ServerRequest::Query {
-                            query: q,
-                            mode,
-                            requester,
-                            reply: reply_tx.clone(),
-                        })
-                        .is_err()
-                    {
-                        // Channel closed (cluster shutting down): synthesize an
-                        // empty reply below via the dropped sender.
-                        drop(reply_tx);
-                    }
-                    let reply = reply_rx.recv().unwrap_or(ServerReply {
-                        // Server thread gone (crashed or shut down): report an
-                        // empty reply so the client's outstanding count drains
-                        // instead of hanging forever.
-                        server: target,
-                        targets: Vec::new(),
-                        records: Vec::new(),
-                    });
-                    thread::sleep(delay_back);
-                    let _ = done.send(reply);
-                });
-            };
-
-        dispatch(start, ContactMode::Entry, SpanId::NONE, &mut outstanding);
-        if let Some(r) = rec {
-            if let Some(&(span, at_us, _)) = spans.lock().get(&start) {
-                r.record(Event {
-                    at_us,
-                    dur_us: 0,
-                    node: start.0,
-                    trace,
-                    span,
-                    parent: SpanId::NONE,
-                    kind: EventKind::QueryStart,
-                    detail: trace.0,
-                });
-            }
-        }
-        while outstanding > 0 {
-            let reply = match &self.phases {
-                Some(p) => timed(&p.channel_wait, || done_rx.recv()),
-                None => done_rx.recv(),
-            }
-            .expect("helper threads hold the sender");
-            debug_assert!(visited.lock().contains(&reply.server));
-            outstanding -= 1;
-            contacted += 1;
-            // RAII: the merge span covers folding this reply's records and
-            // dispatching its redirect targets, ending with the iteration.
-            let _merge_span = self
-                .phases
-                .as_ref()
-                .map(|p| roads_telemetry::SpanTimer::start(Arc::clone(&p.result_merge)));
-            let reply_span = spans.lock().get(&reply.server).copied();
-            if let (Some(r), Some((span, at_us, parent))) = (rec, reply_span) {
-                let now_us = t0.elapsed().as_micros() as u64;
-                r.record(Event {
-                    at_us,
-                    dur_us: now_us.saturating_sub(at_us).max(1),
-                    node: reply.server.0,
-                    trace,
-                    span,
-                    parent,
-                    kind: EventKind::QueryHop,
-                    detail: reply.records.len() as u64,
-                });
-            }
-            let parent_span = reply_span.map(|(s, _, _)| s).unwrap_or(SpanId::NONE);
-            records.extend(reply.records);
-            for (target, mode) in reply.targets {
-                dispatch(target, mode, parent_span, &mut outstanding);
-            }
-        }
-        if let Some(r) = rec {
-            if let Some(&(span, _, _)) = spans.lock().get(&start) {
-                r.record(Event {
-                    at_us: t0.elapsed().as_micros() as u64,
-                    dur_us: 0,
-                    node: start.0,
-                    trace,
-                    span,
-                    parent: SpanId::NONE,
-                    kind: EventKind::QueryComplete,
-                    detail: records.len() as u64,
-                });
-            }
-        }
-
-        RuntimeOutcome {
-            response_ms: t0.elapsed().as_secs_f64() * 1000.0,
-            records,
-            servers_contacted: contacted,
-        }
+        let (done_tx, done_rx) = unbounded::<Notice>();
+        let driver = Driver {
+            cluster: self,
+            query,
+            requester,
+            start,
+            t0,
+            trace: rec.map(|r| r.next_trace_id()).unwrap_or(TraceId::NONE),
+            rec,
+            done_tx,
+            next_attempt: 0,
+            attempts: HashMap::new(),
+            open: 0,
+            ledger: VisitLedger::new(),
+            resolved: HashSet::new(),
+            failed: BTreeMap::new(),
+            failover_pos: HashMap::new(),
+            records: Vec::new(),
+            replies: 0,
+            retries: 0,
+            deadline_hit: false,
+            root_span: SpanId::NONE,
+        };
+        driver.run(done_rx)
     }
 
     fn scaled_delay(&self, a: ServerId, b: ServerId) -> Duration {
@@ -347,12 +430,17 @@ impl RoadsCluster {
     }
 
     fn shutdown_inner(&mut self) {
-        for tx in &self.senders {
-            let _ = tx.send(ServerRequest::Shutdown);
+        for slot in &self.servers {
+            let handle = {
+                let mut s = slot.lock();
+                let _ = s.sender.send(ServerRequest::Shutdown);
+                s.handle.take()
+            };
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
         }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.dispatcher.shutdown();
     }
 }
 
@@ -362,6 +450,532 @@ impl Drop for RoadsCluster {
     }
 }
 
+fn spawn_server(
+    id: ServerId,
+    net: &Arc<RoadsNetwork>,
+    cfg: RuntimeConfig,
+    policy: Arc<dyn SharingPolicy>,
+    search_hist: Option<Arc<Histogram>>,
+) -> ServerSlot {
+    let (tx, rx) = unbounded::<ServerRequest>();
+    let alive = Arc::new(AtomicBool::new(true));
+    let store = RecordStore::new(net.schema().clone(), net.records(id).to_vec());
+    let handle = {
+        let net = Arc::clone(net);
+        let alive = Arc::clone(&alive);
+        let policy = Arc::clone(&policy);
+        thread::Builder::new()
+            .name(format!("roads-server-{}", id.0))
+            .spawn(move || server_loop(id, store, net, cfg, policy, rx, alive, search_hist))
+            .expect("spawn server thread")
+    };
+    ServerSlot {
+        sender: tx,
+        handle: Some(handle),
+        alive,
+        policy,
+    }
+}
+
+/// One dispatched sub-query from the client's point of view.
+struct Attempt {
+    server: ServerId,
+    mode: ContactMode,
+    /// Retries already performed for this target before this attempt.
+    tries: u32,
+    span: SpanId,
+    /// Dispatch time, µs since query start.
+    at_us: u64,
+    parent: SpanId,
+    /// When this attempt is declared timed out (`None` = no per-dispatch
+    /// timeout configured).
+    expires: Option<Instant>,
+    /// Still awaiting a reply.
+    open: bool,
+}
+
+/// Per-query state machine driving dispatch, retry, and failover.
+struct Driver<'a> {
+    cluster: &'a RoadsCluster,
+    query: &'a Query,
+    requester: RequesterId,
+    start: ServerId,
+    t0: Instant,
+    trace: TraceId,
+    rec: Option<&'a Recorder>,
+    done_tx: Sender<Notice>,
+    next_attempt: u64,
+    attempts: HashMap<u64, Attempt>,
+    /// Attempts still awaiting a reply.
+    open: usize,
+    ledger: VisitLedger,
+    /// Servers whose local data has been merged into `records` (guards
+    /// against double-merging when a late reply races a retry's).
+    resolved: HashSet<ServerId>,
+    /// Servers given up on, with the widest mode that failed.
+    failed: BTreeMap<ServerId, ContactMode>,
+    /// Next failover candidate index per dead server.
+    failover_pos: HashMap<ServerId, usize>,
+    records: Vec<Record>,
+    replies: usize,
+    retries: usize,
+    deadline_hit: bool,
+    root_span: SpanId,
+}
+
+impl Driver<'_> {
+    fn run(mut self, done_rx: Receiver<Notice>) -> RuntimeOutcome {
+        let cfg = self.cluster.cfg;
+        let deadline = (cfg.query_deadline_ms > 0)
+            .then(|| self.t0 + Duration::from_millis(cfg.query_deadline_ms));
+        self.ledger.admit(self.start, ContactMode::Entry);
+        let entry = self.dispatch(
+            self.start,
+            ContactMode::Entry,
+            SpanId::NONE,
+            Duration::ZERO,
+            0,
+        );
+        self.root_span = self.attempts[&entry].span;
+        self.emit(Event {
+            at_us: self.attempts[&entry].at_us,
+            dur_us: 0,
+            node: self.start.0,
+            trace: self.trace,
+            span: self.root_span,
+            parent: SpanId::NONE,
+            kind: EventKind::QueryStart,
+            detail: self.trace.0,
+        });
+
+        while self.open > 0 {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                self.deadline_hit = true;
+                break;
+            }
+            let next_expiry = self
+                .attempts
+                .values()
+                .filter(|a| a.open)
+                .filter_map(|a| a.expires)
+                .min();
+            let wake = match (next_expiry, deadline) {
+                (Some(e), Some(d)) => Some(e.min(d)),
+                (Some(e), None) => Some(e),
+                (None, d) => d,
+            };
+            let wait_start = Instant::now();
+            let msg = match wake {
+                Some(w) => done_rx.recv_timeout(w.saturating_duration_since(wait_start)),
+                None => done_rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            };
+            match msg {
+                Ok(Notice::Reply {
+                    attempt,
+                    server,
+                    targets,
+                    records,
+                }) => {
+                    if let Some(p) = &self.cluster.phases {
+                        p.channel_wait
+                            .record(wait_start.elapsed().as_micros() as f64);
+                    }
+                    // RAII: the merge span covers folding this reply's
+                    // records and dispatching its redirect targets.
+                    let _merge_span =
+                        self.cluster.phases.as_ref().map(|p| {
+                            roads_telemetry::SpanTimer::start(Arc::clone(&p.result_merge))
+                        });
+                    self.on_reply(attempt, server, targets, records);
+                }
+                Ok(Notice::Down { attempt }) => self.attempt_failed(attempt),
+                Err(RecvTimeoutError::Timeout) => {
+                    let now = Instant::now();
+                    let expired: Vec<u64> = self
+                        .attempts
+                        .iter()
+                        .filter(|(_, a)| a.open && a.expires.is_some_and(|e| e <= now))
+                        .map(|(&id, _)| id)
+                        .collect();
+                    for id in expired {
+                        self.attempt_failed(id);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("driver holds its own done_tx")
+                }
+            }
+        }
+
+        if self.deadline_hit {
+            // Out of budget: record every still-pending dispatch as timed
+            // out and failed, but start no more work.
+            let open: Vec<u64> = self
+                .attempts
+                .iter()
+                .filter(|(_, a)| a.open)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in open {
+                self.close_at_deadline(id);
+            }
+        }
+
+        self.emit(Event {
+            at_us: self.t0.elapsed().as_micros() as u64,
+            dur_us: 0,
+            node: self.start.0,
+            trace: self.trace,
+            span: self.root_span,
+            parent: SpanId::NONE,
+            kind: EventKind::QueryComplete,
+            detail: self.records.len() as u64,
+        });
+
+        let complete = self.completeness();
+        RuntimeOutcome {
+            response_ms: self.t0.elapsed().as_secs_f64() * 1000.0,
+            records: self.records,
+            servers_contacted: self.replies,
+            complete,
+            failed_servers: self.failed.keys().copied().collect(),
+            retries: self.retries,
+        }
+    }
+
+    /// Send one sub-query; `extra_delay` is the retry backoff (zero for
+    /// first attempts). Returns the attempt id.
+    fn dispatch(
+        &mut self,
+        target: ServerId,
+        mode: ContactMode,
+        parent: SpanId,
+        extra_delay: Duration,
+        tries: u32,
+    ) -> u64 {
+        let cfg = self.cluster.cfg;
+        let id = self.next_attempt;
+        self.next_attempt += 1;
+        let span = match self.rec {
+            Some(r) => r.next_span_id(),
+            None => SpanId::NONE,
+        };
+        let delay_out = self.cluster.scaled_delay(self.start, target);
+        let expires = (cfg.dispatch_timeout_ms > 0)
+            .then(|| Instant::now() + extra_delay + Duration::from_millis(cfg.dispatch_timeout_ms));
+        self.attempts.insert(
+            id,
+            Attempt {
+                server: target,
+                mode,
+                tries,
+                span,
+                at_us: self.t0.elapsed().as_micros() as u64,
+                parent,
+                expires,
+                open: true,
+            },
+        );
+        self.open += 1;
+        let sender = self.cluster.servers[target.index()].lock().sender.clone();
+        let reply = ReplyHandle {
+            timer: self.cluster.dispatcher.handle().clone(),
+            done: self.done_tx.clone(),
+            attempt: id,
+            server: target,
+            delay_back: delay_out, // symmetric one-way latency
+        };
+        self.cluster.dispatcher.handle().schedule_after(
+            extra_delay + delay_out,
+            DispatchJob::Send {
+                sender,
+                request: ServerRequest::Query {
+                    query: self.query.clone(),
+                    mode,
+                    requester: self.requester,
+                    reply,
+                },
+                done: self.done_tx.clone(),
+                attempt: id,
+            },
+        );
+        id
+    }
+
+    fn on_reply(
+        &mut self,
+        attempt: u64,
+        server: ServerId,
+        targets: Vec<(ServerId, ContactMode)>,
+        records: Vec<Record>,
+    ) {
+        let Some(a) = self.attempts.get_mut(&attempt) else {
+            return;
+        };
+        let (span, at_us, mode) = (a.span, a.at_us, a.mode);
+        let parent = a.parent;
+        if a.open {
+            a.open = false;
+            self.open -= 1;
+        }
+        // A late reply (after timeout, racing a retry) still lands here and
+        // is merged below, guarded by `resolved`.
+        self.replies += 1;
+        if self.rec.is_some() {
+            let now_us = self.t0.elapsed().as_micros() as u64;
+            self.emit(Event {
+                at_us,
+                dur_us: now_us.saturating_sub(at_us).max(1),
+                node: server.0,
+                trace: self.trace,
+                span,
+                parent,
+                kind: EventKind::QueryHop,
+                detail: records.len() as u64,
+            });
+        }
+        let standin = matches!(mode, ContactMode::Failover { .. });
+        if !standin && self.resolved.insert(server) {
+            // A reply proves the server serviceable: withdraw any earlier
+            // failure verdict from a timed-out attempt.
+            self.failed.remove(&server);
+            self.records.extend(records);
+        }
+        for (t, m) in targets {
+            if self.ledger.admit(t, m) {
+                self.dispatch(t, m, span, Duration::ZERO, 0);
+            }
+        }
+    }
+
+    /// An open attempt's dispatch timed out or its target's mailbox was
+    /// closed: retry if budget remains, otherwise fail over.
+    fn attempt_failed(&mut self, attempt: u64) {
+        let cfg = self.cluster.cfg;
+        let Some(a) = self.attempts.get_mut(&attempt) else {
+            return;
+        };
+        if !a.open {
+            return; // reply raced in first, or already expired
+        }
+        a.open = false;
+        self.open -= 1;
+        let (server, mode, tries, span, at_us, parent) =
+            (a.server, a.mode, a.tries, a.span, a.at_us, a.parent);
+        let now_us = self.t0.elapsed().as_micros() as u64;
+        self.emit(Event {
+            at_us,
+            dur_us: now_us.saturating_sub(at_us).max(1),
+            node: server.0,
+            trace: self.trace,
+            span,
+            parent,
+            kind: EventKind::DispatchTimeout,
+            detail: tries as u64,
+        });
+        if tries < cfg.max_retries {
+            self.retries += 1;
+            self.emit(Event {
+                at_us: now_us,
+                dur_us: 0,
+                node: server.0,
+                trace: self.trace,
+                span,
+                parent,
+                kind: EventKind::Retry,
+                detail: (tries + 1) as u64,
+            });
+            // Retries bypass the visit ledger: same target, same mode.
+            self.dispatch(
+                server,
+                mode,
+                parent,
+                backoff_delay(cfg.backoff_base_ms, tries),
+                tries + 1,
+            );
+            return;
+        }
+        self.give_up(server, mode, span);
+    }
+
+    /// Retries exhausted for `server` in `mode`: record the failure and
+    /// route around it through the replication overlay.
+    fn give_up(&mut self, server: ServerId, mode: ContactMode, span: SpanId) {
+        match mode {
+            ContactMode::Failover { dead } => {
+                // The stand-in died too; advance to the next candidate.
+                self.try_failover(dead, span);
+            }
+            ContactMode::LocalOnly => {
+                // Only this server held the probed data; nothing replicates
+                // *records*, so there is nowhere to fail over to.
+                self.mark_failed(server, mode);
+            }
+            ContactMode::Branch => {
+                self.mark_failed(server, mode);
+                self.try_failover(server, span);
+            }
+            ContactMode::Entry => {
+                self.mark_failed(server, mode);
+                // A dead entry needs both a replacement entry (to run the
+                // overlay evaluation for the rest of the hierarchy) and a
+                // stand-in for its own branch: the replacement's redirect
+                // targets include the dead server itself, but the ledger
+                // already holds it at Entry rank, so its children would
+                // otherwise be unreachable.
+                self.entry_failover(server, span);
+                self.try_failover(server, span);
+            }
+        }
+    }
+
+    fn mark_failed(&mut self, server: ServerId, mode: ContactMode) {
+        if self.resolved.contains(&server) {
+            return; // its data already arrived via an earlier attempt
+        }
+        // Keep the widest failed mode: completeness must account for the
+        // broadest responsibility this server was ever given.
+        let e = self.failed.entry(server).or_insert(mode);
+        if mode_rank(mode) > mode_rank(*e) {
+            *e = mode;
+        }
+    }
+
+    /// Dispatch the next viable overlay stand-in for `dead`'s branch.
+    fn try_failover(&mut self, dead: ServerId, parent_span: SpanId) {
+        if !self.cluster.cfg.enable_failover {
+            return;
+        }
+        let net = &self.cluster.net;
+        // A stand-in only forwards to the dead server's children; skip the
+        // whole exercise when no unresolved child branch can match.
+        let worth_it =
+            net.tree().children(dead).iter().any(|&c| {
+                net.branch_summary(c).may_match(self.query) && !self.resolved.contains(&c)
+            });
+        if !worth_it {
+            return;
+        }
+        let candidates = net.replica_set(dead).failover_candidates();
+        let mut pos = self.failover_pos.get(&dead).copied().unwrap_or(0);
+        while pos < candidates.len() {
+            let helper = candidates[pos];
+            pos += 1;
+            if self.failed.contains_key(&helper) {
+                continue; // known dead — don't burn a timeout on it
+            }
+            let mode = ContactMode::Failover { dead };
+            if !self.ledger.admit(helper, mode) {
+                continue;
+            }
+            self.failover_pos.insert(dead, pos);
+            let id = self.dispatch(helper, mode, parent_span, Duration::ZERO, 0);
+            let span = self.attempts[&id].span;
+            self.emit(Event {
+                at_us: self.t0.elapsed().as_micros() as u64,
+                dur_us: 0,
+                node: helper.0,
+                trace: self.trace,
+                span,
+                parent: parent_span,
+                kind: EventKind::Failover,
+                detail: dead.0 as u64,
+            });
+            return;
+        }
+        self.failover_pos.insert(dead, pos);
+        // Candidates exhausted: the subtree stays unavailable and
+        // `complete` reports it.
+    }
+
+    /// Nominate a replacement entry server after the original died.
+    fn entry_failover(&mut self, dead: ServerId, parent_span: SpanId) {
+        if !self.cluster.cfg.enable_failover {
+            return;
+        }
+        for helper in self.cluster.net.replica_set(dead).failover_candidates() {
+            if self.failed.contains_key(&helper) || !self.ledger.admit(helper, ContactMode::Entry) {
+                continue;
+            }
+            let id = self.dispatch(helper, ContactMode::Entry, parent_span, Duration::ZERO, 0);
+            let span = self.attempts[&id].span;
+            self.emit(Event {
+                at_us: self.t0.elapsed().as_micros() as u64,
+                dur_us: 0,
+                node: helper.0,
+                trace: self.trace,
+                span,
+                parent: parent_span,
+                kind: EventKind::Failover,
+                detail: dead.0 as u64,
+            });
+            return;
+        }
+    }
+
+    /// The deadline cut this attempt off: record it, fail its target,
+    /// start nothing new.
+    fn close_at_deadline(&mut self, attempt: u64) {
+        let Some(a) = self.attempts.get_mut(&attempt) else {
+            return;
+        };
+        if !a.open {
+            return;
+        }
+        a.open = false;
+        self.open -= 1;
+        let (server, mode, tries, span, at_us, parent) =
+            (a.server, a.mode, a.tries, a.span, a.at_us, a.parent);
+        let now_us = self.t0.elapsed().as_micros() as u64;
+        self.emit(Event {
+            at_us,
+            dur_us: now_us.saturating_sub(at_us).max(1),
+            node: server.0,
+            trace: self.trace,
+            span,
+            parent,
+            kind: EventKind::DispatchTimeout,
+            detail: tries as u64,
+        });
+        if !matches!(mode, ContactMode::Failover { .. }) {
+            self.mark_failed(server, mode);
+        }
+    }
+
+    /// Truthful completeness: sound because summaries never produce false
+    /// negatives — `!may_match` proves absence, and every dispatched child
+    /// of a failed server ends the query either resolved or failed (with
+    /// its own entry in `failed` recursing this check).
+    fn completeness(&self) -> bool {
+        if self.deadline_hit {
+            return false;
+        }
+        let net = &self.cluster.net;
+        self.failed.iter().all(|(&s, &mode)| {
+            let local_ok = !net.local_summary(s).may_match(self.query);
+            match mode {
+                ContactMode::LocalOnly => local_ok,
+                ContactMode::Entry | ContactMode::Branch => {
+                    local_ok
+                        && net.tree().children(s).iter().all(|&c| {
+                            !net.branch_summary(c).may_match(self.query)
+                                || self.resolved.contains(&c)
+                                || self.failed.contains_key(&c)
+                        })
+                }
+                ContactMode::Failover { .. } => true, // stand-ins hold no queried data
+            }
+        })
+    }
+
+    fn emit(&self, ev: Event) {
+        if let Some(r) = self.rec {
+            r.record(ev);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn server_loop(
     id: ServerId,
     store: RecordStore,
@@ -369,9 +983,13 @@ fn server_loop(
     cfg: RuntimeConfig,
     policy: Arc<dyn SharingPolicy>,
     rx: Receiver<ServerRequest>,
+    alive: Arc<AtomicBool>,
     search_hist: Option<Arc<Histogram>>,
 ) {
     while let Ok(req) = rx.recv() {
+        if !alive.load(Ordering::Relaxed) {
+            break; // killed: close the mailbox without touching queued work
+        }
         match req {
             ServerRequest::Shutdown => break,
             ServerRequest::Query {
@@ -406,6 +1024,20 @@ fn server_loop(
                             .collect();
                         (t, ev.local_match)
                     }
+                    ContactMode::Failover { dead } => {
+                        // Stand in for the crashed server using its branch
+                        // summary replicated here (§III-C): forward to its
+                        // matching children, no local search — this
+                        // helper's own data is queried separately.
+                        let t = net
+                            .tree()
+                            .children(dead)
+                            .iter()
+                            .filter(|c| net.branch_summary(**c).may_match(&query))
+                            .map(|&c| (c, ContactMode::Branch))
+                            .collect();
+                        (t, false)
+                    }
                 };
                 let records: Vec<Record> = if do_local {
                     let found = match &search_hist {
@@ -424,11 +1056,10 @@ fn server_loop(
                     + cfg.per_record_retrieval_us * records.len() as u64
                     + cfg.transfer_us(result_bytes);
                 thread::sleep(Duration::from_micros(busy_us));
-                let _ = reply.send(ServerReply {
-                    server: id,
-                    targets,
-                    records,
-                });
+                if !alive.load(Ordering::Relaxed) {
+                    break; // killed mid-query: the in-flight reply is lost
+                }
+                reply.send(targets, records);
             }
         }
     }
@@ -494,6 +1125,19 @@ mod tests {
         assert!(out.response_ms > 0.0);
         assert!(out.response_ms < 10_000.0, "runaway response time");
         assert_eq!(out.servers_contacted, 6);
+        c.shutdown();
+    }
+
+    #[test]
+    fn healthy_cluster_reports_complete() {
+        let c = cluster(6);
+        let q = QueryBuilder::new(c.network().schema(), QueryId(7))
+            .range("x0", 0.0, 1.0)
+            .build();
+        let out = c.query(&q, ServerId(0));
+        assert!(out.complete, "no faults ⇒ provably complete");
+        assert!(out.failed_servers.is_empty());
+        assert_eq!(out.retries, 0);
         c.shutdown();
     }
 
@@ -645,6 +1289,27 @@ mod tests {
             out.servers_contacted < 9,
             "summaries should prune most servers"
         );
+        c.shutdown();
+    }
+
+    #[test]
+    fn kill_and_restart_round_trip() {
+        let c = cluster(6);
+        let victim = ServerId(3);
+        assert!(c.is_alive(victim));
+        assert!(c.kill_server(victim));
+        assert!(!c.is_alive(victim));
+        assert!(!c.kill_server(victim), "double kill is a no-op");
+        assert!(!c.restart_server(ServerId(0)), "running server: no-op");
+        assert!(c.restart_server(victim));
+        assert!(c.is_alive(victim));
+        // The restarted server serves its reloaded records again.
+        let q = QueryBuilder::new(c.network().schema(), QueryId(21))
+            .range("x0", 0.0, 1.0)
+            .build();
+        let out = c.query(&q, ServerId(0));
+        assert_eq!(out.records.len(), 6 * 20);
+        assert!(out.complete);
         c.shutdown();
     }
 }

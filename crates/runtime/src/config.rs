@@ -19,6 +19,31 @@ pub struct RuntimeConfig {
     /// Scale factor applied to delay-space latencies (1.0 = as synthesized;
     /// tests use small factors to stay fast).
     pub delay_scale: f64,
+    /// Wall-clock budget for one whole query, in milliseconds. When the
+    /// deadline passes the client stops waiting, marks every still-pending
+    /// server failed and returns what it has with `complete = false`.
+    /// `0` disables the deadline (a dead server can then stall the client
+    /// indefinitely — only use 0 in controlled experiments).
+    pub query_deadline_ms: u64,
+    /// Per-dispatch timeout in milliseconds, measured at the client from
+    /// handing the sub-query to the dispatcher until its reply lands (so it
+    /// must cover both one-way delays plus the server's retrieval time).
+    /// On expiry the dispatch is retried and eventually failed over.
+    /// `0` disables per-dispatch timeouts.
+    pub dispatch_timeout_ms: u64,
+    /// Re-dispatch attempts per target after the first try, before the
+    /// target is declared failed and failover kicks in.
+    pub max_retries: u32,
+    /// Backoff before retry `k` (1-based): `backoff_base_ms << (k - 1)`
+    /// milliseconds, i.e. exponential doubling from this base.
+    pub backoff_base_ms: u64,
+    /// Worker threads in the bounded dispatcher pool that executes timed
+    /// message deliveries (requests out, replies back). Clamped to ≥ 1.
+    pub dispatcher_threads: usize,
+    /// Route around dead `Branch` servers via the replication overlay
+    /// (§III-C): re-dispatch the subtree query through a sibling replica.
+    /// Disable to measure the availability the overlay buys (fig13).
+    pub enable_failover: bool,
 }
 
 impl RuntimeConfig {
@@ -29,6 +54,12 @@ impl RuntimeConfig {
             base_query_cost_us: 20_000,
             bandwidth_mbps: 100.0,
             delay_scale: 1.0,
+            query_deadline_ms: 60_000,
+            dispatch_timeout_ms: 10_000,
+            max_retries: 2,
+            backoff_base_ms: 100,
+            dispatcher_threads: 4,
+            enable_failover: true,
         }
     }
 
@@ -40,6 +71,25 @@ impl RuntimeConfig {
             base_query_cost_us: 500,
             bandwidth_mbps: 1_000.0,
             delay_scale: 0.05,
+            query_deadline_ms: 10_000,
+            dispatch_timeout_ms: 2_000,
+            max_retries: 2,
+            backoff_base_ms: 10,
+            dispatcher_threads: 2,
+            enable_failover: true,
+        }
+    }
+
+    /// [`RuntimeConfig::test_fast`] tuned for fault-injection: short
+    /// per-dispatch timeouts so dead servers are detected in milliseconds,
+    /// one retry, failover on.
+    pub fn test_faulty() -> Self {
+        RuntimeConfig {
+            dispatch_timeout_ms: 250,
+            max_retries: 1,
+            backoff_base_ms: 5,
+            query_deadline_ms: 8_000,
+            ..Self::test_fast()
         }
     }
 
@@ -75,5 +125,20 @@ mod tests {
         let t = RuntimeConfig::test_fast();
         assert!(p.per_record_retrieval_us > t.per_record_retrieval_us);
         assert!(t.delay_scale < p.delay_scale);
+    }
+
+    #[test]
+    fn fault_presets_bound_every_wait() {
+        for cfg in [
+            RuntimeConfig::paper_like(),
+            RuntimeConfig::test_fast(),
+            RuntimeConfig::test_faulty(),
+        ] {
+            assert!(cfg.query_deadline_ms > 0, "deadline must be on by default");
+            assert!(cfg.dispatch_timeout_ms > 0);
+            assert!(cfg.dispatch_timeout_ms < cfg.query_deadline_ms);
+            assert!(cfg.dispatcher_threads >= 1);
+            assert!(cfg.enable_failover);
+        }
     }
 }

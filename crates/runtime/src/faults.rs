@@ -1,0 +1,320 @@
+//! Fault-tolerance machinery for the live query plane.
+//!
+//! Three pieces, all used by [`crate::cluster::RoadsCluster`]:
+//!
+//! * [`Dispatcher`] — a timer thread plus a bounded worker pool that
+//!   delivers timed messages (requests after the outbound delay, replies
+//!   after the return delay, retries after backoff). It replaces the old
+//!   one-OS-thread-per-contacted-server dispatch: however wide a query
+//!   fans out, the cluster runs a fixed number of dispatcher threads.
+//! * [`VisitLedger`] — mode-aware dispatch deduplication. A server visited
+//!   in a narrow mode (`LocalOnly` ancestor probe) can later be re-visited
+//!   in a strictly wider mode (`Branch`); the old set-based dedup silently
+//!   dropped the wider visit and with it the server's unexpanded children.
+//!   Overlay failover visits dedup per `(helper, dead server)` pair so one
+//!   helper can route around several dead siblings.
+//! * [`backoff_delay`] — the bounded exponential retry backoff.
+
+use crate::cluster::{ContactMode, DispatchJob};
+use parking_lot::Mutex;
+use roads_core::ServerId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+/// Exponential backoff before retry `tries + 1` of a dispatch: the base
+/// doubles per prior attempt, with the shift capped so large retry counts
+/// cannot overflow into a zero delay.
+pub(crate) fn backoff_delay(base_ms: u64, tries: u32) -> Duration {
+    Duration::from_millis(base_ms.saturating_mul(1u64 << tries.min(16)))
+}
+
+enum TimerCmd {
+    /// Run `job` no earlier than the given instant.
+    Schedule(Instant, DispatchJob),
+    Shutdown,
+}
+
+/// Cloneable handle for scheduling work on a [`Dispatcher`]; held by the
+/// cluster and embedded in every in-flight reply path. Sends after the
+/// dispatcher shut down are silently dropped (the cluster is going away).
+#[derive(Clone)]
+pub(crate) struct DispatchHandle {
+    cmd_tx: Sender<TimerCmd>,
+}
+
+impl DispatchHandle {
+    /// Schedule `job` to run at `due`.
+    pub(crate) fn schedule(&self, due: Instant, job: DispatchJob) {
+        let _ = self.cmd_tx.send(TimerCmd::Schedule(due, job));
+    }
+
+    /// Schedule `job` after `delay` from now.
+    pub(crate) fn schedule_after(&self, delay: Duration, job: DispatchJob) {
+        self.schedule(Instant::now() + delay, job);
+    }
+}
+
+/// Heap entry ordered by due time, FIFO within a tick.
+struct Timed {
+    due: Instant,
+    seq: u64,
+    job: DispatchJob,
+}
+
+impl PartialEq for Timed {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Timed {}
+impl PartialOrd for Timed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// Timer thread + bounded worker pool executing timed [`DispatchJob`]s.
+pub(crate) struct Dispatcher {
+    handle: DispatchHandle,
+    timer: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Dispatcher {
+    /// Start the timer thread and `workers.max(1)` pool workers.
+    pub(crate) fn start(workers: usize) -> Self {
+        let (cmd_tx, cmd_rx) = unbounded::<TimerCmd>();
+        let (job_tx, job_rx) = unbounded::<DispatchJob>();
+        let timer = thread::Builder::new()
+            .name("roads-dispatch-timer".into())
+            .spawn(move || {
+                let mut heap: BinaryHeap<Reverse<Timed>> = BinaryHeap::new();
+                let mut seq = 0u64;
+                loop {
+                    // Fire everything that has matured.
+                    let now = Instant::now();
+                    while heap.peek().is_some_and(|Reverse(t)| t.due <= now) {
+                        let Reverse(t) = heap.pop().expect("peeked");
+                        let _ = job_tx.send(t.job);
+                    }
+                    // Sleep until the next job matures or a command lands.
+                    let cmd = match heap.peek() {
+                        Some(Reverse(next)) => {
+                            let wait = next.due.saturating_duration_since(Instant::now());
+                            match cmd_rx.recv_timeout(wait) {
+                                Ok(cmd) => cmd,
+                                Err(RecvTimeoutError::Timeout) => continue,
+                                Err(RecvTimeoutError::Disconnected) => break,
+                            }
+                        }
+                        None => match cmd_rx.recv() {
+                            Ok(cmd) => cmd,
+                            Err(_) => break,
+                        },
+                    };
+                    match cmd {
+                        TimerCmd::Schedule(due, job) => {
+                            heap.push(Reverse(Timed { due, seq, job }));
+                            seq += 1;
+                        }
+                        TimerCmd::Shutdown => break,
+                    }
+                }
+                // job_tx drops here; idle workers drain and exit.
+            })
+            .expect("spawn dispatch timer");
+        // The channel receiver is single-consumer; workers share it behind
+        // a mutex, each blocking in recv() while holding it — the lock is
+        // released between dequeue and job execution, so jobs still spread
+        // across the pool.
+        let job_rx: Arc<Mutex<Receiver<DispatchJob>>> = Arc::new(Mutex::new(job_rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let job_rx = Arc::clone(&job_rx);
+                thread::Builder::new()
+                    .name(format!("roads-dispatch-{i}"))
+                    .spawn(move || loop {
+                        let job = job_rx.lock().recv();
+                        match job {
+                            Ok(job) => job.run(),
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn dispatch worker")
+            })
+            .collect();
+        Dispatcher {
+            handle: DispatchHandle { cmd_tx },
+            timer: Some(timer),
+            workers,
+        }
+    }
+
+    /// The scheduling handle.
+    pub(crate) fn handle(&self) -> &DispatchHandle {
+        &self.handle
+    }
+
+    /// Stop the timer and drain the pool. Jobs not yet matured are
+    /// discarded; jobs already handed to workers finish.
+    pub(crate) fn shutdown(&mut self) {
+        let _ = self.handle.cmd_tx.send(TimerCmd::Shutdown);
+        if let Some(t) = self.timer.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Widening order of the redirect modes: an ancestor probe searches only
+/// local data, a branch visit additionally expands children, an entry
+/// visit additionally consults the replication overlay.
+pub(crate) fn mode_rank(mode: ContactMode) -> u8 {
+    match mode {
+        ContactMode::LocalOnly => 0,
+        ContactMode::Branch => 1,
+        ContactMode::Entry => 2,
+        ContactMode::Failover { .. } => unreachable!("failover visits dedup separately"),
+    }
+}
+
+/// Mode-aware visited bookkeeping for one query's dispatch tree.
+#[derive(Default)]
+pub(crate) struct VisitLedger {
+    visited: HashMap<ServerId, u8>,
+    failover: HashSet<(ServerId, ServerId)>,
+}
+
+impl VisitLedger {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a dispatch of `target` in `mode` should go out. Repeat
+    /// visits are admitted only when `mode` is strictly wider than every
+    /// prior visit (the mode *upgrade*: a `LocalOnly`-probed server later
+    /// found to gate a matching branch must still expand its children).
+    /// `Failover` visits are routing-only and tracked per
+    /// `(target, dead server)` pair, independent of the widening ladder.
+    pub(crate) fn admit(&mut self, target: ServerId, mode: ContactMode) -> bool {
+        if let ContactMode::Failover { dead } = mode {
+            return self.failover.insert((target, dead));
+        }
+        let rank = mode_rank(mode);
+        match self.visited.get_mut(&target) {
+            Some(prev) if *prev >= rank => false,
+            Some(prev) => {
+                *prev = rank;
+                true
+            }
+            None => {
+                self.visited.insert(target, rank);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    const S: fn(u32) -> ServerId = ServerId;
+
+    #[test]
+    fn ledger_admits_mode_upgrade_not_downgrade() {
+        let mut l = VisitLedger::new();
+        assert!(l.admit(S(3), ContactMode::LocalOnly));
+        // Regression (mode-insensitive dedup): the same server targeted as
+        // Branch after a LocalOnly ancestor probe must be re-dispatched,
+        // otherwise its children are never expanded and records are lost.
+        assert!(l.admit(S(3), ContactMode::Branch));
+        assert!(!l.admit(S(3), ContactMode::Branch), "same mode dedups");
+        assert!(!l.admit(S(3), ContactMode::LocalOnly), "downgrade dedups");
+        assert!(l.admit(S(3), ContactMode::Entry), "entry is widest");
+    }
+
+    #[test]
+    fn ledger_entry_covers_narrower_modes() {
+        let mut l = VisitLedger::new();
+        assert!(l.admit(S(0), ContactMode::Entry));
+        assert!(!l.admit(S(0), ContactMode::Branch));
+        assert!(!l.admit(S(0), ContactMode::LocalOnly));
+    }
+
+    #[test]
+    fn ledger_failover_visits_track_per_dead_server() {
+        let mut l = VisitLedger::new();
+        assert!(l.admit(S(1), ContactMode::LocalOnly));
+        // A visited server can still act as failover helper...
+        assert!(l.admit(S(1), ContactMode::Failover { dead: S(7) }));
+        // ...once per dead sibling...
+        assert!(!l.admit(S(1), ContactMode::Failover { dead: S(7) }));
+        assert!(l.admit(S(1), ContactMode::Failover { dead: S(8) }));
+        // ...without consuming its widening ladder.
+        assert!(l.admit(S(1), ContactMode::Branch));
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        assert_eq!(backoff_delay(10, 0), Duration::from_millis(10));
+        assert_eq!(backoff_delay(10, 1), Duration::from_millis(20));
+        assert_eq!(backoff_delay(10, 3), Duration::from_millis(80));
+        assert!(backoff_delay(u64::MAX, 40) >= Duration::from_millis(u64::MAX / 2));
+    }
+
+    #[test]
+    fn dispatcher_runs_jobs_in_due_order() {
+        let mut d = Dispatcher::start(2);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let now = Instant::now();
+        for (tag, off_ms) in [(1u64, 30u64), (2, 5), (3, 15)] {
+            let order = Arc::clone(&order);
+            d.handle().schedule(
+                now + Duration::from_millis(off_ms),
+                DispatchJob::test_probe(move || order.lock().push(tag)),
+            );
+        }
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(&*order.lock(), &[2, 3, 1]);
+        d.shutdown();
+    }
+
+    #[test]
+    fn dispatcher_shutdown_discards_unmatured_jobs() {
+        let mut d = Dispatcher::start(1);
+        let ran = Arc::new(Mutex::new(false));
+        {
+            let ran = Arc::clone(&ran);
+            d.handle().schedule_after(
+                Duration::from_secs(60),
+                DispatchJob::test_probe(move || *ran.lock() = true),
+            );
+        }
+        d.shutdown();
+        assert!(!*ran.lock());
+        // Scheduling after shutdown is a silent no-op.
+        d.handle()
+            .schedule_after(Duration::ZERO, DispatchJob::test_probe(|| {}));
+    }
+}

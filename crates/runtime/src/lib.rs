@@ -19,17 +19,25 @@
 //!   matching servers **in parallel**.
 //! * [`central::CentralCluster`] — the single-server baseline: one round
 //!   trip, but serial retrieval of every matching record.
+//! * `faults` — the fault-tolerant query plane: a bounded dispatcher
+//!   pool delivers timed messages, per-dispatch timeouts trigger bounded
+//!   retry with exponential backoff, and dead branches are routed around
+//!   via the replication overlay (§III-C). [`cluster::RoadsCluster`]
+//!   exposes `kill_server`/`restart_server` for live fault injection and
+//!   reports `complete`/`failed_servers`/`retries` per query.
 //!
 //! Fig. 11's crossover — the central repository wins at low selectivity
 //! (fewer round trips), ROADS catches up and wins as selectivity grows
 //! (parallel retrieval across servers) — emerges from these mechanics.
+//! Fig. 13 (availability under crashes) exercises the fault plane.
 
 pub mod central;
 pub mod cluster;
 pub mod config;
+pub(crate) mod faults;
 pub mod store;
 
 pub use central::CentralCluster;
-pub use cluster::{RoadsCluster, RuntimeOutcome};
+pub use cluster::{ContactMode, RoadsCluster, RuntimeOutcome};
 pub use config::RuntimeConfig;
 pub use store::RecordStore;

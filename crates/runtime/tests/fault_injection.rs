@@ -1,0 +1,347 @@
+//! Fault injection against the live query plane: crashed servers, panicking
+//! owner policies, deadlines, and replica-overlay failover (§III-C).
+//!
+//! Every test drives a real [`RoadsCluster`] — OS threads, channels, the
+//! bounded dispatcher — and kills pieces of it mid-flight. The invariant
+//! under test throughout: `query_as` always returns within the query
+//! deadline, and [`RuntimeOutcome::complete`]/`failed_servers` tell the
+//! truth about what the result may be missing.
+
+use proptest::prelude::*;
+use roads_core::policy::{Disclosure, RequesterId, SharingPolicy, TrustClass};
+use roads_core::{RoadsConfig, RoadsNetwork, ServerId};
+use roads_netsim::DelaySpace;
+use roads_records::{OwnerId, Query, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
+use roads_runtime::{RoadsCluster, RuntimeConfig, RuntimeOutcome};
+use roads_summary::SummaryConfig;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const RECORDS_PER_SERVER: usize = 20;
+
+/// `n` servers in a degree-`max_children` hierarchy, each holding 20
+/// records with distinct ids; record values spread server `s`'s data
+/// across `x0 ∈ [s/n, (s+1)/n)` so a full-range query matches everything
+/// and every server holds matching local data.
+fn build_net(n: usize, max_children: usize) -> RoadsNetwork {
+    let schema = Schema::unit_numeric(1);
+    let cfg = RoadsConfig {
+        max_children,
+        summary: SummaryConfig::with_buckets(64),
+        ..RoadsConfig::paper_default()
+    };
+    let records: Vec<Vec<Record>> = (0..n)
+        .map(|s| {
+            (0..RECORDS_PER_SERVER)
+                .map(|i| {
+                    let id = s * RECORDS_PER_SERVER + i;
+                    Record::new_unchecked(
+                        RecordId(id as u64),
+                        OwnerId(s as u32),
+                        vec![Value::Float(id as f64 / (n * RECORDS_PER_SERVER) as f64)],
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    RoadsNetwork::build(schema, cfg, records)
+}
+
+fn build_cluster(n: usize, max_children: usize, cfg: RuntimeConfig) -> RoadsCluster {
+    RoadsCluster::start(build_net(n, max_children), DelaySpace::paper(n, 77), cfg)
+}
+
+fn full_query(c: &RoadsCluster) -> Query {
+    QueryBuilder::new(c.network().schema(), QueryId(1))
+        .range("x0", 0.0, 1.0)
+        .build()
+}
+
+/// Sorted, deduplicated record ids of an outcome.
+fn unique_ids(out: &RuntimeOutcome) -> Vec<u64> {
+    let before = out.records.len();
+    let ids: BTreeSet<u64> = out.records.iter().map(|r| r.id.0).collect();
+    assert_eq!(
+        ids.len(),
+        before,
+        "duplicate records merged into the result"
+    );
+    ids.into_iter().collect()
+}
+
+/// Some leaf server (deterministic: lowest id with no children).
+fn a_leaf(c: &RoadsCluster) -> ServerId {
+    let tree = c.network().tree();
+    (0..c.network().len() as u32)
+        .map(ServerId)
+        .find(|&s| tree.children(s).is_empty())
+        .expect("every finite tree has a leaf")
+}
+
+/// An owner whose backend crashes the server thread on any query:
+/// regression for the runtime hang, where each such dispatch leaked a
+/// helper thread blocked forever on a reply that could never come.
+struct PanicPolicy;
+
+impl SharingPolicy for PanicPolicy {
+    fn classify(&self, _requester: RequesterId) -> TrustClass {
+        panic!("owner backend crashed (injected)")
+    }
+
+    fn disclose(&self, _class: TrustClass, _record: &Record) -> Disclosure {
+        Disclosure::Full
+    }
+}
+
+#[test]
+fn panicking_policy_cannot_hang_the_client() {
+    let n = 9;
+    let net = build_net(n, 3);
+    let victim = {
+        let tree = net.tree();
+        (0..n as u32)
+            .map(ServerId)
+            .find(|&s| tree.children(s).is_empty())
+            .unwrap()
+    };
+    let mut policies: Vec<Arc<dyn SharingPolicy>> = (0..n)
+        .map(|_| Arc::new(roads_core::policy::OpenPolicy) as Arc<_>)
+        .collect();
+    policies[victim.index()] = Arc::new(PanicPolicy);
+    let cfg = RuntimeConfig::test_faulty();
+    let c = RoadsCluster::start_with_policies(net, DelaySpace::paper(n, 77), cfg, policies);
+    let q = full_query(&c);
+
+    let t0 = Instant::now();
+    let out = c.query(&q, c.network().tree().root());
+    assert!(
+        t0.elapsed() < Duration::from_millis(cfg.query_deadline_ms),
+        "client must not hang on a panicked server"
+    );
+    assert!(
+        !out.complete,
+        "a crashed matching server ⇒ possibly missing"
+    );
+    assert_eq!(out.failed_servers, vec![victim]);
+    assert_eq!(unique_ids(&out).len(), (n - 1) * RECORDS_PER_SERVER);
+    c.shutdown();
+}
+
+#[test]
+fn branch_crash_recovers_subtree_via_failover() {
+    let n = 13;
+    let c = build_cluster(n, 3, RuntimeConfig::test_faulty());
+    let tree = c.network().tree();
+    let victim = *tree
+        .children(tree.root())
+        .iter()
+        .find(|&&s| !tree.children(s).is_empty())
+        .expect("13 servers at degree 3 have an interior non-root node");
+    let in_subtree = tree.subtree(victim).len();
+    assert!(in_subtree >= 2, "victim must gate other servers");
+    assert!(c.kill_server(victim));
+
+    let out = c.query(&full_query(&c), tree.root());
+    // The overlay stand-in recovers every *descendant* of the crashed
+    // branch server; only its own locally attached records are lost.
+    assert_eq!(unique_ids(&out).len(), (n - 1) * RECORDS_PER_SERVER);
+    assert_eq!(out.failed_servers, vec![victim]);
+    assert!(!out.complete);
+    assert!(
+        out.retries >= 1,
+        "the dead server was retried before failover"
+    );
+    c.shutdown();
+}
+
+#[test]
+fn failover_disabled_loses_the_whole_subtree() {
+    let n = 13;
+    let cfg = RuntimeConfig {
+        enable_failover: false,
+        ..RuntimeConfig::test_faulty()
+    };
+    let c = build_cluster(n, 3, cfg);
+    let tree = c.network().tree();
+    let victim = *tree
+        .children(tree.root())
+        .iter()
+        .find(|&&s| !tree.children(s).is_empty())
+        .unwrap();
+    let in_subtree = tree.subtree(victim).len();
+    assert!(c.kill_server(victim));
+
+    let out = c.query(&full_query(&c), tree.root());
+    assert_eq!(
+        unique_ids(&out).len(),
+        (n - in_subtree) * RECORDS_PER_SERVER,
+        "without failover the victim's descendants are unreachable"
+    );
+    assert_eq!(out.failed_servers, vec![victim]);
+    assert!(!out.complete);
+    c.shutdown();
+}
+
+/// Regression for the mode-insensitive visited-set dedup. The helper that
+/// can stand in for the dead uncle is the entry's own parent — a server the
+/// query has *already visited* as a `LocalOnly` ancestor probe. The old
+/// `HashSet<ServerId>` dedup refused to contact it again, silently
+/// abandoning the dead server's children.
+#[test]
+fn localonly_probed_ancestor_still_serves_as_failover_helper() {
+    let n = 7;
+    let c = build_cluster(n, 2, RuntimeConfig::test_faulty());
+    let tree = c.network().tree();
+    let root = tree.root();
+    assert_eq!(tree.children(root).len(), 2, "test needs a binary root");
+    // U: a child of the root with its own children; P: the root's other
+    // child; entry: a leaf under P. Then U's failover candidates are
+    // exactly [P, root] — both already probed LocalOnly as the entry's
+    // ancestors by the time U's death is detected.
+    let u = *tree
+        .children(root)
+        .iter()
+        .find(|&&s| !tree.children(s).is_empty())
+        .expect("7 servers at degree 2 have an interior node");
+    let p = *tree.children(root).iter().find(|&&s| s != u).unwrap();
+    let entry = *tree
+        .children(p)
+        .iter()
+        .find(|&&s| tree.children(s).is_empty())
+        .expect("p must have a leaf child for this topology");
+    assert_eq!(
+        c.network().replica_set(u).failover_candidates(),
+        vec![p, root],
+        "precondition: every helper for u is an ancestor of the entry"
+    );
+    assert!(c.kill_server(u));
+
+    let out = c.query(&full_query(&c), entry);
+    assert_eq!(
+        unique_ids(&out).len(),
+        (n - 1) * RECORDS_PER_SERVER,
+        "the LocalOnly-probed parent must be re-contacted as a stand-in"
+    );
+    assert_eq!(out.failed_servers, vec![u]);
+    c.shutdown();
+}
+
+#[test]
+fn dead_entry_fails_over_to_replica_entry() {
+    let n = 9;
+    let cfg = RuntimeConfig::test_faulty();
+    let c = build_cluster(n, 3, cfg);
+    let entry = a_leaf(&c);
+    assert!(c.kill_server(entry));
+
+    let t0 = Instant::now();
+    let out = c.query(&full_query(&c), entry);
+    assert!(
+        t0.elapsed() < Duration::from_millis(cfg.query_deadline_ms),
+        "entry failover must finish well before the deadline"
+    );
+    assert_eq!(
+        unique_ids(&out).len(),
+        (n - 1) * RECORDS_PER_SERVER,
+        "a replica entry must take over the whole query"
+    );
+    assert_eq!(out.failed_servers, vec![entry]);
+    assert!(!out.complete);
+    c.shutdown();
+}
+
+#[test]
+fn deadline_cuts_off_slow_cluster() {
+    // Every server takes ~800 ms of emulated backend time per query; the
+    // deadline is 200 ms. The client must give up on time, not wait.
+    let cfg = RuntimeConfig {
+        base_query_cost_us: 800_000,
+        query_deadline_ms: 200,
+        dispatch_timeout_ms: 0, // only the deadline bounds this query
+        ..RuntimeConfig::test_fast()
+    };
+    let c = build_cluster(4, 3, cfg);
+    let root = c.network().tree().root();
+    let out = c.query(&full_query(&c), root);
+    assert!(!out.complete, "a deadline cutoff is never complete");
+    assert!(
+        out.response_ms >= 200.0 && out.response_ms < 700.0,
+        "returned at the deadline, not after the backend: {} ms",
+        out.response_ms
+    );
+    assert!(out.failed_servers.contains(&root), "pending ⇒ failed");
+    c.shutdown();
+}
+
+#[test]
+fn restart_server_restores_full_service() {
+    let n = 9;
+    let c = build_cluster(n, 3, RuntimeConfig::test_faulty());
+    let victim = a_leaf(&c);
+    let root = c.network().tree().root();
+    assert!(c.kill_server(victim));
+
+    let degraded = c.query(&full_query(&c), root);
+    assert_eq!(unique_ids(&degraded).len(), (n - 1) * RECORDS_PER_SERVER);
+    assert!(!degraded.complete);
+
+    assert!(c.restart_server(victim));
+    let healed = c.query(&full_query(&c), root);
+    assert_eq!(unique_ids(&healed).len(), n * RECORDS_PER_SERVER);
+    assert!(healed.complete, "restart restores provable completeness");
+    assert!(healed.failed_servers.is_empty());
+    c.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever subset of servers is killed, `query_as` terminates within
+    /// the deadline, returns each surviving record at most once, never
+    /// blames a live server, and claims completeness exactly when it holds.
+    #[test]
+    fn query_terminates_under_arbitrary_kill_schedules(
+        n in 5usize..16,
+        kills in prop::collection::vec(0usize..64, 0..5),
+    ) {
+        // A generous per-dispatch timeout keeps live-server false
+        // positives out of the schedule even on loaded CI machines.
+        let cfg = RuntimeConfig {
+            dispatch_timeout_ms: 2_000,
+            ..RuntimeConfig::test_faulty()
+        };
+        let c = build_cluster(n, 3, cfg);
+        let killed: BTreeSet<ServerId> =
+            kills.iter().map(|k| ServerId((k % n) as u32)).collect();
+        for &s in &killed {
+            prop_assert!(c.kill_server(s));
+        }
+        let start = ServerId((n - 1) as u32);
+
+        let t0 = Instant::now();
+        let out = c.query(&full_query(&c), start);
+        prop_assert!(
+            t0.elapsed() < Duration::from_millis(cfg.query_deadline_ms + 2_000),
+            "query must terminate near the deadline, took {:?}", t0.elapsed()
+        );
+
+        let ids = unique_ids(&out);
+        for &id in &ids {
+            let holder = ServerId((id as usize / RECORDS_PER_SERVER) as u32);
+            prop_assert!(!killed.contains(&holder), "record from a dead server");
+        }
+        for f in &out.failed_servers {
+            prop_assert!(killed.contains(f), "blamed live server {f:?}");
+        }
+        if killed.is_empty() {
+            prop_assert!(out.complete);
+            prop_assert_eq!(ids.len(), n * RECORDS_PER_SERVER);
+        } else {
+            // Every server holds matching records, so any kill loses some.
+            prop_assert!(!out.complete);
+            prop_assert!(ids.len() <= (n - killed.len()) * RECORDS_PER_SERVER);
+        }
+        c.shutdown();
+    }
+}

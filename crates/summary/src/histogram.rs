@@ -54,7 +54,8 @@ impl Histogram {
 
     /// Build from an iterator of values, clamping out-of-domain values into
     /// the boundary buckets (owners occasionally export slightly stale
-    /// domains; dropping values would create false negatives).
+    /// domains; dropping values would create false negatives). `NaN`
+    /// values are skipped entirely — see [`Histogram::insert`].
     pub fn from_values(lo: f64, hi: f64, m: usize, values: impl IntoIterator<Item = f64>) -> Self {
         let mut h = Histogram::new(lo, hi, m);
         for v in values {
@@ -93,7 +94,9 @@ impl Histogram {
         self.buckets.iter().all(|&c| c == 0)
     }
 
-    /// Bucket index for a value, clamped into the domain.
+    /// Bucket index for a value, clamped into the domain. `NaN` maps to
+    /// bucket 0 by IEEE comparison fallthrough; callers that must not
+    /// count `NaN` (i.e. [`Histogram::insert`]) reject it first.
     pub fn bucket_of(&self, v: f64) -> usize {
         let m = self.buckets.len();
         if !v.is_finite() {
@@ -103,8 +106,14 @@ impl Histogram {
         ((frac * m as f64).floor() as isize).clamp(0, m as isize - 1) as usize
     }
 
-    /// Record one value.
+    /// Record one value. `NaN` is ignored: it carries no position on the
+    /// attribute axis, and counting it (the old behavior filed it into
+    /// bucket 0 because `NaN > 0.0` is false) would let one corrupt
+    /// export skew the lowest bucket and every range estimate over it.
     pub fn insert(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
         let idx = self.bucket_of(v);
         self.buckets[idx] = self.buckets[idx].saturating_add(1);
     }
@@ -122,7 +131,8 @@ impl Histogram {
     /// non-empty. Never produces a false negative; may produce a false
     /// positive when a bucket straddles the range boundary.
     pub fn may_match_range(&self, q_lo: f64, q_hi: f64) -> bool {
-        if q_lo > q_hi {
+        if q_lo.is_nan() || q_hi.is_nan() || q_lo > q_hi {
+            // A NaN bound describes no interval at all.
             return false;
         }
         let first = self.bucket_of(q_lo);
@@ -133,7 +143,7 @@ impl Histogram {
     /// Estimated number of values in `[q_lo, q_hi]`, assuming values are
     /// uniform within each bucket (standard equi-width estimator).
     pub fn estimate_count(&self, q_lo: f64, q_hi: f64) -> f64 {
-        if q_lo > q_hi {
+        if q_lo.is_nan() || q_hi.is_nan() || q_lo > q_hi {
             return 0.0;
         }
         let mut est = 0.0;
@@ -425,5 +435,26 @@ mod tests {
         let h = unit_hist(&[0.5], 10);
         assert!(h.may_match_range(f64::NEG_INFINITY, f64::INFINITY));
         assert!(h.may_match_range(0.2, f64::INFINITY));
+    }
+
+    #[test]
+    fn nan_values_rejected() {
+        // Regression: NaN used to be filed into bucket 0 (`!is_finite()`
+        // is true but `NaN > 0.0` is false), skewing the lowest bucket.
+        let h = unit_hist(&[f64::NAN, f64::NAN, 0.95], 10);
+        assert_eq!(h.total(), 1, "NaN must not be counted");
+        assert_eq!(h.buckets()[0], 0, "lowest bucket must stay clean");
+        assert!(!h.may_match_range(0.0, 0.1), "no phantom low-range match");
+        let mut h2 = Histogram::new(0.0, 1.0, 4);
+        h2.insert(f64::NAN);
+        assert!(h2.is_empty());
+    }
+
+    #[test]
+    fn nan_query_bounds_no_match() {
+        let h = unit_hist(&[0.5], 10);
+        assert!(!h.may_match_range(f64::NAN, 1.0));
+        assert!(!h.may_match_range(0.0, f64::NAN));
+        assert_eq!(h.estimate_count(f64::NAN, f64::NAN), 0.0);
     }
 }

@@ -11,11 +11,14 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
-/// A value with an absolute expiry tick.
+/// A value with an absolute expiry tick and its own lifetime: the TTL it
+/// was created with sticks to the entry, so heartbeats extend by the
+/// *entry's* lifetime rather than whatever default the caller holds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SoftState<T> {
     value: T,
     expires_at: u64,
+    ttl: u64,
 }
 
 impl<T> SoftState<T> {
@@ -24,6 +27,7 @@ impl<T> SoftState<T> {
         SoftState {
             value,
             expires_at: now.saturating_add(ttl),
+            ttl,
         }
     }
 
@@ -47,15 +51,30 @@ impl<T> SoftState<T> {
         self.expires_at
     }
 
-    /// Replace the value and push the expiry to `now + ttl`.
+    /// The lifetime this entry extends by on heartbeat.
+    pub fn ttl(&self) -> u64 {
+        self.ttl
+    }
+
+    /// Replace the value and push the expiry to `now + ttl`, adopting the
+    /// new TTL as the entry's lifetime.
     pub fn refresh(&mut self, value: T, now: u64, ttl: u64) {
         self.value = value;
         self.expires_at = now.saturating_add(ttl);
+        self.ttl = ttl;
     }
 
-    /// Extend the expiry without replacing the value (heartbeat-style).
+    /// Extend the expiry without replacing the value, adopting `ttl` as
+    /// the entry's lifetime from here on.
     pub fn touch(&mut self, now: u64, ttl: u64) {
         self.expires_at = now.saturating_add(ttl);
+        self.ttl = ttl;
+    }
+
+    /// Extend the expiry by the entry's own lifetime (heartbeat-style):
+    /// the TTL it was inserted or last refreshed with.
+    pub fn heartbeat(&mut self, now: u64) {
+        self.expires_at = now.saturating_add(self.ttl);
     }
 
     /// Consume the wrapper.
@@ -114,12 +133,14 @@ impl<K: Eq + Hash + Clone, T> SoftStateTable<K, T> {
         self.entries.remove(key).map(SoftState::into_inner)
     }
 
-    /// Extend an entry's lifetime without replacing its value.
+    /// Extend an entry's lifetime without replacing its value. The entry
+    /// keeps the TTL it was inserted with — heartbeating an
+    /// [`Self::insert_with_ttl`] entry must not silently rewrite its
+    /// lifetime to the table default.
     pub fn touch(&mut self, key: &K, now: u64) -> bool {
-        let ttl = self.default_ttl;
         match self.entries.get_mut(key) {
             Some(e) => {
-                e.touch(now, ttl);
+                e.heartbeat(now);
                 true
             }
             None => false,
@@ -223,6 +244,33 @@ mod tests {
         t.insert("a", 1, 0);
         assert_eq!(t.remove(&"a"), Some(1));
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn touch_preserves_per_entry_ttl() {
+        // Regression: table touch used to clobber an insert_with_ttl
+        // entry's lifetime with the table default (10 here), shrinking a
+        // 100-tick entry to 10 on its first heartbeat.
+        let mut t = SoftStateTable::new(10);
+        t.insert_with_ttl("long", 1, 0, 100);
+        assert!(t.touch(&"long", 50));
+        assert_eq!(t.get(&"long", 149), Some(&1), "entry keeps its 100 TTL");
+        assert_eq!(t.get(&"long", 150), None);
+        // Default-TTL entries still heartbeat by the default.
+        t.insert("short", 2, 0);
+        assert!(t.touch(&"short", 4));
+        assert_eq!(t.get(&"short", 13), Some(&2));
+        assert_eq!(t.get(&"short", 14), None);
+    }
+
+    #[test]
+    fn refresh_adopts_new_ttl_for_later_heartbeats() {
+        let mut s = SoftState::new(1, 0, 10);
+        assert_eq!(s.ttl(), 10);
+        s.refresh(2, 0, 30);
+        s.heartbeat(100);
+        assert_eq!(s.fresh(129), Some(&2));
+        assert_eq!(s.fresh(130), None);
     }
 
     #[test]

@@ -93,6 +93,15 @@ pub enum EventKind {
     QueryHop,
     /// A query's last result reached the client (detail: total matches).
     QueryComplete,
+    /// A dispatched sub-query got no reply within the per-dispatch timeout,
+    /// or its target's mailbox was already closed (detail: tries so far).
+    DispatchTimeout,
+    /// A timed-out dispatch was re-sent after backoff (detail: retry
+    /// number, 1-based).
+    Retry,
+    /// A dead server's sub-query was re-routed to a replication-overlay
+    /// stand-in (detail: the dead server's node id; `node` is the helper).
+    Failover,
     /// A generic labelled span for coarse phases (detail: free-form).
     Mark,
 }
@@ -114,6 +123,9 @@ impl EventKind {
             EventKind::QueryStart => "query-start",
             EventKind::QueryHop => "query-hop",
             EventKind::QueryComplete => "query-complete",
+            EventKind::DispatchTimeout => "dispatch-timeout",
+            EventKind::Retry => "retry",
+            EventKind::Failover => "failover",
             EventKind::Mark => "mark",
         }
     }
@@ -135,6 +147,9 @@ impl EventKind {
             "query-start" => EventKind::QueryStart,
             "query-hop" => EventKind::QueryHop,
             "query-complete" => EventKind::QueryComplete,
+            "dispatch-timeout" => EventKind::DispatchTimeout,
+            "retry" => EventKind::Retry,
+            "failover" => EventKind::Failover,
             "mark" => EventKind::Mark,
             _ => return None,
         })
@@ -706,6 +721,9 @@ mod tests {
             EventKind::QueryStart,
             EventKind::QueryHop,
             EventKind::QueryComplete,
+            EventKind::DispatchTimeout,
+            EventKind::Retry,
+            EventKind::Failover,
             EventKind::Mark,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));

@@ -29,6 +29,7 @@ fn main() {
         base_query_cost_us: 4_000,
         bandwidth_mbps: 100.0,
         delay_scale: 0.2,
+        ..RuntimeConfig::paper_like()
     };
     let delays = DelaySpace::paper(nodes, 3);
     let net = RoadsNetwork::build(
