@@ -12,7 +12,9 @@
 //! ([`crate::faults::Dispatcher`]) instead of one helper thread per
 //! contacted server. Every dispatched sub-query carries a per-dispatch
 //! timeout; expiry triggers bounded retry with exponential backoff, then
-//! replica-overlay failover: a sibling or ancestor holding the dead
+//! replica-overlay failover (a mailbox found already closed skips the
+//! retry budget — the thread is gone until restarted — and fails over
+//! immediately): a sibling or ancestor holding the dead
 //! server's branch summary (§III-C) stands in and forwards the sub-query
 //! to the dead server's children. A per-query deadline bounds the whole
 //! operation, and [`RuntimeOutcome::complete`] reports truthfully whether
@@ -194,7 +196,9 @@ pub struct RuntimeOutcome {
     pub response_ms: f64,
     /// Records received.
     pub records: Vec<Record>,
-    /// Servers contacted.
+    /// Distinct servers whose replies were received. Late or duplicate
+    /// replies (a reply racing a retry) and overlay stand-in replies count
+    /// each server once.
     pub servers_contacted: usize,
     /// Whether the result provably covers every matching record: the
     /// deadline did not cut the query short, and for every failed server
@@ -409,9 +413,11 @@ impl RoadsCluster {
             ledger: VisitLedger::new(),
             resolved: HashSet::new(),
             failed: BTreeMap::new(),
+            dead_helpers: HashSet::new(),
             failover_pos: HashMap::new(),
             records: Vec::new(),
-            replies: 0,
+            responders: HashSet::new(),
+            entry_served: false,
             retries: 0,
             deadline_hit: false,
             root_span: SpanId::NONE,
@@ -514,10 +520,20 @@ struct Driver<'a> {
     resolved: HashSet<ServerId>,
     /// Servers given up on, with the widest mode that failed.
     failed: BTreeMap<ServerId, ContactMode>,
+    /// Overlay stand-ins that died while helping. Kept apart from
+    /// `failed` (which feeds completeness and `failed_servers`): a dead
+    /// helper only disqualifies itself from further failover nominations.
+    dead_helpers: HashSet<ServerId>,
     /// Next failover candidate index per dead server.
     failover_pos: HashMap<ServerId, usize>,
     records: Vec<Record>,
-    replies: usize,
+    /// Distinct servers whose replies landed.
+    responders: HashSet<ServerId>,
+    /// Whether any Entry-mode reply landed — i.e. the overlay evaluation
+    /// (ancestor probes, replica shortcuts) ran somewhere. Without it a
+    /// failed entry leaves the hierarchy beyond its own branch unexamined,
+    /// so completeness cannot be claimed.
+    entry_served: bool,
     retries: usize,
     deadline_hit: bool,
     root_span: SpanId,
@@ -588,7 +604,7 @@ impl Driver<'_> {
                         });
                     self.on_reply(attempt, server, targets, records);
                 }
-                Ok(Notice::Down { attempt }) => self.attempt_failed(attempt),
+                Ok(Notice::Down { attempt }) => self.attempt_failed(attempt, true),
                 Err(RecvTimeoutError::Timeout) => {
                     let now = Instant::now();
                     let expired: Vec<u64> = self
@@ -598,7 +614,7 @@ impl Driver<'_> {
                         .map(|(&id, _)| id)
                         .collect();
                     for id in expired {
-                        self.attempt_failed(id);
+                        self.attempt_failed(id, false);
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
@@ -636,7 +652,7 @@ impl Driver<'_> {
         RuntimeOutcome {
             response_ms: self.t0.elapsed().as_secs_f64() * 1000.0,
             records: self.records,
-            servers_contacted: self.replies,
+            servers_contacted: self.responders.len(),
             complete,
             failed_servers: self.failed.keys().copied().collect(),
             retries: self.retries,
@@ -720,7 +736,12 @@ impl Driver<'_> {
         }
         // A late reply (after timeout, racing a retry) still lands here and
         // is merged below, guarded by `resolved`.
-        self.replies += 1;
+        self.responders.insert(server);
+        // Any reply proves the server serviceable again, helper or not.
+        self.dead_helpers.remove(&server);
+        if matches!(mode, ContactMode::Entry) {
+            self.entry_served = true;
+        }
         if self.rec.is_some() {
             let now_us = self.t0.elapsed().as_micros() as u64;
             self.emit(Event {
@@ -748,9 +769,13 @@ impl Driver<'_> {
         }
     }
 
-    /// An open attempt's dispatch timed out or its target's mailbox was
-    /// closed: retry if budget remains, otherwise fail over.
-    fn attempt_failed(&mut self, attempt: u64) {
+    /// An open attempt's dispatch timed out (`mailbox_closed = false`) or
+    /// its target's mailbox was found closed (`true`): retry if budget
+    /// remains, otherwise fail over. A closed mailbox means the thread
+    /// already exited — it cannot recover without [`RoadsCluster::
+    /// restart_server`], so the retry budget is skipped and failover
+    /// starts immediately.
+    fn attempt_failed(&mut self, attempt: u64, mailbox_closed: bool) {
         let cfg = self.cluster.cfg;
         let Some(a) = self.attempts.get_mut(&attempt) else {
             return;
@@ -773,7 +798,7 @@ impl Driver<'_> {
             kind: EventKind::DispatchTimeout,
             detail: tries as u64,
         });
-        if tries < cfg.max_retries {
+        if !mailbox_closed && tries < cfg.max_retries {
             self.retries += 1;
             self.emit(Event {
                 at_us: now_us,
@@ -803,7 +828,10 @@ impl Driver<'_> {
     fn give_up(&mut self, server: ServerId, mode: ContactMode, span: SpanId) {
         match mode {
             ContactMode::Failover { dead } => {
-                // The stand-in died too; advance to the next candidate.
+                // The stand-in died too: remember it so failover for a
+                // *different* dead server cannot nominate it again, then
+                // advance to the next candidate.
+                self.dead_helpers.insert(server);
                 self.try_failover(dead, span);
             }
             ContactMode::LocalOnly => {
@@ -861,7 +889,7 @@ impl Driver<'_> {
         while pos < candidates.len() {
             let helper = candidates[pos];
             pos += 1;
-            if self.failed.contains_key(&helper) {
+            if self.failed.contains_key(&helper) || self.dead_helpers.contains(&helper) {
                 continue; // known dead — don't burn a timeout on it
             }
             let mode = ContactMode::Failover { dead };
@@ -894,7 +922,10 @@ impl Driver<'_> {
             return;
         }
         for helper in self.cluster.net.replica_set(dead).failover_candidates() {
-            if self.failed.contains_key(&helper) || !self.ledger.admit(helper, ContactMode::Entry) {
+            if self.failed.contains_key(&helper)
+                || self.dead_helpers.contains(&helper)
+                || !self.ledger.admit(helper, ContactMode::Entry)
+            {
                 continue;
             }
             let id = self.dispatch(helper, ContactMode::Entry, parent_span, Duration::ZERO, 0);
@@ -946,23 +977,32 @@ impl Driver<'_> {
     /// negatives — `!may_match` proves absence, and every dispatched child
     /// of a failed server ends the query either resolved or failed (with
     /// its own entry in `failed` recursing this check).
+    ///
+    /// A failed *entry* additionally requires that some Entry-mode reply
+    /// landed (`entry_served`): the entry role covers the overlay
+    /// evaluation for the whole hierarchy — ancestor probes, replica
+    /// shortcuts — not just the dead server's local data and children. If
+    /// no replacement entry took over (failover disabled, or every
+    /// candidate dead), nothing ever examined the rest of the hierarchy
+    /// and completeness cannot be claimed.
     fn completeness(&self) -> bool {
         if self.deadline_hit {
             return false;
         }
         let net = &self.cluster.net;
+        let children_covered = |s: ServerId| {
+            net.tree().children(s).iter().all(|&c| {
+                !net.branch_summary(c).may_match(self.query)
+                    || self.resolved.contains(&c)
+                    || self.failed.contains_key(&c)
+            })
+        };
         self.failed.iter().all(|(&s, &mode)| {
             let local_ok = !net.local_summary(s).may_match(self.query);
             match mode {
                 ContactMode::LocalOnly => local_ok,
-                ContactMode::Entry | ContactMode::Branch => {
-                    local_ok
-                        && net.tree().children(s).iter().all(|&c| {
-                            !net.branch_summary(c).may_match(self.query)
-                                || self.resolved.contains(&c)
-                                || self.failed.contains_key(&c)
-                        })
-                }
+                ContactMode::Branch => local_ok && children_covered(s),
+                ContactMode::Entry => self.entry_served && local_ok && children_covered(s),
                 ContactMode::Failover { .. } => true, // stand-ins hold no queried data
             }
         })

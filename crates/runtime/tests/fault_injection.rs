@@ -148,9 +148,9 @@ fn branch_crash_recovers_subtree_via_failover() {
     assert_eq!(unique_ids(&out).len(), (n - 1) * RECORDS_PER_SERVER);
     assert_eq!(out.failed_servers, vec![victim]);
     assert!(!out.complete);
-    assert!(
-        out.retries >= 1,
-        "the dead server was retried before failover"
+    assert_eq!(
+        out.retries, 0,
+        "a closed mailbox fails over immediately without burning the retry budget"
     );
     c.shutdown();
 }
@@ -271,6 +271,253 @@ fn deadline_cuts_off_slow_cluster() {
         out.response_ms
     );
     assert!(out.failed_servers.contains(&root), "pending ⇒ failed");
+    c.shutdown();
+}
+
+/// A query provably missing `entry`'s local data while matching records
+/// elsewhere (both asserted as preconditions).
+fn query_missing_entry(c: &RoadsCluster, entry: ServerId, lo: f64, hi: f64) -> Query {
+    let q = QueryBuilder::new(c.network().schema(), QueryId(2))
+        .range("x0", lo, hi)
+        .build();
+    assert!(
+        !c.network().local_summary(entry).may_match(&q),
+        "precondition: the query must provably miss the entry's local data"
+    );
+    assert!(
+        !c.network().matching_servers(&q).is_empty(),
+        "precondition: matching records must exist elsewhere"
+    );
+    q
+}
+
+/// Regression for unsound completeness on a dead entry. The entry role
+/// covers the overlay evaluation for the *whole hierarchy* (ancestor
+/// probes, replica shortcuts), but the old completeness check only
+/// examined the dead entry's local summary and direct children: with
+/// failover disabled, a query started at a dead leaf entry returned zero
+/// records with `complete = true` while matching records existed
+/// elsewhere.
+#[test]
+fn dead_entry_without_replacement_is_never_complete() {
+    let n = 9;
+    let cfg = RuntimeConfig {
+        enable_failover: false,
+        ..RuntimeConfig::test_faulty()
+    };
+    let c = build_cluster(n, 3, cfg);
+    let entry = a_leaf(&c);
+    let q = query_missing_entry(&c, entry, 0.8, 0.95);
+    assert!(c.kill_server(entry));
+
+    let out = c.query(&q, entry);
+    assert!(out.records.is_empty(), "a dead entry alone returns nothing");
+    assert!(
+        !out.complete,
+        "no replacement entry ran the overlay evaluation — matching \
+         records elsewhere are unaccounted for"
+    );
+    assert_eq!(out.failed_servers, vec![entry]);
+    c.shutdown();
+}
+
+/// Counterpart guarding against over-correction: when a replica entry
+/// takes over and the summaries prove the dead entry held nothing
+/// matching, the result is still *provably* complete.
+#[test]
+fn replacement_entry_restores_provable_completeness() {
+    let n = 9;
+    let c = build_cluster(n, 3, RuntimeConfig::test_faulty());
+    let entry = a_leaf(&c);
+    let q = query_missing_entry(&c, entry, 0.8, 0.95);
+    let expected: usize = (0..n as u32)
+        .map(ServerId)
+        .filter(|&s| s != entry)
+        .map(|s| c.network().search_local(s, &q).len())
+        .sum();
+    assert!(expected > 0);
+    assert!(c.kill_server(entry));
+
+    let out = c.query(&q, entry);
+    assert_eq!(
+        unique_ids(&out).len(),
+        expected,
+        "the replacement entry reaches every matching record"
+    );
+    assert!(
+        out.complete,
+        "dead entry provably empty for this query + replacement entry \
+         covered the rest ⇒ complete"
+    );
+    assert_eq!(out.failed_servers, vec![entry]);
+    c.shutdown();
+}
+
+/// Regression for the Down fast-path: a mailbox found closed is
+/// definitively dead until restarted, so the driver must fail over
+/// immediately instead of burning `max_retries` backoff cycles on it.
+#[test]
+fn closed_mailbox_skips_retry_budget() {
+    let n = 9;
+    let c = build_cluster(n, 3, RuntimeConfig::test_faulty());
+    let victim = a_leaf(&c);
+    let root = c.network().tree().root();
+    assert!(c.kill_server(victim));
+
+    let out = c.query(&full_query(&c), root);
+    assert_eq!(out.retries, 0, "closed mailboxes must not consume retries");
+    assert_eq!(out.failed_servers, vec![victim]);
+    assert_eq!(unique_ids(&out).len(), (n - 1) * RECORDS_PER_SERVER);
+    c.shutdown();
+}
+
+/// Regression for `servers_contacted`: a reply racing a retry used to be
+/// counted twice. A single slow-but-alive server answers after the
+/// dispatch timeout already triggered a retry; it is one server,
+/// contacted once, and its records merge once.
+#[test]
+fn late_reply_counts_each_server_once() {
+    let cfg = RuntimeConfig {
+        base_query_cost_us: 400_000, // slower than the dispatch timeout
+        dispatch_timeout_ms: 250,
+        max_retries: 1,
+        backoff_base_ms: 5,
+        query_deadline_ms: 8_000,
+        ..RuntimeConfig::test_fast()
+    };
+    let c = build_cluster(1, 3, cfg);
+    let only = c.network().tree().root();
+
+    let out = c.query(&full_query(&c), only);
+    assert_eq!(unique_ids(&out).len(), RECORDS_PER_SERVER);
+    assert_eq!(
+        out.servers_contacted, 1,
+        "late/duplicate replies must not inflate the distinct server count"
+    );
+    assert!(
+        out.retries >= 1,
+        "the slow server timed out and was retried"
+    );
+    assert!(out.complete, "its reply landed in the end — nothing failed");
+    assert!(out.failed_servers.is_empty());
+    c.shutdown();
+}
+
+/// Regression for stand-in helper bookkeeping: a helper that died while
+/// standing in for one dead server must not be nominated again when a
+/// *different* dead server fails over later — its death is already known
+/// and re-contacting it only burns another failure cycle.
+#[test]
+fn failed_standin_helper_is_not_renominated() {
+    use roads_telemetry::{EventKind, Recorder};
+    let n = 13;
+    let schema = Schema::unit_numeric(1);
+    let cfg = RoadsConfig {
+        max_children: 3,
+        summary: SummaryConfig::with_buckets(64),
+        ..RoadsConfig::paper_default()
+    };
+    // Root children: `a` and `b` (both killed/crashed, both needing
+    // failover for their subtrees) and `h`, whose whole subtree holds
+    // records far outside the query range — so `h` is never a direct
+    // query target, only ever a failover stand-in. The hierarchy layout
+    // comes from the balance-aware join walk, so read `h`'s subtree off a
+    // probe network before assigning record values.
+    let (a, h, b, shielded) = {
+        let probe = build_net(n, 3);
+        let tree = probe.tree();
+        let ch = tree.children(tree.root()).to_vec();
+        assert_eq!(ch.len(), 3, "root of 13 @ degree 3 has three children");
+        let shielded: Vec<usize> = tree.subtree(ch[1]).iter().map(|s| s.index()).collect();
+        (ch[0], ch[1], ch[2], shielded)
+    };
+    let records: Vec<Vec<Record>> = (0..n)
+        .map(|s| {
+            (0..RECORDS_PER_SERVER)
+                .map(|i| {
+                    let id = s * RECORDS_PER_SERVER + i;
+                    let v = if shielded.contains(&s) {
+                        0.9 + i as f64 * 0.003
+                    } else {
+                        id as f64 / (n * RECORDS_PER_SERVER) as f64 * 0.5
+                    };
+                    Record::new_unchecked(
+                        RecordId(id as u64),
+                        OwnerId(s as u32),
+                        vec![Value::Float(v)],
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let net = RoadsNetwork::build(schema, cfg, records);
+    {
+        let tree = net.tree();
+        let root = tree.root();
+        assert!(!tree.children(a).is_empty(), "a gates a subtree");
+        assert!(!tree.children(b).is_empty(), "b gates a subtree");
+        assert!(
+            !net.branch_summary(h).may_match(
+                &QueryBuilder::new(net.schema(), QueryId(99))
+                    .range("x0", 0.0, 0.5)
+                    .build()
+            ),
+            "h's branch must be provably outside the query range"
+        );
+        // Sibling order makes h the first candidate for a, and a (already
+        // failed by then) then h the leading candidates for b.
+        assert_eq!(net.replica_set(a).failover_candidates(), vec![h, b, root]);
+        assert_eq!(net.replica_set(b).failover_candidates(), vec![a, h, root]);
+    }
+    // `b` panics on its first direct query, so its failure is detected by
+    // dispatch timeout — long after `h`'s death as a stand-in resolved.
+    let mut policies: Vec<Arc<dyn SharingPolicy>> = (0..n)
+        .map(|_| Arc::new(roads_core::policy::OpenPolicy) as Arc<_>)
+        .collect();
+    policies[b.index()] = Arc::new(PanicPolicy);
+    let mut c = RoadsCluster::start_with_policies(
+        net,
+        DelaySpace::paper(n, 77),
+        RuntimeConfig::test_faulty(),
+        policies,
+    );
+    let rec = Arc::new(Recorder::new(4096));
+    c.set_recorder(Arc::clone(&rec));
+    assert!(c.kill_server(a));
+    assert!(c.kill_server(h));
+
+    let q = QueryBuilder::new(c.network().schema(), QueryId(3))
+        .range("x0", 0.0, 0.5)
+        .build();
+    let root = c.network().tree().root();
+    let out = c.query(&q, root);
+
+    // Both dead branches' children were recovered through stand-ins; only
+    // the records held by the dead servers themselves (and `h`'s subtree,
+    // which lies outside the range) are absent.
+    let expect: Vec<u64> = (0..n)
+        .filter(|&s| !shielded.contains(&s) && s != a.index() && s != b.index())
+        .flat_map(|s| (0..RECORDS_PER_SERVER).map(move |i| (s * RECORDS_PER_SERVER + i) as u64))
+        .collect();
+    assert_eq!(unique_ids(&out), expect);
+    let mut dead = vec![a, b];
+    dead.sort();
+    assert_eq!(out.failed_servers, dead);
+    assert!(!out.complete, "a's and b's own records are lost");
+    assert!(out.retries >= 1, "the panicked server consumed its retry");
+    // `h` was nominated exactly once (standing in for `a`); after dying
+    // there, `b`'s later failover skipped straight past it.
+    let events = rec.events();
+    let nominations: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Failover && e.node == h.0)
+        .collect();
+    assert_eq!(
+        nominations.len(),
+        1,
+        "a helper that died standing in must not be re-nominated"
+    );
+    assert_eq!(nominations[0].detail, a.0 as u64);
     c.shutdown();
 }
 
