@@ -1,0 +1,115 @@
+//! Parallel vs sequential network construction, and batch query
+//! evaluation at several worker-pool widths.
+//!
+//! On multi-core hosts the parallel build should win on the larger
+//! federations (local summary construction dominates and is embarrassingly
+//! parallel); on a single core it measures the fan-out overhead, which
+//! must stay small. Either way the two paths produce bit-identical
+//! networks (asserted in roads-core's tests), so this group is purely
+//! about wall-clock.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use roads_core::{BuildOptions, QueryBatch, RoadsConfig, RoadsNetwork, ServerId};
+use roads_netsim::DelaySpace;
+use roads_summary::SummaryConfig;
+use roads_workload::{
+    default_schema, generate_node_records, generate_queries, QueryWorkloadConfig,
+    RecordWorkloadConfig,
+};
+use std::sync::Arc;
+
+fn workload(nodes: usize) -> (roads_records::Schema, Vec<Vec<roads_records::Record>>) {
+    let schema = default_schema(16);
+    let records = generate_node_records(&RecordWorkloadConfig {
+        nodes,
+        records_per_node: 50,
+        attrs: 16,
+        seed: 14,
+    });
+    (schema, records)
+}
+
+fn roads_cfg() -> RoadsConfig {
+    RoadsConfig {
+        summary: SummaryConfig::with_buckets(200),
+        ..RoadsConfig::paper_default()
+    }
+}
+
+fn bench_network_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_build");
+    g.sample_size(10);
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    for &n in &[64usize, 320] {
+        let (schema, records) = workload(n);
+        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| {
+                RoadsNetwork::build_with(
+                    black_box(schema.clone()),
+                    roads_cfg(),
+                    black_box(records.clone()),
+                    BuildOptions::sequential(),
+                )
+            })
+        });
+        for &t in &[2usize, 4] {
+            g.bench_with_input(BenchmarkId::new(format!("threads_{t}"), n), &n, |b, _| {
+                b.iter(|| {
+                    RoadsNetwork::build_with(
+                        black_box(schema.clone()),
+                        roads_cfg(),
+                        black_box(records.clone()),
+                        BuildOptions::with_threads(t),
+                    )
+                })
+            });
+        }
+        g.bench_with_input(
+            BenchmarkId::new(format!("threads_host_{host_threads}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    RoadsNetwork::build_with(
+                        black_box(schema.clone()),
+                        roads_cfg(),
+                        black_box(records.clone()),
+                        BuildOptions::parallel(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_query_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_batch");
+    g.sample_size(10);
+    let n = 128;
+    let (schema, records) = workload(n);
+    let net = Arc::new(RoadsNetwork::build(schema.clone(), roads_cfg(), records));
+    let delays = Arc::new(DelaySpace::paper(n, 14));
+    let queries: Vec<(roads_records::Query, ServerId)> = generate_queries(
+        &schema,
+        &QueryWorkloadConfig {
+            count: 64,
+            dims: 6,
+            range_len: 0.25,
+            nodes: n,
+            seed: 15,
+        },
+    )
+    .into_iter()
+    .map(|(q, s)| (q, ServerId(s as u32)))
+    .collect();
+    for &t in &[1usize, 2, 4] {
+        let batch = QueryBatch::new(Arc::clone(&net), Arc::clone(&delays)).threads(t);
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| batch.run(black_box(&queries)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_network_build, bench_query_batch);
+criterion_main!(benches);

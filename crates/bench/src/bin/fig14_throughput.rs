@@ -1,0 +1,296 @@
+//! Figure 14 (reproduction extra): query throughput vs client threads.
+//!
+//! The paper's overlay argument (§III-C) is about load as much as
+//! availability: "each server stores summaries which combined together
+//! cover the whole hierarchy", so *any* server can be a query entry point
+//! and clients need not funnel through the root. This figure measures what
+//! that buys on the live prototype: queries per second as the number of
+//! concurrent client threads grows, with overlay entry (queries start at
+//! spread-out entry servers) and without (every query enters at the root,
+//! as it must in a plain hierarchy). A degraded series repeats the overlay
+//! run with `k` branch servers crashed to show throughput under churn, and
+//! a simulation-plane series runs the same workload through
+//! [`roads_core::QueryBatch`] to measure raw evaluation throughput with no
+//! network emulation.
+//!
+//! Expected shape: queries spend most of their life waiting on emulated
+//! link and retrieval delays, so throughput scales near-linearly with
+//! client threads until the admission gate or a hot server serializes
+//! them. Root-only entry funnels every query through one mailbox and
+//! flattens earlier.
+
+use roads_bench::chart::{render, Series};
+use roads_bench::parse_args;
+use roads_core::{QueryBatch, RoadsConfig, RoadsNetwork, SearchScope, ServerId};
+use roads_netsim::DelaySpace;
+use roads_records::{OwnerId, Query, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
+use roads_runtime::{RoadsCluster, RuntimeConfig};
+use roads_summary::SummaryConfig;
+use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder, Registry};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const RECORDS_PER_SERVER: usize = 10;
+
+fn build_net(n: usize) -> RoadsNetwork {
+    let schema = Schema::unit_numeric(1);
+    let cfg = RoadsConfig {
+        max_children: 3,
+        summary: SummaryConfig::with_buckets(128),
+        ..RoadsConfig::paper_default()
+    };
+    let records: Vec<Vec<Record>> = (0..n)
+        .map(|s| {
+            (0..RECORDS_PER_SERVER)
+                .map(|i| {
+                    let id = s * RECORDS_PER_SERVER + i;
+                    Record::new_unchecked(
+                        RecordId(id as u64),
+                        OwnerId(s as u32),
+                        vec![Value::Float(id as f64 / (n * RECORDS_PER_SERVER) as f64)],
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    RoadsNetwork::build(schema, cfg, records)
+}
+
+/// Crash victims with pairwise-disjoint subtrees (same policy as fig13).
+fn pick_victims(net: &RoadsNetwork, k: usize) -> Vec<ServerId> {
+    let tree = net.tree();
+    let mut candidates: Vec<ServerId> = (0..net.len() as u32)
+        .map(ServerId)
+        .filter(|&s| s != tree.root())
+        .collect();
+    candidates.sort_by_key(|&s| (tree.children(s).is_empty(), tree.subtree(s).len(), s.0));
+    let mut victims = Vec::new();
+    let mut covered: HashSet<ServerId> = HashSet::new();
+    for s in candidates {
+        if victims.len() == k {
+            break;
+        }
+        let sub = tree.subtree(s);
+        if sub.iter().any(|x| covered.contains(x)) {
+            continue;
+        }
+        covered.extend(sub);
+        victims.push(s);
+    }
+    victims
+}
+
+/// The query workload: sliding 0.25-length ranges, one entry per query.
+/// Entries stride over the federation when `spread` (overlay entry) or all
+/// point at the root otherwise.
+fn workload(
+    schema: &Schema,
+    n: usize,
+    count: usize,
+    root: ServerId,
+    spread: bool,
+) -> Vec<(Query, ServerId)> {
+    (0..count)
+        .map(|i| {
+            let lo = 0.75 * (i as f64 * 0.37).fract();
+            let q = QueryBuilder::new(schema, QueryId(i as u64))
+                .range("x0", lo, lo + 0.25)
+                .build();
+            let entry = if spread {
+                ServerId(((i * 7 + 3) % n) as u32)
+            } else {
+                root
+            };
+            (q, entry)
+        })
+        .collect()
+}
+
+/// Drive `queries` through the cluster from `threads` client threads
+/// pulling off a shared cursor; returns queries per second.
+fn measure_qps(c: &RoadsCluster, queries: &[(Query, ServerId)], threads: usize) -> f64 {
+    let cursor = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
+                }
+                let (q, entry) = &queries[i];
+                let out = c.query(q, *entry);
+                assert!(!out.records.is_empty(), "every range matches something");
+            });
+        }
+    });
+    queries.len() as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let (quick, _) = parse_args();
+    let n = if quick { 13 } else { 40 };
+    let q_count = if quick { 48 } else { 160 };
+    let kills = if quick { 2 } else { 4 };
+    let thread_counts: &[usize] = &[1, 2, 4, 8];
+    println!("==================================================================");
+    println!("Figure 14 — query throughput vs client threads ({n} servers)");
+    println!("queries/sec with overlay entry spread vs root-only entry,");
+    println!("plus {kills} crashed branch servers and the simulation plane");
+    println!("==================================================================");
+
+    let runtime_cfg = RuntimeConfig {
+        dispatch_timeout_ms: 400,
+        max_retries: 1,
+        backoff_base_ms: 10,
+        query_deadline_ms: 20_000,
+        delay_scale: 0.1,
+        per_record_retrieval_us: 150,
+        base_query_cost_us: 1_000,
+        max_inflight_queries: 64,
+        ..RuntimeConfig::paper_like()
+    };
+
+    let reg = Registry::new();
+    let rec = Arc::new(Recorder::new(65_536));
+    let mut healthy =
+        RoadsCluster::start_instrumented(build_net(n), DelaySpace::paper(n, 31), runtime_cfg, &reg);
+    healthy.set_recorder(Arc::clone(&rec));
+    let degraded = RoadsCluster::start(build_net(n), DelaySpace::paper(n, 31), runtime_cfg);
+    let victims = pick_victims(degraded.network(), kills);
+    assert_eq!(victims.len(), kills, "not enough disjoint branch victims");
+    for &v in &victims {
+        assert!(degraded.kill_server(v));
+    }
+
+    let schema = healthy.network().schema().clone();
+    let root = healthy.network().tree().root();
+    let spread_queries = workload(&schema, n, q_count, root, true);
+    let root_queries = workload(&schema, n, q_count, root, false);
+    // Degraded runs can lose crashed subtrees, so drop the non-empty
+    // assertion by filtering entries onto live servers only.
+    let dead: HashSet<ServerId> = victims
+        .iter()
+        .flat_map(|&v| degraded.network().tree().subtree(v))
+        .collect();
+    let degraded_queries: Vec<(Query, ServerId)> = spread_queries
+        .iter()
+        .map(|(q, e)| {
+            let e = if dead.contains(e) { root } else { *e };
+            (q.clone(), e)
+        })
+        .collect();
+
+    // Simulation plane: the spread workload tiled large enough that worker
+    // spawn cost is noise next to evaluation work.
+    let sim_net = Arc::new(build_net(n));
+    let sim_delays = Arc::new(DelaySpace::paper(n, 31));
+    let sim_queries: Vec<(Query, ServerId)> = (0..if quick { 50 } else { 100 })
+        .flat_map(|_| spread_queries.iter().cloned())
+        .collect();
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>16}",
+        "clients", "qps(overlay)", "qps(root)", "qps(degraded)", "batch sim kqps"
+    );
+    let mut s_overlay = Vec::new();
+    let mut s_root = Vec::new();
+    let mut s_degraded = Vec::new();
+    let mut s_sim = Vec::new();
+    for &t in thread_counts {
+        let qps_overlay = measure_qps(&healthy, &spread_queries, t);
+        let qps_root = measure_qps(&healthy, &root_queries, t);
+        let qps_degraded = {
+            let cursor = AtomicUsize::new(0);
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..t {
+                    s.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= degraded_queries.len() {
+                            break;
+                        }
+                        let (q, entry) = &degraded_queries[i];
+                        let _ = degraded.query(q, *entry);
+                    });
+                }
+            });
+            degraded_queries.len() as f64 / t0.elapsed().as_secs_f64()
+        };
+        let sim_kqps = {
+            let batch = QueryBatch::new(Arc::clone(&sim_net), Arc::clone(&sim_delays))
+                .threads(t)
+                .scope(SearchScope::full());
+            let t0 = Instant::now();
+            let out = batch.run(&sim_queries);
+            assert_eq!(out.len(), sim_queries.len());
+            sim_queries.len() as f64 / t0.elapsed().as_secs_f64() / 1_000.0
+        };
+        println!(
+            "{:>8} {:>14.1} {:>14.1} {:>14.1} {:>16.1}",
+            t, qps_overlay, qps_root, qps_degraded, sim_kqps
+        );
+        s_overlay.push((t as f64, qps_overlay));
+        s_root.push((t as f64, qps_root));
+        s_degraded.push((t as f64, qps_degraded));
+        s_sim.push((t as f64, sim_kqps));
+    }
+
+    let qps_1 = s_overlay.first().unwrap().1;
+    let qps_4 = s_overlay[2].1;
+    assert!(
+        qps_4 >= 1.5 * qps_1,
+        "4 client threads must beat 1 by well over 1.5x (got {qps_1:.1} -> {qps_4:.1})"
+    );
+    let snap = reg.snapshot();
+    assert_eq!(
+        snap.gauges["runtime.inflight_queries"], 0,
+        "all admission slots released"
+    );
+
+    println!();
+    print!(
+        "{}",
+        render(
+            &[
+                Series::new("qps overlay entry", s_overlay.clone()),
+                Series::new("qps root-only entry", s_root.clone()),
+                Series::new(format!("qps overlay, {kills} killed"), s_degraded.clone()),
+            ],
+            48,
+            12
+        )
+    );
+    println!("(x axis: concurrent client threads)");
+    healthy.shutdown();
+    degraded.shutdown();
+
+    let mut fig = FigureExport::new(
+        "fig14_throughput",
+        "Query throughput vs concurrent client threads, overlay entry vs root-only",
+    )
+    .axes("concurrent client threads", "queries / second");
+    fig.push_series("qps_overlay_entry", &s_overlay);
+    fig.push_series("qps_root_entry", &s_root);
+    fig.push_series("qps_overlay_degraded", &s_degraded);
+    fig.push_series("batch_sim_kqps", &s_sim);
+    // Sleep-dominated queries should scale ~linearly 1 -> 4 clients.
+    fig.push_reference("qps_scaling_1_to_4", qps_4 / qps_1, 4.0);
+    fig.push_note(format!(
+        "{n} servers x {RECORDS_PER_SERVER} records, {q_count} queries of 0.25-length ranges; \
+         max_inflight_queries {}, dispatch timeout {} ms, degraded series kills {kills} \
+         disjoint branch servers with failover on",
+        runtime_cfg.max_inflight_queries, runtime_cfg.dispatch_timeout_ms
+    ));
+    fig.push_note(format!(
+        "batch_sim_kqps is the simulation plane (QueryBatch workers, no network emulation), \
+         in thousands of queries per second; CPU-bound, so it only scales with host cores \
+         (this host: {}) while the latency-dominated live series scales with client threads \
+         regardless",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    ));
+    fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
+}

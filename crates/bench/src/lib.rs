@@ -56,6 +56,9 @@ pub struct TrialConfig {
     pub ts_ms: u64,
     /// Record refresh period tr (ms).
     pub tr_ms: u64,
+    /// Worker threads for the network build (1 = sequential). The build
+    /// is thread-count-invariant, so this only changes wall-clock time.
+    pub build_threads: usize,
 }
 
 impl Default for TrialConfig {
@@ -73,6 +76,7 @@ impl Default for TrialConfig {
             overlap_factor: None,
             ts_ms: 60_000,
             tr_ms: 6_000,
+            build_threads: 1,
         }
     }
 }
@@ -92,7 +96,7 @@ impl TrialConfig {
 }
 
 /// Aggregated results of one ROADS-vs-SWORD(-vs-central) comparison.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonResult {
     /// ROADS query latency over all queries and runs.
     pub roads_latency: LatencyStats,
@@ -201,7 +205,12 @@ pub fn run_comparison_recorded(
             tr_ms: cfg.tr_ms,
             ..RoadsConfig::paper_default()
         };
-        let roads = RoadsNetwork::build(schema.clone(), roads_cfg, records.clone());
+        let roads = RoadsNetwork::build_with(
+            schema.clone(),
+            roads_cfg,
+            records.clone(),
+            roads_core::BuildOptions::with_threads(cfg.build_threads),
+        );
         let sword = SwordNetwork::build(schema.clone(), records.clone());
         let central = CentralRepository::build(0, records.clone());
 
@@ -263,27 +272,29 @@ pub fn run_comparison_recorded(
 }
 
 /// Parse the common CLI flags shared by all figure binaries:
-/// `--quick` (alias `--smoke`), `--runs N`, `--seed S`.
+/// `--quick` (alias `--smoke`), `--runs N`, `--seed S`, `--threads T`.
 pub fn parse_args() -> (bool, Option<usize>) {
-    let (quick, runs, _) = parse_args_full();
+    let (quick, runs, _, _) = parse_args_full();
     (quick, runs)
 }
 
-/// [`parse_args`] plus the optional `--seed`.
-pub fn parse_args_full() -> (bool, Option<usize>, Option<u64>) {
+/// [`parse_args`] plus the optional `--seed` and `--threads`.
+pub fn parse_args_full() -> (bool, Option<usize>, Option<u64>, Option<usize>) {
     let mut quick = false;
     let mut runs = None;
     let mut seed = None;
+    let mut threads = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" | "--smoke" => quick = true,
             "--runs" => runs = Some(required_number(&mut args, "--runs")),
             "--seed" => seed = Some(required_number(&mut args, "--seed")),
+            "--threads" => threads = Some(required_number(&mut args, "--threads")),
             other => eprintln!("ignoring unknown argument {other:?}"),
         }
     }
-    (quick, runs, seed)
+    (quick, runs, seed, threads)
 }
 
 fn required_number<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
@@ -296,9 +307,10 @@ fn required_number<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>
     }
 }
 
-/// Base config for a figure binary honoring `--quick`, `--runs`, `--seed`.
+/// Base config for a figure binary honoring `--quick`, `--runs`, `--seed`,
+/// `--threads`.
 pub fn figure_config() -> TrialConfig {
-    let (quick, runs, seed) = parse_args_full();
+    let (quick, runs, seed, threads) = parse_args_full();
     let mut cfg = if quick {
         TrialConfig::quick()
     } else {
@@ -309,6 +321,9 @@ pub fn figure_config() -> TrialConfig {
     }
     if let Some(s) = seed {
         cfg.seed = s;
+    }
+    if let Some(t) = threads {
+        cfg.build_threads = t.max(1);
     }
     cfg
 }

@@ -12,6 +12,112 @@ use crate::overlay::{replication_set, ReplicationSet};
 use crate::tree::{HierarchyTree, ServerId};
 use roads_records::{Query, Record, Schema, WireSize};
 use roads_summary::Summary;
+use roads_telemetry::Registry;
+use std::time::Instant;
+
+/// Execution options for [`RoadsNetwork`] construction.
+///
+/// Every build stage — per-server local summaries, bottom-up branch
+/// aggregation, replica-set materialization — is embarrassingly parallel
+/// within itself: summaries of different servers are independent, servers
+/// at the same tree depth aggregate disjoint child sets, and replica sets
+/// only read the (immutable) hierarchy. `threads = 1` runs the stages
+/// sequentially and is the default; any higher count fans each stage out
+/// over a [`std::thread::scope`]. The result is **identical at every
+/// thread count**: work is partitioned by server index and merge order
+/// within a parent follows [`HierarchyTree::children`] order, independent
+/// of the partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildOptions {
+    /// Worker threads per build stage (clamped to ≥ 1).
+    pub threads: usize,
+}
+
+impl BuildOptions {
+    /// The sequential build (`threads = 1`).
+    pub fn sequential() -> Self {
+        BuildOptions { threads: 1 }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn parallel() -> Self {
+        BuildOptions {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// An explicit thread count (clamped to ≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        BuildOptions {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+/// Compute `f(i)` for every `i` in `0..n`, fanned out over `threads`
+/// scoped workers, results in index order. `threads <= 1` runs inline.
+/// Work is split into contiguous index chunks, so two invocations with
+/// different thread counts call `f` on exactly the same inputs.
+fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads.min(n));
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|s| {
+        for (ci, slots) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let base = ci * chunk;
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(base + j));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|t| t.expect("every chunk fills its slots"))
+        .collect()
+}
+
+/// Build-stage telemetry: per-stage wall-clock microseconds. Every stage
+/// duration also lands in the combined `build.parallel_stage_us` histogram
+/// so the flight recorder / registry snapshot can attribute build time
+/// without knowing the stage names.
+struct StageTimers<'a> {
+    reg: &'a Registry,
+}
+
+impl StageTimers<'_> {
+    fn time<T>(&self, stage: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        let us = t0.elapsed().as_micros() as f64;
+        self.reg.histogram("build.parallel_stage_us").record(us);
+        self.reg.histogram(stage).record(us);
+        out
+    }
+}
+
+fn maybe_time<T>(timers: &Option<StageTimers<'_>>, stage: &str, f: impl FnOnce() -> T) -> T {
+    match timers {
+        Some(t) => t.time(stage, f),
+        None => f(),
+    }
+}
 
 /// Result of evaluating a query at one server.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,10 +174,40 @@ impl RoadsNetwork {
         config: RoadsConfig,
         records_per_server: Vec<Vec<Record>>,
     ) -> Self {
+        Self::build_with(schema, config, records_per_server, BuildOptions::default())
+    }
+
+    /// [`RoadsNetwork::build`] with explicit [`BuildOptions`] (thread
+    /// count). The hierarchy join walk itself is inherently sequential
+    /// (each join depends on the balance state the previous one left);
+    /// every later stage fans out per `opts`.
+    pub fn build_with(
+        schema: Schema,
+        config: RoadsConfig,
+        records_per_server: Vec<Vec<Record>>,
+        opts: BuildOptions,
+    ) -> Self {
         let n = records_per_server.len();
         assert!(n > 0, "a federation needs at least one server");
         let tree = HierarchyTree::build(n, config.max_children);
-        Self::with_tree(schema, config, tree, records_per_server)
+        Self::with_tree_opts(schema, config, tree, records_per_server, opts)
+    }
+
+    /// [`RoadsNetwork::build_with`] recording per-stage wall-clock
+    /// durations into `reg` (`build.parallel_stage_us` plus one
+    /// `build.<stage>_us` histogram per stage, and the `build.threads`
+    /// gauge).
+    pub fn build_instrumented(
+        schema: Schema,
+        config: RoadsConfig,
+        records_per_server: Vec<Vec<Record>>,
+        opts: BuildOptions,
+        reg: &Registry,
+    ) -> Self {
+        let n = records_per_server.len();
+        assert!(n > 0, "a federation needs at least one server");
+        let tree = HierarchyTree::build(n, config.max_children);
+        Self::build_inner(schema, config, tree, records_per_server, opts, Some(reg))
     }
 
     /// Build a federation where resource owners choose *attachment points*
@@ -124,30 +260,94 @@ impl RoadsNetwork {
         tree: HierarchyTree,
         records_per_server: Vec<Vec<Record>>,
     ) -> Self {
+        Self::with_tree_opts(
+            schema,
+            config,
+            tree,
+            records_per_server,
+            BuildOptions::default(),
+        )
+    }
+
+    /// [`RoadsNetwork::with_tree`] with explicit [`BuildOptions`].
+    pub fn with_tree_opts(
+        schema: Schema,
+        config: RoadsConfig,
+        tree: HierarchyTree,
+        records_per_server: Vec<Vec<Record>>,
+        opts: BuildOptions,
+    ) -> Self {
+        Self::build_inner(schema, config, tree, records_per_server, opts, None)
+    }
+
+    fn build_inner(
+        schema: Schema,
+        config: RoadsConfig,
+        tree: HierarchyTree,
+        records_per_server: Vec<Vec<Record>>,
+        opts: BuildOptions,
+        reg: Option<&Registry>,
+    ) -> Self {
         let n = records_per_server.len();
         assert_eq!(tree.capacity(), n, "one record set per server");
-        let local_summary: Vec<Summary> = records_per_server
-            .iter()
-            .map(|rs| Summary::from_records(&schema, &config.summary, rs))
-            .collect();
+        let threads = opts.threads.max(1);
+        let timers = reg.map(|reg| {
+            reg.gauge("build.threads").set(threads as i64);
+            StageTimers { reg }
+        });
 
-        // Bottom-up aggregation: process servers deepest-first so children
-        // are final before their parents aggregate them.
-        let mut order: Vec<ServerId> = tree.servers();
-        order.sort_by_key(|&s| std::cmp::Reverse(tree.depth(s)));
-        let mut branch_summary = local_summary.clone();
-        for &s in &order {
-            if let Some(p) = tree.parent(s) {
-                let child = branch_summary[s.index()].clone();
-                branch_summary[p.index()]
-                    .merge(&child)
-                    .expect("uniform schema/config across the federation");
+        // Stage 1: every server's local summary is independent.
+        let local_summary: Vec<Summary> = maybe_time(&timers, "build.local_summary_us", || {
+            par_map(n, threads, |i| {
+                Summary::from_records(&schema, &config.summary, &records_per_server[i])
+            })
+        });
+
+        // Stage 2: bottom-up aggregation, synchronized level by level.
+        // Children of a depth-d server all sit at depth d+1, so once a
+        // level is final every parent one level up aggregates a disjoint,
+        // fully-computed child set — parents within a level are
+        // independent. Merge order within a parent is its `children()`
+        // order, so the result is identical at any thread count.
+        let branch_summary = maybe_time(&timers, "build.aggregate_us", || {
+            let mut by_depth: Vec<Vec<ServerId>> = Vec::new();
+            for s in tree.servers() {
+                let d = tree.depth(s);
+                if by_depth.len() <= d {
+                    by_depth.resize(d + 1, Vec::new());
+                }
+                by_depth[d].push(s);
             }
-        }
+            let mut branch_summary = local_summary.clone();
+            for level in by_depth.iter().rev() {
+                let parents: Vec<ServerId> = level
+                    .iter()
+                    .copied()
+                    .filter(|&s| !tree.children(s).is_empty())
+                    .collect();
+                if parents.is_empty() {
+                    continue;
+                }
+                let merged: Vec<Summary> = par_map(parents.len(), threads, |i| {
+                    let p = parents[i];
+                    let mut acc = branch_summary[p.index()].clone();
+                    for &c in tree.children(p) {
+                        acc.merge(&branch_summary[c.index()])
+                            .expect("uniform schema/config across the federation");
+                    }
+                    acc
+                });
+                for (&p, s) in parents.iter().zip(merged) {
+                    branch_summary[p.index()] = s;
+                }
+            }
+            branch_summary
+        });
 
-        let replicas = (0..n as u32)
-            .map(|s| replication_set(&tree, ServerId(s)))
-            .collect();
+        // Stage 3: replica sets only read the immutable hierarchy.
+        let replicas = maybe_time(&timers, "build.replica_us", || {
+            par_map(n, threads, |i| replication_set(&tree, ServerId(i as u32)))
+        });
 
         RoadsNetwork {
             schema,
@@ -488,6 +688,110 @@ mod tests {
             2,
             vec![(ServerId(5), Vec::new())],
         );
+    }
+
+    /// Everything a build computes, comparable across thread counts.
+    fn fingerprint(n: &RoadsNetwork) -> Vec<(Summary, Summary, ReplicationSet, usize)> {
+        n.tree()
+            .servers()
+            .iter()
+            .map(|&s| {
+                (
+                    n.local_summary(s).clone(),
+                    n.branch_summary(s).clone(),
+                    n.replica_set(s).clone(),
+                    n.storage_bytes(s),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_build_identical_to_sequential() {
+        let schema = Schema::unit_numeric(3);
+        let cfg = RoadsConfig {
+            max_children: 3,
+            summary: SummaryConfig::with_buckets(64),
+            ..RoadsConfig::paper_default()
+        };
+        let records: Vec<Vec<Record>> = (0..23)
+            .map(|s| {
+                (0..4)
+                    .map(|i| {
+                        unit_record(
+                            &schema,
+                            (s * 4 + i) as u64,
+                            s as u32,
+                            &[
+                                (s as f64) / 23.0,
+                                (i as f64) / 4.0,
+                                ((s + i) % 7) as f64 / 7.0,
+                            ],
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let seq = RoadsNetwork::build_with(
+            schema.clone(),
+            cfg,
+            records.clone(),
+            BuildOptions::sequential(),
+        );
+        for threads in [2, 4, 64] {
+            let par = RoadsNetwork::build_with(
+                schema.clone(),
+                cfg,
+                records.clone(),
+                BuildOptions::with_threads(threads),
+            );
+            assert_eq!(
+                fingerprint(&seq),
+                fingerprint(&par),
+                "threads={threads} diverged from sequential build"
+            );
+        }
+    }
+
+    #[test]
+    fn build_options_clamp_and_default() {
+        assert_eq!(BuildOptions::default(), BuildOptions::sequential());
+        assert_eq!(BuildOptions::with_threads(0).threads, 1);
+        assert!(BuildOptions::parallel().threads >= 1);
+    }
+
+    #[test]
+    fn instrumented_build_records_stage_histograms() {
+        use roads_telemetry::Registry;
+        let schema = Schema::unit_numeric(2);
+        let cfg = RoadsConfig {
+            max_children: 2,
+            summary: SummaryConfig::with_buckets(50),
+            ..RoadsConfig::paper_default()
+        };
+        let records: Vec<Vec<Record>> = (0..9)
+            .map(|s| vec![unit_record(&schema, s as u64, s as u32, &[0.1, 0.2])])
+            .collect();
+        let reg = Registry::new();
+        let net = RoadsNetwork::build_instrumented(
+            schema,
+            cfg,
+            records,
+            BuildOptions::with_threads(3),
+            &reg,
+        );
+        assert_eq!(net.len(), 9);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges["build.threads"], 3);
+        // Three stages, each also recorded in the combined histogram.
+        assert_eq!(snap.histograms["build.parallel_stage_us"].count, 3);
+        for stage in [
+            "build.local_summary_us",
+            "build.aggregate_us",
+            "build.replica_us",
+        ] {
+            assert_eq!(snap.histograms[stage].count, 1, "{stage}");
+        }
     }
 
     #[test]

@@ -16,12 +16,15 @@
 //!   [`roads_netsim::DelaySpace`]: redirection rounds, parallel branch
 //!   descent, latency and byte accounting exactly as the paper measures
 //!   them.
+//! * [`batch`] — a worker pool evaluating whole query batches over one
+//!   `Arc`-shared converged network (throughput experiments, fig. 14).
 //! * [`updates`] — per-round update-overhead accounting (summary export,
 //!   bottom-up aggregation, top-down replication).
 //! * [`maintenance`] — the live protocol over the discrete-event simulator:
 //!   heartbeats, failure detection, grandparent rejoin, root election.
 //! * [`metrics`] — latency statistics helpers.
 
+pub mod batch;
 pub mod config;
 pub mod engine;
 pub mod load;
@@ -34,8 +37,9 @@ pub mod queryexec;
 pub mod tree;
 pub mod updates;
 
+pub use batch::QueryBatch;
 pub use config::RoadsConfig;
-pub use engine::{EvalResult, RoadsNetwork};
+pub use engine::{BuildOptions, EvalResult, RoadsNetwork};
 pub use load::{choose_entry, EntryPolicy, LoadTracker};
 pub use metrics::{record_query_outcome, LatencyStats};
 pub use overlay::{replication_set, ReplicationSet};

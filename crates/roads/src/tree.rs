@@ -97,7 +97,7 @@ impl BalanceStats {
 /// let leaf = *tree.leaves().last().unwrap();
 /// assert_eq!(tree.root_path(leaf).len(), 4); // root ... leaf
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HierarchyTree {
     parent: Vec<Option<ServerId>>,
     children: Vec<Vec<ServerId>>,

@@ -1,0 +1,88 @@
+//! Property: the parallel build is observationally identical to the
+//! sequential one.
+//!
+//! [`BuildOptions::with_threads`] only changes how the work is scheduled —
+//! local summaries fan out over contiguous server chunks and branch
+//! summaries aggregate level-by-level with a fixed child merge order — so
+//! for every server the local summary, branch summary, replica set,
+//! summary wire sizes and storage accounting must come out bit-identical
+//! at any thread count, including thread counts far above the server
+//! count.
+
+use proptest::prelude::*;
+use roads_core::{BuildOptions, RoadsConfig, RoadsNetwork, ServerId};
+use roads_records::{OwnerId, Record, RecordId, Schema, Value, WireSize};
+use roads_summary::SummaryConfig;
+
+fn build_inputs(
+    n: usize,
+    k: usize,
+    attrs: usize,
+    points: &[f64],
+) -> (Schema, RoadsConfig, Vec<Vec<Record>>) {
+    let schema = Schema::unit_numeric(attrs);
+    let cfg = RoadsConfig {
+        max_children: k,
+        summary: SummaryConfig::with_buckets(64),
+        ..RoadsConfig::paper_default()
+    };
+    let records: Vec<Vec<Record>> = (0..n)
+        .map(|s| {
+            (0..3)
+                .map(|i| {
+                    let values = (0..attrs)
+                        .map(|a| Value::Float(points[(s * 3 + i + a * 7) % points.len()]))
+                        .collect();
+                    Record::new_unchecked(RecordId((s * 3 + i) as u64), OwnerId(s as u32), values)
+                })
+                .collect()
+        })
+        .collect();
+    (schema, cfg, records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_build_equals_sequential(
+        n in 1usize..60,
+        k in 2usize..7,
+        attrs in 1usize..4,
+        threads in 2usize..70,
+        points in prop::collection::vec(0.0f64..1.0, 4..40),
+    ) {
+        let (schema, cfg, records) = build_inputs(n, k, attrs, &points);
+        let seq = RoadsNetwork::build_with(
+            schema.clone(),
+            cfg,
+            records.clone(),
+            BuildOptions::sequential(),
+        );
+        let par = RoadsNetwork::build_with(schema, cfg, records, BuildOptions::with_threads(threads));
+        prop_assert_eq!(seq.tree(), par.tree());
+        for s in (0..n as u32).map(ServerId) {
+            prop_assert_eq!(
+                seq.local_summary(s), par.local_summary(s),
+                "local summary differs at {}", s
+            );
+            prop_assert_eq!(
+                seq.branch_summary(s), par.branch_summary(s),
+                "branch summary differs at {}", s
+            );
+            prop_assert_eq!(
+                seq.branch_summary(s).wire_size(), par.branch_summary(s).wire_size(),
+                "wire size differs at {}", s
+            );
+            prop_assert_eq!(
+                seq.replica_set(s), par.replica_set(s),
+                "replica set differs at {}", s
+            );
+            prop_assert_eq!(
+                seq.storage_bytes(s), par.storage_bytes(s),
+                "storage accounting differs at {}", s
+            );
+        }
+        prop_assert_eq!(seq.max_storage_bytes(), par.max_storage_bytes());
+    }
+}

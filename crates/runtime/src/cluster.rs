@@ -21,6 +21,19 @@
 //! anything may be missing. Threads can be torn down and respawned live
 //! via [`RoadsCluster::kill_server`] / [`RoadsCluster::restart_server`]
 //! for fault injection.
+//!
+//! # Concurrency
+//!
+//! [`RoadsCluster::query`] takes `&self` and any number of client threads
+//! may call it at once: each call owns a private [`Driver`] (its own
+//! attempt table, visit ledger, reply channel, and failure bookkeeping),
+//! so outcomes — `retries`, `failed_servers`, `servers_contacted`,
+//! recorder events — are attributed to exactly the query that caused
+//! them, never pooled across in-flight queries. The shared pieces (the
+//! dispatcher pool, server mailboxes) are multi-producer by construction.
+//! Admission is bounded by [`RuntimeConfig::max_inflight_queries`]; the
+//! `runtime.inflight_queries` gauge tracks the live count on instrumented
+//! clusters.
 
 use crate::config::RuntimeConfig;
 use crate::faults::{backoff_delay, mode_rank, DispatchHandle, Dispatcher, VisitLedger};
@@ -32,11 +45,11 @@ use roads_core::{RoadsNetwork, ServerId};
 use roads_netsim::DelaySpace;
 use roads_records::{Query, Record, WireSize};
 use roads_telemetry::{
-    span::timed, Event, EventKind, Histogram, Recorder, Registry, SpanId, TraceId,
+    span::timed, Event, EventKind, Gauge, Histogram, Recorder, Registry, SpanId, TraceId,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -52,6 +65,10 @@ struct PhaseTimers {
     local_search: Arc<Histogram>,
     channel_wait: Arc<Histogram>,
     result_merge: Arc<Histogram>,
+    /// `runtime.inflight_queries`: queries currently admitted past the
+    /// [`InflightGate`]. Updated on entry and exit of every query, so a
+    /// sampler (e.g. the timeline gauge sampler) sees the live load.
+    inflight: Arc<Gauge>,
 }
 
 impl PhaseTimers {
@@ -60,6 +77,72 @@ impl PhaseTimers {
             local_search: reg.histogram("runtime.local_search_us"),
             channel_wait: reg.histogram("runtime.channel_wait_us"),
             result_merge: reg.histogram("runtime.result_merge_us"),
+            inflight: reg.gauge("runtime.inflight_queries"),
+        }
+    }
+}
+
+/// Counting admission gate bounding concurrent queries over the shared
+/// dispatcher (`max = 0` ⇒ unbounded). Each query holds one slot for its
+/// whole lifetime; acquisition blocks — queries queue at the door instead
+/// of piling unbounded work onto every server mailbox.
+struct InflightGate {
+    max: usize,
+    count: StdMutex<usize>,
+    freed: Condvar,
+}
+
+impl InflightGate {
+    fn new(max: usize) -> Self {
+        InflightGate {
+            max,
+            count: StdMutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Block until a slot frees, take it, and return the in-flight count
+    /// including this query.
+    fn acquire(&self) -> usize {
+        let mut n = self.count.lock().expect("gate lock poisoned");
+        while self.max > 0 && *n >= self.max {
+            n = self.freed.wait(n).expect("gate lock poisoned");
+        }
+        *n += 1;
+        *n
+    }
+
+    /// Give the slot back; returns the remaining in-flight count.
+    fn release(&self) -> usize {
+        let mut n = self.count.lock().expect("gate lock poisoned");
+        *n -= 1;
+        self.freed.notify_one();
+        *n
+    }
+}
+
+/// RAII gate slot: keeps the `runtime.inflight_queries` gauge in step with
+/// admission, and releases on every exit path (including unwinds).
+struct InflightSlot<'a> {
+    gate: &'a InflightGate,
+    gauge: Option<&'a Gauge>,
+}
+
+impl<'a> InflightSlot<'a> {
+    fn enter(gate: &'a InflightGate, gauge: Option<&'a Gauge>) -> Self {
+        let n = gate.acquire();
+        if let Some(g) = gauge {
+            g.set(n as i64);
+        }
+        InflightSlot { gate, gauge }
+    }
+}
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        let n = self.gate.release();
+        if let Some(g) = self.gauge {
+            g.set(n as i64);
         }
     }
 }
@@ -229,6 +312,7 @@ pub struct RoadsCluster {
     cfg: RuntimeConfig,
     servers: Vec<Mutex<ServerSlot>>,
     dispatcher: Dispatcher,
+    gate: InflightGate,
     phases: Option<PhaseTimers>,
     recorder: Option<Arc<Recorder>>,
 }
@@ -304,6 +388,7 @@ impl RoadsCluster {
             cfg,
             servers,
             dispatcher,
+            gate: InflightGate::new(cfg.max_inflight_queries),
             phases,
             recorder: None,
         }
@@ -395,6 +480,12 @@ impl RoadsCluster {
         start: ServerId,
         requester: RequesterId,
     ) -> RuntimeOutcome {
+        // Admission first: the deadline below budgets execution, not time
+        // spent queued at the gate.
+        let _slot = InflightSlot::enter(
+            &self.gate,
+            self.phases.as_ref().map(|p| p.inflight.as_ref()),
+        );
         let t0 = Instant::now();
         let rec = self.recorder.as_deref();
         let (done_tx, done_rx) = unbounded::<Notice>();
@@ -811,10 +902,13 @@ impl Driver<'_> {
                 detail: (tries + 1) as u64,
             });
             // Retries bypass the visit ledger: same target, same mode.
+            // The new attempt nests under the timed-out one — inheriting
+            // the old attempt's *parent* would mint a second root span
+            // when the entry attempt itself (parent NONE) is retried.
             self.dispatch(
                 server,
                 mode,
-                parent,
+                span,
                 backoff_delay(cfg.backoff_base_ms, tries),
                 tries + 1,
             );
@@ -1198,6 +1292,88 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), 120);
         }
+    }
+
+    #[test]
+    fn inflight_gate_blocks_past_capacity() {
+        let gate = Arc::new(InflightGate::new(2));
+        assert_eq!(gate.acquire(), 1);
+        assert_eq!(gate.acquire(), 2);
+        let (tx, rx) = unbounded::<usize>();
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            thread::spawn(move || {
+                let n = gate.acquire();
+                tx.send(n).unwrap();
+            })
+        };
+        // The third acquire must be parked, not admitted.
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+        gate.release();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 2);
+        waiter.join().unwrap();
+        gate.release();
+        gate.release();
+        assert_eq!(gate.acquire(), 1, "all slots returned");
+    }
+
+    #[test]
+    fn unbounded_gate_never_blocks() {
+        let gate = InflightGate::new(0);
+        for i in 1..=64 {
+            assert_eq!(gate.acquire(), i);
+        }
+    }
+
+    #[test]
+    fn gated_cluster_serves_many_concurrent_clients() {
+        let n = 9;
+        let schema = Schema::unit_numeric(1);
+        let cfg = RoadsConfig {
+            max_children: 3,
+            summary: SummaryConfig::with_buckets(64),
+            ..RoadsConfig::paper_default()
+        };
+        let records: Vec<Vec<Record>> = (0..n)
+            .map(|s| {
+                vec![Record::new_unchecked(
+                    RecordId(s as u64),
+                    OwnerId(s as u32),
+                    vec![Value::Float(s as f64 / n as f64)],
+                )]
+            })
+            .collect();
+        let net = RoadsNetwork::build(schema, cfg, records);
+        let reg = Registry::new();
+        let c = Arc::new(RoadsCluster::start_instrumented(
+            net,
+            DelaySpace::paper(n, 5),
+            RuntimeConfig {
+                max_inflight_queries: 2,
+                ..RuntimeConfig::test_fast()
+            },
+            &reg,
+        ));
+        let q = QueryBuilder::new(c.network().schema(), QueryId(30))
+            .range("x0", 0.0, 1.0)
+            .build();
+        let handles: Vec<_> = (0..8u32)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                let q = q.clone();
+                thread::spawn(move || c.query(&q, ServerId(i % n as u32)))
+            })
+            .collect();
+        for h in handles {
+            let out = h.join().unwrap();
+            assert_eq!(out.records.len(), n);
+            assert!(out.complete);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.gauges["runtime.inflight_queries"], 0,
+            "every admitted query released its slot"
+        );
     }
 
     #[test]

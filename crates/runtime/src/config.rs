@@ -44,6 +44,12 @@ pub struct RuntimeConfig {
     /// (§III-C): re-dispatch the subtree query through a sibling replica.
     /// Disable to measure the availability the overlay buys (fig13).
     pub enable_failover: bool,
+    /// Maximum queries in flight at once across all client threads. The
+    /// shared dispatcher pool and per-server mailboxes are safe at any
+    /// concurrency, but unbounded admission lets a burst of clients queue
+    /// arbitrary work behind every mailbox; past this limit `query_as`
+    /// blocks until a slot frees. `0` disables admission control.
+    pub max_inflight_queries: usize,
 }
 
 impl RuntimeConfig {
@@ -60,6 +66,7 @@ impl RuntimeConfig {
             backoff_base_ms: 100,
             dispatcher_threads: 4,
             enable_failover: true,
+            max_inflight_queries: 64,
         }
     }
 
@@ -77,6 +84,7 @@ impl RuntimeConfig {
             backoff_base_ms: 10,
             dispatcher_threads: 2,
             enable_failover: true,
+            max_inflight_queries: 16,
         }
     }
 
@@ -139,6 +147,10 @@ mod tests {
             assert!(cfg.dispatch_timeout_ms < cfg.query_deadline_ms);
             assert!(cfg.dispatcher_threads >= 1);
             assert!(cfg.enable_failover);
+            assert!(
+                cfg.max_inflight_queries >= 1,
+                "admission control on by default"
+            );
         }
     }
 }

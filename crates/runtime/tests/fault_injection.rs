@@ -521,6 +521,117 @@ fn failed_standin_helper_is_not_renominated() {
     c.shutdown();
 }
 
+/// Per-query attribution under concurrent churn. Four client threads
+/// share one dispatcher pool, one admission gate (capacity 2) and one
+/// flight recorder across three waves — healthy, after killing a leaf,
+/// after restarting it — while a second, panicking leaf dies for good in
+/// wave one. Every outcome must blame only servers that were actually
+/// dead during its wave, and the recorder's per-trace bookkeeping must
+/// reconcile exactly with what the outcomes report: concurrency must not
+/// pool retries or events across in-flight queries.
+#[test]
+fn concurrent_queries_attribute_faults_during_churn() {
+    use roads_telemetry::{EventKind, Recorder};
+    let n = 13;
+    let clients = 4usize;
+    let cfg = RuntimeConfig {
+        max_inflight_queries: 2, // force queries to queue on the gate
+        ..RuntimeConfig::test_faulty()
+    };
+    let net = build_net(n, 3);
+    let (churned, panicker) = {
+        let tree = net.tree();
+        let mut leaves = (0..n as u32)
+            .map(ServerId)
+            .filter(|&s| tree.children(s).is_empty());
+        (leaves.next().unwrap(), leaves.next().unwrap())
+    };
+    let mut policies: Vec<Arc<dyn SharingPolicy>> = (0..n)
+        .map(|_| Arc::new(roads_core::policy::OpenPolicy) as Arc<_>)
+        .collect();
+    policies[panicker.index()] = Arc::new(PanicPolicy);
+    let mut c = RoadsCluster::start_with_policies(net, DelaySpace::paper(n, 77), cfg, policies);
+    let rec = Arc::new(Recorder::new(65_536));
+    c.set_recorder(Arc::clone(&rec));
+    let q = full_query(&c);
+
+    let mut outcomes: Vec<RuntimeOutcome> = Vec::new();
+    for wave in 0..3usize {
+        match wave {
+            1 => assert!(c.kill_server(churned)),
+            2 => assert!(c.restart_server(churned)),
+            _ => {}
+        }
+        let wave_outs: Vec<RuntimeOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|i| {
+                    let (c, q) = (&c, &q);
+                    // Entries spread over the hierarchy; in wave 1 one of
+                    // them is the dead server itself (entry failover).
+                    let entry = ServerId(((i * 5 + wave) % n) as u32);
+                    s.spawn(move || c.query(q, entry))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // The panicker dies on first contact, so from wave 0 on its
+        // records are gone; the churned leaf is only missing in wave 1.
+        let mut dead = vec![panicker];
+        if wave == 1 {
+            dead.push(churned);
+        }
+        dead.sort();
+        for out in &wave_outs {
+            assert_eq!(
+                out.failed_servers, dead,
+                "wave {wave}: blamed set must be exactly the dead servers"
+            );
+            assert!(!out.complete, "wave {wave}: lost records ⇒ incomplete");
+            assert_eq!(
+                unique_ids(out).len(),
+                (n - dead.len()) * RECORDS_PER_SERVER,
+                "wave {wave}: all surviving records, each exactly once"
+            );
+        }
+        outcomes.extend(wave_outs);
+    }
+
+    // Reconcile the recorder against the outcomes. One trace per query,
+    // each a valid span tree with exactly one start/complete pair, and the
+    // per-trace Retry counts must match the per-outcome retry counts as a
+    // multiset — pooled or cross-attributed events would break this even
+    // if the totals happened to agree.
+    let events = rec.events();
+    let traces = roads_telemetry::trace_ids(&events);
+    assert_eq!(traces.len(), outcomes.len(), "one trace per query");
+    let mut retry_by_trace: Vec<usize> = Vec::new();
+    for t in traces {
+        let tev = roads_telemetry::trace_events(&events, t);
+        roads_telemetry::span_tree_root(&tev, t).unwrap_or_else(|e| panic!("trace {}: {e}", t.0));
+        assert_eq!(
+            tev.iter()
+                .filter(|e| e.kind == EventKind::QueryStart)
+                .count(),
+            1
+        );
+        assert_eq!(
+            tev.iter()
+                .filter(|e| e.kind == EventKind::QueryComplete)
+                .count(),
+            1
+        );
+        retry_by_trace.push(tev.iter().filter(|e| e.kind == EventKind::Retry).count());
+    }
+    retry_by_trace.sort_unstable();
+    let mut retry_by_outcome: Vec<usize> = outcomes.iter().map(|o| o.retries).collect();
+    retry_by_outcome.sort_unstable();
+    assert_eq!(
+        retry_by_trace, retry_by_outcome,
+        "recorded retries must attribute to exactly the query that retried"
+    );
+    c.shutdown();
+}
+
 #[test]
 fn restart_server_restores_full_service() {
     let n = 9;

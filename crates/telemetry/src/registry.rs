@@ -188,6 +188,13 @@ impl Histogram {
     /// empty. Exact min/max are tracked separately and bound the result.
     pub fn percentile(&self, q: f64) -> Option<f64> {
         let g = self.inner.lock();
+        Self::percentile_of(&g, q)
+    }
+
+    /// [`Histogram::percentile`] over an already-locked view, so a caller
+    /// holding the guard can take several percentiles from one consistent
+    /// state.
+    fn percentile_of(g: &HistInner, q: f64) -> Option<f64> {
         if g.count == 0 {
             return None;
         }
@@ -209,25 +216,26 @@ impl Histogram {
 
     /// Freeze into a [`LatencyStats`]; `None` when empty. Mean/min/max are
     /// exact; percentiles carry the bucket quantization error.
+    ///
+    /// The whole summary comes from one lock acquisition, so it is a
+    /// consistent point-in-time view even while other threads record:
+    /// releasing the guard between the count/sum reads and the percentile
+    /// scans would let interleaved `record` calls tear the snapshot
+    /// (e.g. a p50 computed over more samples than `count` claims, or a
+    /// percentile exceeding `max`).
     pub fn summary(&self) -> Option<LatencyStats> {
-        // One lock scope: the guard must be released before the
-        // percentile() calls below re-lock, and holding it across the
-        // whole struct literal would self-deadlock.
-        let (count, sum, min, max) = {
-            let g = self.inner.lock();
-            if g.count == 0 {
-                return None;
-            }
-            (g.count, g.sum, g.min, g.max)
-        };
+        let g = self.inner.lock();
+        if g.count == 0 {
+            return None;
+        }
         Some(LatencyStats {
-            count: count as usize,
-            mean: sum / count as f64,
-            p50: self.percentile(0.50).expect("non-empty"),
-            p90: self.percentile(0.90).expect("non-empty"),
-            p99: self.percentile(0.99).expect("non-empty"),
-            min,
-            max,
+            count: g.count as usize,
+            mean: g.sum / g.count as f64,
+            p50: Self::percentile_of(&g, 0.50).expect("non-empty"),
+            p90: Self::percentile_of(&g, 0.90).expect("non-empty"),
+            p99: Self::percentile_of(&g, 0.99).expect("non-empty"),
+            min: g.min,
+            max: g.max,
         })
     }
 }
@@ -436,6 +444,42 @@ mod tests {
             j.join().unwrap();
         }
         assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn summary_is_consistent_under_concurrent_writers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let h = Arc::new(Histogram::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        // Writers push ever-growing values: a summary torn across lock
+        // acquisitions computes its percentiles against a later, larger
+        // population and can report p99 above its own max (or ordering
+        // inversions between quantiles).
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut v = 1.0 + t as f64;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.record(v);
+                        v *= 1.01;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..2_000 {
+            if let Some(s) = h.summary() {
+                assert!(s.min <= s.mean && s.mean <= s.max, "mean in range: {s:?}");
+                assert!(s.min <= s.p50, "p50 under min: {s:?}");
+                assert!(s.p50 <= s.p90 && s.p90 <= s.p99, "quantile order: {s:?}");
+                assert!(s.p99 <= s.max, "p99 above max: {s:?}");
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
     }
 
     #[test]

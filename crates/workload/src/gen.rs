@@ -61,6 +61,22 @@ pub fn default_schema(attrs: usize) -> Schema {
     Schema::unit_numeric(attrs)
 }
 
+/// Independent RNG stream `index` of `seed`.
+///
+/// Every node (and every query) draws from its own stream instead of one
+/// RNG threaded sequentially through the whole workload, so stream `i` is
+/// a pure function of `(seed, i)`: growing the node count, reordering
+/// generation, or generating nodes in parallel never perturbs the data of
+/// the nodes already there. The seed/index pair is mixed through a
+/// splitmix64 finalizer so neighbouring indices start in uncorrelated
+/// states rather than `seed`, `seed+1`, ….
+pub fn rng_stream(seed: u64, index: u64) -> StdRng {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
 /// Per-node distribution assignment under the default workload.
 ///
 /// The federated setting makes servers heterogeneous: each organization's
@@ -87,21 +103,20 @@ fn node_distributions(cfg: &RecordWorkloadConfig, rng: &mut StdRng) -> Vec<Distr
         .collect()
 }
 
-/// Generate the default workload: one record set per node.
+/// Generate the default workload: one record set per node, each node from
+/// its own [`rng_stream`].
 pub fn generate_node_records(cfg: &RecordWorkloadConfig) -> Vec<Vec<Record>> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut next_id = 0u64;
     (0..cfg.nodes)
         .map(|node| {
+            let mut rng = rng_stream(cfg.seed, node as u64);
             let dists = node_distributions(cfg, &mut rng);
             (0..cfg.records_per_node)
-                .map(|_| {
+                .map(|i| {
                     let values = dists
                         .iter()
                         .map(|d| Value::Float(d.sample(&mut rng)))
                         .collect();
-                    let id = RecordId(next_id);
-                    next_id += 1;
+                    let id = RecordId((node * cfg.records_per_node + i) as u64);
                     Record::new_unchecked(id, OwnerId(node as u32), values)
                 })
                 .collect()
@@ -117,12 +132,11 @@ pub fn generate_overlap_records(
     cfg: &RecordWorkloadConfig,
     overlap_factor: f64,
 ) -> Vec<Vec<Record>> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0F0F);
     let window = overlap_factor / cfg.nodes as f64;
     let confined = cfg.attrs.min(8);
-    let mut next_id = 0u64;
     (0..cfg.nodes)
         .map(|node| {
+            let mut rng = rng_stream(cfg.seed ^ 0x0F0F, node as u64);
             let default_dists = node_distributions(cfg, &mut rng);
             let dists: Vec<Distribution> = (0..cfg.attrs)
                 .map(|a| {
@@ -137,13 +151,12 @@ pub fn generate_overlap_records(
                 })
                 .collect();
             (0..cfg.records_per_node)
-                .map(|_| {
+                .map(|i| {
                     let values = dists
                         .iter()
                         .map(|d| Value::Float(d.sample(&mut rng)))
                         .collect();
-                    let id = RecordId(next_id);
-                    next_id += 1;
+                    let id = RecordId((node * cfg.records_per_node + i) as u64);
                     Record::new_unchecked(id, OwnerId(node as u32), values)
                 })
                 .collect()
@@ -214,11 +227,11 @@ fn pick_query_attrs(dims: usize, attrs: usize, rng: &mut StdRng) -> Vec<usize> {
 }
 
 /// Generate `(query, start_node)` pairs under the paper's default
-/// composition.
+/// composition, each query from its own [`rng_stream`].
 pub fn generate_queries(schema: &Schema, cfg: &QueryWorkloadConfig) -> Vec<(Query, usize)> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     (0..cfg.count)
         .map(|i| {
+            let mut rng = rng_stream(cfg.seed, i as u64);
             let attrs = pick_query_attrs(cfg.dims, schema.len(), &mut rng);
             let preds = attrs
                 .iter()
@@ -287,7 +300,6 @@ pub fn selectivity_query_groups(
     seed: u64,
 ) -> Vec<(f64, Vec<Query>)> {
     let all: Vec<&Record> = records.iter().flatten().collect();
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut next_qid = 0u64;
     targets_pct
         .iter()
@@ -295,6 +307,7 @@ pub fn selectivity_query_groups(
             let target = target_pct / 100.0;
             let queries = (0..per_group)
                 .map(|_| {
+                    let mut rng = rng_stream(seed, next_qid);
                     let center = all[rng.gen_range(0..all.len())];
                     let attrs = pick_query_attrs(dims, schema.len(), &mut rng);
                     let q =
@@ -412,6 +425,51 @@ mod tests {
         let a = generate_node_records(&cfg);
         let b = generate_node_records(&cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn node_streams_are_independent_of_node_count() {
+        // Stream-per-node means node k's records are a pure function of
+        // (seed, k): growing the federation must not rewrite the data of
+        // the nodes already in it.
+        let big = generate_node_records(&small_cfg());
+        let small = generate_node_records(&RecordWorkloadConfig {
+            nodes: 3,
+            ..small_cfg()
+        });
+        assert_eq!(&big[..3], &small[..]);
+        // (No such property for the overlap workload: its window length is
+        // overlap_factor / nodes, so the distributions themselves depend on
+        // the node count.)
+    }
+
+    #[test]
+    fn query_streams_are_independent_of_query_count() {
+        let schema = default_schema(16);
+        let cfg = QueryWorkloadConfig {
+            count: 40,
+            nodes: 8,
+            seed: 77,
+            ..Default::default()
+        };
+        let big = generate_queries(&schema, &cfg);
+        let small = generate_queries(&schema, &QueryWorkloadConfig { count: 15, ..cfg });
+        assert_eq!(&big[..15], &small[..]);
+    }
+
+    #[test]
+    fn rng_streams_diverge() {
+        // Adjacent indices (and adjacent seeds) must not produce
+        // correlated streams.
+        let mut a = rng_stream(42, 0);
+        let mut b = rng_stream(42, 1);
+        let mut c = rng_stream(43, 0);
+        let da: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let db: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        let dc: Vec<u64> = (0..8).map(|_| c.gen()).collect();
+        assert_ne!(da, db);
+        assert_ne!(da, dc);
+        assert_ne!(db, dc);
     }
 
     #[test]
