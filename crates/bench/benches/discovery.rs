@@ -3,16 +3,19 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use roads_core::{
-    execute_query, execute_query_recorded, update_round, HierarchyTree, RoadsConfig, RoadsNetwork,
-    SearchScope, ServerId,
+    execute_query, execute_query_recorded, record_query_outcome, update_round, HierarchyTree,
+    RoadsConfig, RoadsNetwork, SearchScope, ServerId,
 };
 use roads_netsim::DelaySpace;
 use roads_summary::SummaryConfig;
 use roads_sword::SwordNetwork;
+use roads_telemetry::{OpenMetricsSnapshot, Registry, Sampler};
 use roads_workload::{
     default_schema, generate_node_records, generate_queries, QueryWorkloadConfig,
     RecordWorkloadConfig,
 };
+use std::sync::Arc;
+use std::time::Duration;
 
 fn setup(
     nodes: usize,
@@ -127,6 +130,54 @@ fn bench_recorder_overhead(c: &mut Criterion) {
                 None,
             )
         })
+    });
+    // Counter/histogram recording with no background sampler vs with a
+    // live Sampler snapshotting the same registry every millisecond: the
+    // hot path only touches atomics and one histogram mutex, so the
+    // sampler thread must not show up in per-query cost.
+    let query_instrumented = |b: &mut criterion::Bencher, reg: &Registry| {
+        let mut i = 0;
+        b.iter(|| {
+            let (q, start) = &queries[i % queries.len()];
+            i += 1;
+            let r = execute_query(
+                &net,
+                &delays,
+                black_box(q),
+                ServerId(*start as u32),
+                SearchScope::full(),
+            );
+            record_query_outcome(reg, &r);
+            r
+        })
+    };
+    g.bench_function("sampler_off", |b| {
+        let reg = Registry::new();
+        query_instrumented(b, &reg);
+    });
+    g.bench_function("sampler_on", |b| {
+        let reg = Arc::new(Registry::new());
+        let sampler = Sampler::start(
+            Arc::clone(&reg),
+            &["roads.queries", "roads.query_latency_ms"],
+            Duration::from_millis(1),
+            4096,
+        );
+        query_instrumented(b, &reg);
+        sampler.stop();
+    });
+    // Rendering a populated registry to OpenMetrics text (the scrape
+    // cost a live health endpoint would pay per poll).
+    g.bench_function("exposition_render", |b| {
+        let reg = Registry::new();
+        for i in 0..64 {
+            reg.counter(&format!("bench.counter_{i}")).add(i);
+            for s in 0..100 {
+                reg.histogram(&format!("bench.hist_{}", i % 8))
+                    .record((i * 100 + s) as f64 * 0.01);
+            }
+        }
+        b.iter(|| OpenMetricsSnapshot::from_registry(black_box(&reg)).render())
     });
     g.finish();
 }

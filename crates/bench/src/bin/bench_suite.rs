@@ -1,0 +1,330 @@
+//! `bench_suite` — the fixed macrobench matrix behind `BENCH_ROADS.json`.
+//!
+//! Runs every macrobench the repository tracks for performance
+//! regressions and writes one [`BenchReport`] document (schema in
+//! [`roads_bench::suite`]):
+//!
+//! * `build_1t` / `build_4t` — wall time of the hierarchical network
+//!   build, sequential and with 4 worker threads.
+//! * `update_round` — wall time of one full summary-propagation round on
+//!   the built network.
+//! * `qps_overlay` / `qps_root` — live query-plane throughput with 4
+//!   client threads, entry servers spread via the replication overlay vs
+//!   all funneled through the root.
+//! * `failover_recovery` — response time of a full-coverage query issued
+//!   right after a branch server is killed: the time the overlay needs
+//!   to detect the death and route around it.
+//!
+//! ```text
+//! bench_suite [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the matrix for CI (seconds, not minutes); `--out`
+//! overrides the default `BENCH_ROADS.json` output path. Compare two
+//! reports with `roads-inspect bench-diff OLD NEW --fail-over <pct>`.
+
+use roads_bench::suite::{metrics_digest, BenchRecord, BenchReport};
+use roads_core::{BuildOptions, RoadsConfig, RoadsNetwork, ServerId};
+use roads_netsim::DelaySpace;
+use roads_records::{OwnerId, Query, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
+use roads_runtime::{RoadsCluster, RuntimeConfig};
+use roads_summary::SummaryConfig;
+use roads_telemetry::Registry;
+use roads_workload::{default_schema, generate_node_records, RecordWorkloadConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Matrix dimensions, scaled by `--smoke`.
+struct Matrix {
+    config: &'static str,
+    build_nodes: usize,
+    build_records: usize,
+    build_attrs: usize,
+    build_buckets: usize,
+    build_repeats: usize,
+    update_repeats: usize,
+    cluster_servers: usize,
+    cluster_queries: usize,
+    qps_repeats: usize,
+    failover_repeats: usize,
+}
+
+impl Matrix {
+    fn full() -> Matrix {
+        Matrix {
+            config: "full",
+            build_nodes: 160,
+            build_records: 200,
+            build_attrs: 16,
+            build_buckets: 500,
+            build_repeats: 3,
+            update_repeats: 5,
+            cluster_servers: 24,
+            cluster_queries: 96,
+            qps_repeats: 3,
+            failover_repeats: 5,
+        }
+    }
+
+    fn smoke() -> Matrix {
+        Matrix {
+            config: "smoke",
+            build_nodes: 48,
+            build_records: 40,
+            build_attrs: 8,
+            build_buckets: 128,
+            build_repeats: 2,
+            update_repeats: 3,
+            cluster_servers: 13,
+            cluster_queries: 32,
+            qps_repeats: 2,
+            failover_repeats: 3,
+        }
+    }
+}
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1000.0
+}
+
+/// The build-plane workload (figure-scale records across many nodes).
+fn build_workload(m: &Matrix) -> (Schema, RoadsConfig, Vec<Vec<Record>>) {
+    let schema = default_schema(m.build_attrs);
+    let cfg = RoadsConfig {
+        max_children: 8,
+        summary: SummaryConfig::with_buckets(m.build_buckets),
+        ..RoadsConfig::paper_default()
+    };
+    let records = generate_node_records(&RecordWorkloadConfig {
+        nodes: m.build_nodes,
+        records_per_node: m.build_records,
+        attrs: m.build_attrs,
+        seed: 42,
+    });
+    (schema, cfg, records)
+}
+
+/// The live-cluster workload: one numeric attribute, evenly spread
+/// records, so every 0.25-length range matches somewhere.
+fn cluster_net(n: usize) -> RoadsNetwork {
+    const RECORDS_PER_SERVER: usize = 10;
+    let schema = Schema::unit_numeric(1);
+    let cfg = RoadsConfig {
+        max_children: 3,
+        summary: SummaryConfig::with_buckets(128),
+        ..RoadsConfig::paper_default()
+    };
+    let records: Vec<Vec<Record>> = (0..n)
+        .map(|s| {
+            (0..RECORDS_PER_SERVER)
+                .map(|i| {
+                    let id = s * RECORDS_PER_SERVER + i;
+                    Record::new_unchecked(
+                        RecordId(id as u64),
+                        OwnerId(s as u32),
+                        vec![Value::Float(id as f64 / (n * RECORDS_PER_SERVER) as f64)],
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    RoadsNetwork::build(schema, cfg, records)
+}
+
+fn cluster_config() -> RuntimeConfig {
+    RuntimeConfig {
+        dispatch_timeout_ms: 400,
+        max_retries: 1,
+        backoff_base_ms: 10,
+        query_deadline_ms: 20_000,
+        delay_scale: 0.1,
+        per_record_retrieval_us: 150,
+        base_query_cost_us: 1_000,
+        max_inflight_queries: 64,
+        ..RuntimeConfig::paper_like()
+    }
+}
+
+/// Sliding 0.25-length ranges; entries stride the federation when
+/// `spread`, else all enter at the root.
+fn queries(
+    schema: &Schema,
+    n: usize,
+    count: usize,
+    root: ServerId,
+    spread: bool,
+) -> Vec<(Query, ServerId)> {
+    (0..count)
+        .map(|i| {
+            let lo = 0.75 * (i as f64 * 0.37).fract();
+            let q = QueryBuilder::new(schema, QueryId(i as u64))
+                .range("x0", lo, lo + 0.25)
+                .build();
+            let entry = if spread {
+                ServerId(((i * 7 + 3) % n) as u32)
+            } else {
+                root
+            };
+            (q, entry)
+        })
+        .collect()
+}
+
+fn measure_qps(c: &RoadsCluster, workload: &[(Query, ServerId)], threads: usize) -> f64 {
+    let cursor = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= workload.len() {
+                    break;
+                }
+                let (q, entry) = &workload[i];
+                let out = c.query(q, *entry);
+                assert!(!out.records.is_empty(), "every range matches something");
+            });
+        }
+    });
+    workload.len() as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// The first non-root server with children: killing it forces the
+/// overlay to detect the death and re-route its subtree.
+fn a_branch(net: &RoadsNetwork) -> ServerId {
+    let tree = net.tree();
+    (0..net.len() as u32)
+        .map(ServerId)
+        .find(|&s| s != tree.root() && !tree.children(s).is_empty())
+        .expect("hierarchy has an internal non-root server")
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = PathBuf::from("BENCH_ROADS.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" | "--quick" => smoke = true,
+            "--out" => match args.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("error: --out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    let m = if smoke {
+        Matrix::smoke()
+    } else {
+        Matrix::full()
+    };
+    println!("==================================================================");
+    println!("bench_suite — macrobench matrix ({})", m.config);
+    println!("==================================================================");
+
+    let mut benches = Vec::new();
+
+    // --- Build plane: sequential vs 4 worker threads. -------------------
+    let (schema, roads_cfg, records) = build_workload(&m);
+    for (bench, threads) in [("build_1t", 1usize), ("build_4t", 4)] {
+        let samples: Vec<f64> = (0..m.build_repeats)
+            .map(|_| {
+                time_ms(|| {
+                    let net = RoadsNetwork::build_with(
+                        schema.clone(),
+                        roads_cfg,
+                        records.clone(),
+                        BuildOptions::with_threads(threads),
+                    );
+                    assert_eq!(net.len(), m.build_nodes);
+                })
+            })
+            .collect();
+        let r = BenchRecord::from_samples(bench, "ms", &samples);
+        println!("{:<20} {:>10.1} ms (p99 {:.1})", r.name, r.value, r.p99);
+        benches.push(r);
+    }
+
+    // --- Update propagation: one full summary round. ---------------------
+    let net = RoadsNetwork::build_with(
+        schema.clone(),
+        roads_cfg,
+        records.clone(),
+        BuildOptions::with_threads(4),
+    );
+    let samples: Vec<f64> = (0..m.update_repeats)
+        .map(|_| {
+            time_ms(|| {
+                roads_core::update_round(&net);
+            })
+        })
+        .collect();
+    let r = BenchRecord::from_samples("update_round", "ms", &samples);
+    println!("{:<20} {:>10.1} ms (p99 {:.1})", r.name, r.value, r.p99);
+    benches.push(r);
+    drop(net);
+
+    // --- Live query plane: overlay-spread vs root-only entry. -----------
+    let n = m.cluster_servers;
+    let reg = Registry::new();
+    let cluster = RoadsCluster::start_instrumented(
+        cluster_net(n),
+        DelaySpace::paper(n, 31),
+        cluster_config(),
+        &reg,
+    );
+    let root = cluster.network().tree().root();
+    let cschema = cluster.network().schema().clone();
+    let spread = queries(&cschema, n, m.cluster_queries, root, true);
+    let rooted = queries(&cschema, n, m.cluster_queries, root, false);
+    for (bench, workload) in [("qps_overlay", &spread), ("qps_root", &rooted)] {
+        let samples: Vec<f64> = (0..m.qps_repeats)
+            .map(|_| measure_qps(&cluster, workload, 4))
+            .collect();
+        let r = BenchRecord::from_samples(bench, "qps", &samples);
+        println!("{:<20} {:>10.1} qps (p99 {:.1})", r.name, r.value, r.p99);
+        benches.push(r);
+    }
+
+    // --- Failover recovery: kill a branch, time the next query. ----------
+    let victim = a_branch(cluster.network());
+    let full = QueryBuilder::new(&cschema, QueryId(9_999))
+        .range("x0", 0.0, 1.0)
+        .build();
+    let samples: Vec<f64> = (0..m.failover_repeats)
+        .map(|_| {
+            assert!(cluster.kill_server(victim));
+            let out = cluster.query(&full, root);
+            assert!(
+                out.failed_servers.contains(&victim),
+                "post-kill query must see the dead server"
+            );
+            assert!(cluster.restart_server(victim));
+            // One healthy query so the restarted server rejoins cleanly
+            // before the next repeat.
+            let healed = cluster.query(&full, root);
+            assert!(healed.complete, "restart must restore full coverage");
+            out.response_ms
+        })
+        .collect();
+    let r = BenchRecord::from_samples("failover_recovery", "ms", &samples);
+    println!("{:<20} {:>10.1} ms (p99 {:.1})", r.name, r.value, r.p99);
+    benches.push(r);
+    cluster.shutdown();
+
+    let report = BenchReport::new(m.config, benches);
+    match report.write(&out) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+    println!("{}", metrics_digest(&reg.snapshot()));
+}

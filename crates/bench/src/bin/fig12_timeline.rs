@@ -16,7 +16,7 @@ use roads_core::{HierarchyTree, RoadsConfig, ServerId};
 use roads_netsim::{DelaySpace, NodeId, SimTime, Simulator};
 use roads_records::{OwnerId, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
 use roads_summary::SummaryConfig;
-use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder, Timeline};
+use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder, Registry, Timeline};
 use std::sync::Arc;
 
 fn records(n: usize) -> Vec<Vec<Record>> {
@@ -77,10 +77,12 @@ fn main() {
 
     // Phase 2: watch the soft state heal around the hole, then query.
     run_with_timeline(&mut sim, SimTime::from_millis(60_000), &mut timeline);
+    let reg = Registry::new();
     let query = QueryBuilder::new(&schema, QueryId(1))
         .range("x0", 0.0, 1.0)
         .build();
     issue_query(&mut sim, NodeId(0), query);
+    reg.counter("protocol.queries").inc();
     run_with_timeline(&mut sim, SimTime::from_millis(65_000), &mut timeline);
 
     for s in timeline.series() {
@@ -112,6 +114,7 @@ fn main() {
     fig.push_note(format!("{expiries} TTL expiry events in the trace"));
     fig.write_default();
     write_chrome_trace_default(&fig.figure, &rec);
+    println!("{}", roads_bench::suite::metrics_digest(&reg.snapshot()));
 }
 
 fn crash_subtree(

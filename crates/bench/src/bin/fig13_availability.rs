@@ -22,7 +22,7 @@ use roads_netsim::DelaySpace;
 use roads_records::{OwnerId, Query, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
 use roads_runtime::{RoadsCluster, RuntimeConfig, RuntimeOutcome};
 use roads_summary::SummaryConfig;
-use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder};
+use roads_telemetry::{write_chrome_trace_default, FigureExport, Recorder, Registry};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -147,7 +147,9 @@ fn main() {
     // One cluster per failover setting; victims are killed incrementally
     // as k grows (the victim list is shared, so runs stay comparable).
     let rec = Arc::new(Recorder::new(65_536));
-    let mut with_fo = RoadsCluster::start(build_net(n), DelaySpace::paper(n, 31), runtime_cfg);
+    let reg = Registry::new();
+    let mut with_fo =
+        RoadsCluster::start_instrumented(build_net(n), DelaySpace::paper(n, 31), runtime_cfg, &reg);
     with_fo.set_recorder(Arc::clone(&rec));
     let without_fo = RoadsCluster::start(
         build_net(n),
@@ -240,4 +242,6 @@ fn main() {
     fig.push_note("trace: DispatchTimeout/Retry/Failover events from the failover-on cluster");
     fig.write_default();
     write_chrome_trace_default(&fig.figure, &rec);
+    // Digest covers the instrumented (failover-on) cluster.
+    println!("{}", roads_bench::suite::metrics_digest(&reg.snapshot()));
 }

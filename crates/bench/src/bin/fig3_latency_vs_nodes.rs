@@ -79,4 +79,5 @@ fn main() {
     }
     fig.write_default();
     write_chrome_trace_default(&fig.figure, &rec);
+    println!("{}", roads_bench::suite::metrics_digest(&reg.snapshot()));
 }

@@ -124,4 +124,10 @@ fn main() {
     fig.push_note("balance-aware joins keep the tree no deeper than random attachment");
     fig.write_default();
     write_chrome_trace_default(&fig.figure, &rec);
+    // This binary drives no query plane; the digest records that
+    // explicitly rather than omitting the line.
+    println!(
+        "{}",
+        roads_bench::suite::metrics_digest(&roads_telemetry::Registry::new().snapshot())
+    );
 }

@@ -4,7 +4,11 @@
 //! ```text
 //! roads-inspect summary <base>          # run summary + slowest-query critical path
 //! roads-inspect diff <base-a> <base-b>  # series/reference regression report
-//! roads-inspect check <base>...         # CI gate: valid figure + non-empty trace
+//! roads-inspect check <base>...         # CI gate: valid figure/bench documents
+//! roads-inspect bench-diff OLD NEW [--fail-over <pct>]
+//!                                       # BENCH_*.json regression gate
+//! roads-inspect health <scrape.txt>     # cluster health table from an
+//!                                       # OpenMetrics scrape
 //! ```
 //!
 //! `<base>` is a result stem such as `results/fig3_latency_vs_nodes`; the
@@ -15,13 +19,25 @@
 //! `check` exits non-zero when a figure document is missing or malformed,
 //! or when its trace file is missing, malformed, or contains zero complete
 //! (`ph == "X"`) spans — the CI smoke test runs it after a `--quick`
-//! figure binary.
+//! figure binary. Documents carrying a `benches` key take the
+//! `BENCH_*.json` schema path instead ([`roads_bench::suite`]): unknown
+//! `schema_version`s, empty bench lists and non-finite statistics fail,
+//! and no trace file is expected.
+//!
+//! `bench-diff` compares two bench reports and exits non-zero when any
+//! bench moved more than the threshold (default 10%) in its unit's bad
+//! direction — lower for throughput units, higher for everything else.
+//!
+//! `health` renders the per-server liveness/queue/latency table from
+//! `runtime.server.*` series in a saved OpenMetrics scrape of an
+//! instrumented live cluster.
 //!
 //! [`FigureExport`]: roads_telemetry::FigureExport
 
+use roads_bench::suite;
 use roads_telemetry::{
-    critical_path, slowest_trace, span_tree_root, trace_ids, Event, EventKind, Json, SpanId,
-    TraceId,
+    critical_path, parse_openmetrics, slowest_trace, span_tree_root, trace_ids, Event, EventKind,
+    Json, SpanId, TraceId,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,10 +48,14 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "summary" && rest.len() == 1 => summary(&rest[0]),
         Some((cmd, rest)) if cmd == "diff" && rest.len() == 2 => diff(&rest[0], &rest[1]),
         Some((cmd, rest)) if cmd == "check" && !rest.is_empty() => check(rest),
+        Some((cmd, rest)) if cmd == "bench-diff" => bench_diff(rest),
+        Some((cmd, rest)) if cmd == "health" && rest.len() == 1 => health(&rest[0]),
         _ => {
             eprintln!("usage: roads-inspect summary <base>");
             eprintln!("       roads-inspect diff <base-a> <base-b>");
             eprintln!("       roads-inspect check <base>...");
+            eprintln!("       roads-inspect bench-diff <old.json> <new.json> [--fail-over <pct>]");
+            eprintln!("       roads-inspect health <scrape.txt>");
             eprintln!("  <base> is a result stem, e.g. results/fig3_latency_vs_nodes");
             ExitCode::from(2)
         }
@@ -271,6 +291,24 @@ fn check(bases: &[String]) -> ExitCode {
     for base in bases {
         let (fig_path, trace_path) = expand(base);
         match load_json(&fig_path) {
+            // Bench reports validate against the BENCH_*.json schema and
+            // carry no trace file.
+            Ok(doc) if suite::is_bench_doc(&doc) => {
+                match suite::check_bench_doc(&doc) {
+                    Ok(()) => {
+                        let n = doc
+                            .get("benches")
+                            .and_then(Json::as_arr)
+                            .map_or(0, |a| a.len());
+                        println!("OK   {base}: bench report, {n} benches");
+                    }
+                    Err(e) => {
+                        eprintln!("FAIL {}: {e}", fig_path.display());
+                        failed = true;
+                    }
+                }
+                continue;
+            }
             Ok(doc) if doc.get("figure").and_then(Json::as_str_val).is_some() => {}
             Ok(_) => {
                 eprintln!("FAIL {}: not a figure document", fig_path.display());
@@ -321,4 +359,182 @@ fn check(bases: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn bench_diff(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut fail_over_pct = 10.0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--fail-over" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(p) if p >= 0.0 => fail_over_pct = p,
+                _ => {
+                    eprintln!("error: --fail-over requires a non-negative percentage");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            paths.push(PathBuf::from(a));
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: roads-inspect bench-diff <old.json> <new.json> [--fail-over <pct>]");
+        return ExitCode::from(2);
+    };
+    let (old, new) = match (
+        suite::BenchReport::load(old_path),
+        suite::BenchReport::load(new_path),
+    ) {
+        (Ok(a), Ok(b)) => (a, b),
+        (a, b) => {
+            for r in [a, b] {
+                if let Err(e) = r {
+                    eprintln!("error: {e}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bench-diff {} (commit {}) -> {} (commit {}), fail over {:.0}%",
+        old_path.display(),
+        old.commit,
+        new_path.display(),
+        new.commit,
+        fail_over_pct
+    );
+    let d = suite::diff(&old, &new, fail_over_pct);
+    print!("{d}");
+    if d.regressions() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// p99 of a cumulative-bucket histogram scrape: the smallest `le` edge
+/// whose cumulative count reaches 99% of the total (buckets already end
+/// with `+Inf`, so a total is always reachable).
+fn bucket_p99(buckets: &[(f64, f64)]) -> Option<f64> {
+    let total = buckets.last().map(|&(_, c)| c)?;
+    if total == 0.0 {
+        return None;
+    }
+    buckets
+        .iter()
+        .find(|&&(_, c)| c >= 0.99 * total)
+        .map(|&(le, _)| le)
+}
+
+fn health(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scrape = match parse_openmetrics(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let counter = |family: &str| {
+        scrape
+            .family(family)
+            .and_then(|f| f.sample_with("_total", &[]))
+            .map_or(0.0, |s| s.value)
+    };
+    let Some(alive_fam) = scrape.family("runtime_server_alive") else {
+        eprintln!(
+            "error: {path}: no runtime_server_alive series — not an instrumented-cluster scrape"
+        );
+        return ExitCode::FAILURE;
+    };
+    let mut servers: Vec<u64> = alive_fam
+        .samples
+        .iter()
+        .filter_map(|s| s.label("server").and_then(|v| v.parse().ok()))
+        .collect();
+    servers.sort_unstable();
+
+    let inflight = scrape
+        .family("runtime_inflight_queries")
+        .and_then(|f| f.sample_with("", &[]))
+        .map_or(0.0, |s| s.value);
+    let alive = servers
+        .iter()
+        .filter(|id| {
+            alive_fam
+                .sample_with("", &[("server", &id.to_string())])
+                .is_some_and(|s| s.value != 0.0)
+        })
+        .count();
+    println!(
+        "cluster: {}/{} alive, {} inflight, {} queries ({} retries, {} deadline misses, {} failovers)",
+        alive,
+        servers.len(),
+        inflight,
+        counter("runtime_queries"),
+        counter("runtime_retries"),
+        counter("runtime_deadline_miss"),
+        counter("runtime_failovers"),
+    );
+    println!(
+        "{:>6} {:>6} {:>7} {:>8} {:>14}",
+        "server", "alive", "queue", "replies", "dispatch p99"
+    );
+    for id in &servers {
+        let lbl = id.to_string();
+        let gauge = |family: &str| {
+            scrape
+                .family(family)
+                .and_then(|f| f.sample_with("", &[("server", &lbl)]))
+                .map_or(0.0, |s| s.value)
+        };
+        let replies = scrape
+            .family("runtime_server_replies")
+            .and_then(|f| f.sample_with("_total", &[("server", &lbl)]))
+            .map_or(0.0, |s| s.value);
+        let buckets: Vec<(f64, f64)> = scrape
+            .family("runtime_server_dispatch_latency_ms")
+            .map(|f| {
+                f.samples
+                    .iter()
+                    .filter(|s| {
+                        s.name.ends_with("_bucket") && s.label("server") == Some(lbl.as_str())
+                    })
+                    .filter_map(|s| {
+                        let le = s.label("le")?;
+                        let edge = if le == "+Inf" {
+                            f64::INFINITY
+                        } else {
+                            le.parse().ok()?
+                        };
+                        Some((edge, s.value))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        println!(
+            "{:>6} {:>6} {:>7} {:>8} {:>14}",
+            id,
+            if gauge("runtime_server_alive") != 0.0 {
+                "up"
+            } else {
+                "DOWN"
+            },
+            gauge("runtime_server_queue_depth"),
+            replies,
+            match bucket_p99(&buckets) {
+                Some(p) if p.is_finite() => format!("<= {p:.1} ms"),
+                Some(_) => "> last edge".to_string(),
+                None => "-".to_string(),
+            },
+        );
+    }
+    ExitCode::SUCCESS
 }

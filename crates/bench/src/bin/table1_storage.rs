@@ -147,4 +147,10 @@ fn main() {
     fig.push_note("ROADS worst-server storage is summaries only; SWORD/Central hold records");
     fig.write_default();
     write_chrome_trace_default(&fig.figure, &rec);
+    // This binary drives no query plane; the digest records that
+    // explicitly rather than omitting the line.
+    println!(
+        "{}",
+        roads_bench::suite::metrics_digest(&roads_telemetry::Registry::new().snapshot())
+    );
 }

@@ -13,6 +13,7 @@
 //! sweep for smoke testing).
 
 pub mod chart;
+pub mod suite;
 
 use roads_central::CentralRepository;
 use roads_core::{

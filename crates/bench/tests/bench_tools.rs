@@ -1,0 +1,207 @@
+//! End-to-end tests of the regression harness binaries: `bench_suite
+//! --smoke` must produce a valid `BENCH_ROADS.json`, `roads-inspect
+//! check` must accept it, and `roads-inspect bench-diff` must exit
+//! non-zero exactly when a bench regresses beyond the threshold.
+
+use roads_bench::suite::BenchReport;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("roads-bench-tools-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn inspect(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_roads-inspect"))
+        .args(args)
+        .output()
+        .expect("roads-inspect runs");
+    (
+        out.status.success(),
+        format!(
+            "{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        ),
+    )
+}
+
+#[test]
+fn smoke_suite_produces_a_valid_checkable_report_and_diff_gates() {
+    let baseline = tmp("baseline.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_bench_suite"))
+        .args(["--smoke", "--out", baseline.to_str().unwrap()])
+        .status()
+        .expect("bench_suite runs");
+    assert!(status.success(), "bench_suite --smoke failed");
+
+    // The report parses, validates, and covers the whole matrix.
+    let report = BenchReport::load(&baseline).expect("valid report");
+    assert_eq!(report.config, "smoke");
+    let names: Vec<&str> = report.benches.iter().map(|b| b.name.as_str()).collect();
+    for expected in [
+        "build_1t",
+        "build_4t",
+        "update_round",
+        "qps_overlay",
+        "qps_root",
+        "failover_recovery",
+    ] {
+        assert!(names.contains(&expected), "matrix missing {expected}");
+    }
+    for b in &report.benches {
+        assert!(b.value > 0.0, "bench {} measured nothing", b.name);
+    }
+
+    // `check` accepts the bench document (no trace file required).
+    let (ok, out) = inspect(&["check", baseline.to_str().unwrap()]);
+    assert!(ok, "check rejected a fresh report:\n{out}");
+    assert!(out.contains("bench report"), "{out}");
+
+    // Same report against itself: no regressions, exit 0.
+    let (ok, out) = inspect(&[
+        "bench-diff",
+        baseline.to_str().unwrap(),
+        baseline.to_str().unwrap(),
+    ]);
+    assert!(ok, "self-diff must pass:\n{out}");
+    assert!(out.contains("no regressions"), "{out}");
+
+    // Fixture pair: collapse throughput and inflate build time; the diff
+    // must flag both and exit non-zero.
+    let mut regressed = report.clone();
+    for b in &mut regressed.benches {
+        match b.name.as_str() {
+            "qps_overlay" => b.value *= 0.5,
+            "build_1t" => b.value *= 2.0,
+            _ => {}
+        }
+    }
+    let bad = tmp("regressed.json");
+    regressed.write(&bad).unwrap();
+    let (ok, out) = inspect(&[
+        "bench-diff",
+        baseline.to_str().unwrap(),
+        bad.to_str().unwrap(),
+        "--fail-over",
+        "25",
+    ]);
+    assert!(!ok, "regressions must fail the gate:\n{out}");
+    assert_eq!(out.matches("<-- REGRESSION").count(), 2, "{out}");
+
+    // The same movements pass under a generous CI-style threshold.
+    let (ok, _) = inspect(&[
+        "bench-diff",
+        baseline.to_str().unwrap(),
+        bad.to_str().unwrap(),
+        "--fail-over",
+        "400",
+    ]);
+    assert!(ok, "5x threshold must forgive 2x noise");
+}
+
+#[test]
+fn check_rejects_malformed_bench_reports() {
+    let bad_version = tmp("bad_version.json");
+    std::fs::write(
+        &bad_version,
+        r#"{"schema_version":99,"commit":"x","config":"smoke","benches":[{"name":"b","unit":"ms","value":1,"p50":1,"p99":1,"samples":1}]}"#,
+    )
+    .unwrap();
+    let (ok, out) = inspect(&["check", bad_version.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(out.contains("unknown schema_version"), "{out}");
+
+    let empty = tmp("empty_benches.json");
+    std::fs::write(
+        &empty,
+        r#"{"schema_version":1,"commit":"x","config":"smoke","benches":[]}"#,
+    )
+    .unwrap();
+    let (ok, out) = inspect(&["check", empty.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(out.contains("empty bench list"), "{out}");
+
+    // NaN stats serialize as null and must not validate.
+    let nan = tmp("nan.json");
+    std::fs::write(
+        &nan,
+        r#"{"schema_version":1,"commit":"x","config":"smoke","benches":[{"name":"b","unit":"ms","value":null,"p50":1,"p99":1,"samples":1}]}"#,
+    )
+    .unwrap();
+    let (ok, out) = inspect(&["check", nan.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(out.contains("non-numeric value"), "{out}");
+}
+
+#[test]
+fn health_renders_a_table_from_a_live_scrape() {
+    use roads_core::{RoadsConfig, RoadsNetwork, ServerId};
+    use roads_netsim::DelaySpace;
+    use roads_records::{OwnerId, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
+    use roads_runtime::{RoadsCluster, RuntimeConfig};
+    use roads_summary::SummaryConfig;
+    use roads_telemetry::{OpenMetricsSnapshot, Registry};
+
+    let n = 6;
+    let records: Vec<Vec<Record>> = (0..n)
+        .map(|s| {
+            (0..5)
+                .map(|i| {
+                    let id = s * 5 + i;
+                    Record::new_unchecked(
+                        RecordId(id as u64),
+                        OwnerId(s as u32),
+                        vec![Value::Float(id as f64 / (n * 5) as f64)],
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let net = RoadsNetwork::build(
+        Schema::unit_numeric(1),
+        RoadsConfig {
+            max_children: 3,
+            summary: SummaryConfig::with_buckets(64),
+            ..RoadsConfig::paper_default()
+        },
+        records,
+    );
+    let reg = Registry::new();
+    let c = RoadsCluster::start_instrumented(
+        net,
+        DelaySpace::paper(n, 3),
+        RuntimeConfig::test_fast(),
+        &reg,
+    );
+    let q = QueryBuilder::new(c.network().schema(), QueryId(1))
+        .range("x0", 0.0, 1.0)
+        .build();
+    let root = c.network().tree().root();
+    c.query(&q, root);
+    c.kill_server(ServerId(if root.0 == 0 { 1 } else { 0 }));
+    let scrape_path = tmp("scrape.txt");
+    std::fs::write(
+        &scrape_path,
+        OpenMetricsSnapshot::from_registry(&reg).render(),
+    )
+    .unwrap();
+    c.shutdown();
+
+    let (ok, out) = inspect(&["health", scrape_path.to_str().unwrap()]);
+    assert!(ok, "health failed:\n{out}");
+    assert!(out.contains(&format!("{}/{n} alive", n - 1)), "{out}");
+    assert!(out.contains("DOWN"), "{out}");
+    assert!(out.contains("server"), "{out}");
+    assert!(out.contains("dispatch p99"), "{out}");
+    // The entry server replied at least once with a finite p99 bucket.
+    assert!(out.contains("<="), "no finite p99 column:\n{out}");
+
+    // Garbage input fails cleanly.
+    let garbage = tmp("garbage.txt");
+    std::fs::write(&garbage, "not a scrape\n").unwrap();
+    let (ok, _) = inspect(&["health", garbage.to_str().unwrap()]);
+    assert!(!ok);
+}

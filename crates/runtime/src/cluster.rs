@@ -37,6 +37,7 @@
 
 use crate::config::RuntimeConfig;
 use crate::faults::{backoff_delay, mode_rank, DispatchHandle, Dispatcher, VisitLedger};
+use crate::health::{ClusterHealth, RuntimeMetrics, ServerHealth};
 use crate::store::RecordStore;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -52,35 +53,6 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
-
-/// Pre-resolved phase histograms for an instrumented cluster. All three
-/// record wall-clock microseconds, aggregated across every server thread
-/// and every query:
-/// `runtime.local_search_us` (per-server record-store search),
-/// `runtime.channel_wait_us` (client blocked on reply channels), and
-/// `runtime.result_merge_us` (client folding replies and dispatching
-/// redirects).
-#[derive(Debug, Clone)]
-struct PhaseTimers {
-    local_search: Arc<Histogram>,
-    channel_wait: Arc<Histogram>,
-    result_merge: Arc<Histogram>,
-    /// `runtime.inflight_queries`: queries currently admitted past the
-    /// [`InflightGate`]. Updated on entry and exit of every query, so a
-    /// sampler (e.g. the timeline gauge sampler) sees the live load.
-    inflight: Arc<Gauge>,
-}
-
-impl PhaseTimers {
-    fn new(reg: &Registry) -> Self {
-        PhaseTimers {
-            local_search: reg.histogram("runtime.local_search_us"),
-            channel_wait: reg.histogram("runtime.channel_wait_us"),
-            result_merge: reg.histogram("runtime.result_merge_us"),
-            inflight: reg.gauge("runtime.inflight_queries"),
-        }
-    }
-}
 
 /// Counting admission gate bounding concurrent queries over the shared
 /// dispatcher (`max = 0` ⇒ unbounded). Each query holds one slot for its
@@ -235,6 +207,11 @@ pub(crate) enum DispatchJob {
         request: ServerRequest,
         done: Sender<Notice>,
         attempt: u64,
+        /// The target's `runtime.server.queue_depth` gauge, bumped on a
+        /// successful delivery (the server thread decrements on pickup).
+        /// The vendored channel has no `len()`, so depth is maintained
+        /// explicitly at the two endpoints.
+        queue: Option<Arc<Gauge>>,
     },
     /// Deliver a notice to the querying client.
     Notify {
@@ -253,9 +230,12 @@ impl DispatchJob {
                 request,
                 done,
                 attempt,
+                queue,
             } => {
                 if sender.send(request).is_err() {
                     let _ = done.send(Notice::Down { attempt });
+                } else if let Some(q) = queue {
+                    q.add(1);
                 }
             }
             DispatchJob::Notify { done, notice } => {
@@ -313,7 +293,7 @@ pub struct RoadsCluster {
     servers: Vec<Mutex<ServerSlot>>,
     dispatcher: Dispatcher,
     gate: InflightGate,
-    phases: Option<PhaseTimers>,
+    metrics: Option<RuntimeMetrics>,
     recorder: Option<Arc<Recorder>>,
 }
 
@@ -328,10 +308,14 @@ impl RoadsCluster {
         Self::start_with_policies(net, delays, cfg, policies)
     }
 
-    /// [`RoadsCluster::start`] with phase timing into `reg`: per-server
-    /// local store search, client channel wait, and result merge all land
-    /// in `runtime.*_us` histograms. The uninstrumented constructors skip
-    /// every timer (no telemetry cost when unused).
+    /// [`RoadsCluster::start`] with full health instrumentation into
+    /// `reg`: phase timing (`runtime.*_us` histograms), query/retry/
+    /// deadline-miss/SLO counters, per-mode dispatch-latency histograms,
+    /// per-server mailbox queue-depth and liveness gauges, and labeled
+    /// `runtime.fault_events` counters. Every family is declared at
+    /// startup, so an OpenMetrics scrape is complete from the first
+    /// moment. The uninstrumented constructors skip every instrument (no
+    /// telemetry cost when unused).
     pub fn start_instrumented(
         net: RoadsNetwork,
         delays: DelaySpace,
@@ -342,7 +326,13 @@ impl RoadsCluster {
         let policies: Vec<Arc<dyn SharingPolicy>> = (0..n)
             .map(|_| Arc::new(OpenPolicy) as Arc<dyn SharingPolicy>)
             .collect();
-        Self::start_inner(net, delays, cfg, policies, Some(PhaseTimers::new(reg)))
+        Self::start_inner(
+            net,
+            delays,
+            cfg,
+            policies,
+            Some(RuntimeMetrics::new(reg, n)),
+        )
     }
 
     /// Spawn one server thread per federation member, each enforcing its
@@ -362,7 +352,7 @@ impl RoadsCluster {
         delays: DelaySpace,
         cfg: RuntimeConfig,
         policies: Vec<Arc<dyn SharingPolicy>>,
-        phases: Option<PhaseTimers>,
+        metrics: Option<RuntimeMetrics>,
     ) -> Self {
         assert_eq!(net.len(), delays.len(), "delay space must cover servers");
         assert_eq!(net.len(), policies.len(), "one policy per server");
@@ -377,7 +367,10 @@ impl RoadsCluster {
                     &net,
                     cfg,
                     policy,
-                    phases.as_ref().map(|p| Arc::clone(&p.local_search)),
+                    metrics.as_ref().map(|m| Arc::clone(&m.local_search)),
+                    metrics
+                        .as_ref()
+                        .map(|m| Arc::clone(&m.servers[s].queue_depth)),
                 ))
             })
             .collect();
@@ -389,7 +382,7 @@ impl RoadsCluster {
             servers,
             dispatcher,
             gate: InflightGate::new(cfg.max_inflight_queries),
-            phases,
+            metrics,
             recorder: None,
         }
     }
@@ -431,6 +424,13 @@ impl RoadsCluster {
             handle
         };
         let _ = handle.join();
+        if let Some(m) = &self.metrics {
+            let si = &m.servers[id.index()];
+            si.alive.set(0);
+            // The dead mailbox drops everything still queued.
+            si.queue_depth.set(0);
+            m.kills.inc();
+        }
         true
     }
 
@@ -447,8 +447,17 @@ impl RoadsCluster {
             &self.net,
             self.cfg,
             Arc::clone(&slot.policy),
-            self.phases.as_ref().map(|p| Arc::clone(&p.local_search)),
+            self.metrics.as_ref().map(|m| Arc::clone(&m.local_search)),
+            self.metrics
+                .as_ref()
+                .map(|m| Arc::clone(&m.servers[id.index()].queue_depth)),
         );
+        if let Some(m) = &self.metrics {
+            let si = &m.servers[id.index()];
+            si.alive.set(1);
+            si.queue_depth.set(0);
+            m.restarts.inc();
+        }
         true
     }
 
@@ -458,6 +467,35 @@ impl RoadsCluster {
     pub fn is_alive(&self, id: ServerId) -> bool {
         let slot = self.servers[id.index()].lock();
         slot.handle.is_some() && slot.alive.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time [`ClusterHealth`] snapshot: per-server liveness,
+    /// mailbox queue depth, reply counts and dispatch p99s plus
+    /// cluster-wide query/retry/deadline/failover totals. `None` on an
+    /// uninstrumented cluster (start with
+    /// [`RoadsCluster::start_instrumented`]).
+    pub fn health(&self) -> Option<ClusterHealth> {
+        let m = self.metrics.as_ref()?;
+        let servers = (0..self.net.len())
+            .map(|s| {
+                let si = &m.servers[s];
+                ServerHealth {
+                    server: ServerId(s as u32),
+                    alive: self.is_alive(ServerId(s as u32)),
+                    queue_depth: si.queue_depth.get(),
+                    replies: si.replies.get(),
+                    dispatch_p99_ms: si.dispatch_ms.percentile(0.99),
+                }
+            })
+            .collect();
+        Some(ClusterHealth {
+            servers,
+            inflight_queries: m.inflight.get(),
+            queries: m.queries.get(),
+            retries: m.retries.get(),
+            deadline_misses: m.deadline_miss.get(),
+            failovers: m.failovers.get(),
+        })
     }
 
     /// Execute one query from a client co-located with `start`, driving the
@@ -484,7 +522,7 @@ impl RoadsCluster {
         // spent queued at the gate.
         let _slot = InflightSlot::enter(
             &self.gate,
-            self.phases.as_ref().map(|p| p.inflight.as_ref()),
+            self.metrics.as_ref().map(|m| m.inflight.as_ref()),
         );
         let t0 = Instant::now();
         let rec = self.recorder.as_deref();
@@ -553,6 +591,7 @@ fn spawn_server(
     cfg: RuntimeConfig,
     policy: Arc<dyn SharingPolicy>,
     search_hist: Option<Arc<Histogram>>,
+    queue: Option<Arc<Gauge>>,
 ) -> ServerSlot {
     let (tx, rx) = unbounded::<ServerRequest>();
     let alive = Arc::new(AtomicBool::new(true));
@@ -563,7 +602,7 @@ fn spawn_server(
         let policy = Arc::clone(&policy);
         thread::Builder::new()
             .name(format!("roads-server-{}", id.0))
-            .spawn(move || server_loop(id, store, net, cfg, policy, rx, alive, search_hist))
+            .spawn(move || server_loop(id, store, net, cfg, policy, rx, alive, search_hist, queue))
             .expect("spawn server thread")
     };
     ServerSlot {
@@ -683,15 +722,15 @@ impl Driver<'_> {
                     targets,
                     records,
                 }) => {
-                    if let Some(p) = &self.cluster.phases {
-                        p.channel_wait
+                    if let Some(m) = &self.cluster.metrics {
+                        m.channel_wait
                             .record(wait_start.elapsed().as_micros() as f64);
                     }
                     // RAII: the merge span covers folding this reply's
                     // records and dispatching its redirect targets.
                     let _merge_span =
-                        self.cluster.phases.as_ref().map(|p| {
-                            roads_telemetry::SpanTimer::start(Arc::clone(&p.result_merge))
+                        self.cluster.metrics.as_ref().map(|m| {
+                            roads_telemetry::SpanTimer::start(Arc::clone(&m.result_merge))
                         });
                     self.on_reply(attempt, server, targets, records);
                 }
@@ -740,8 +779,23 @@ impl Driver<'_> {
         });
 
         let complete = self.completeness();
+        let response_ms = self.t0.elapsed().as_secs_f64() * 1000.0;
+        if let Some(m) = &self.cluster.metrics {
+            m.queries.inc();
+            m.response_ms.record(response_ms);
+            if !complete {
+                m.incomplete.inc();
+            }
+            if self.deadline_hit {
+                m.deadline_miss.inc();
+            }
+            let slo = cfg.slo_response_ms;
+            if slo > 0 && response_ms > slo as f64 {
+                m.slo_violation.inc();
+            }
+        }
         RuntimeOutcome {
-            response_ms: self.t0.elapsed().as_secs_f64() * 1000.0,
+            response_ms,
             records: self.records,
             servers_contacted: self.responders.len(),
             complete,
@@ -804,6 +858,11 @@ impl Driver<'_> {
                 },
                 done: self.done_tx.clone(),
                 attempt: id,
+                queue: self
+                    .cluster
+                    .metrics
+                    .as_ref()
+                    .map(|m| Arc::clone(&m.servers[target.index()].queue_depth)),
             },
         );
         id
@@ -824,6 +883,16 @@ impl Driver<'_> {
         if a.open {
             a.open = false;
             self.open -= 1;
+        }
+        if let Some(m) = &self.cluster.metrics {
+            // Dispatch → reply wall time, attributed to the replier and
+            // the contact mode it was serving.
+            let latency_ms =
+                (self.t0.elapsed().as_micros() as u64).saturating_sub(at_us) as f64 / 1_000.0;
+            m.dispatch_hist(mode).record(latency_ms);
+            let si = &m.servers[server.index()];
+            si.dispatch_ms.record(latency_ms);
+            si.replies.inc();
         }
         // A late reply (after timeout, racing a retry) still lands here and
         // is merged below, guarded by `resolved`.
@@ -879,6 +948,9 @@ impl Driver<'_> {
         let (server, mode, tries, span, at_us, parent) =
             (a.server, a.mode, a.tries, a.span, a.at_us, a.parent);
         let now_us = self.t0.elapsed().as_micros() as u64;
+        if let Some(m) = &self.cluster.metrics {
+            m.dispatch_timeout.inc();
+        }
         self.emit(Event {
             at_us,
             dur_us: now_us.saturating_sub(at_us).max(1),
@@ -891,6 +963,9 @@ impl Driver<'_> {
         });
         if !mailbox_closed && tries < cfg.max_retries {
             self.retries += 1;
+            if let Some(m) = &self.cluster.metrics {
+                m.retries.inc();
+            }
             self.emit(Event {
                 at_us: now_us,
                 dur_us: 0,
@@ -992,6 +1067,9 @@ impl Driver<'_> {
             }
             self.failover_pos.insert(dead, pos);
             let id = self.dispatch(helper, mode, parent_span, Duration::ZERO, 0);
+            if let Some(m) = &self.cluster.metrics {
+                m.failovers.inc();
+            }
             let span = self.attempts[&id].span;
             self.emit(Event {
                 at_us: self.t0.elapsed().as_micros() as u64,
@@ -1023,6 +1101,9 @@ impl Driver<'_> {
                 continue;
             }
             let id = self.dispatch(helper, ContactMode::Entry, parent_span, Duration::ZERO, 0);
+            if let Some(m) = &self.cluster.metrics {
+                m.failovers.inc();
+            }
             let span = self.attempts[&id].span;
             self.emit(Event {
                 at_us: self.t0.elapsed().as_micros() as u64,
@@ -1052,6 +1133,9 @@ impl Driver<'_> {
         let (server, mode, tries, span, at_us, parent) =
             (a.server, a.mode, a.tries, a.span, a.at_us, a.parent);
         let now_us = self.t0.elapsed().as_micros() as u64;
+        if let Some(m) = &self.cluster.metrics {
+            m.dispatch_timeout.inc();
+        }
         self.emit(Event {
             at_us,
             dur_us: now_us.saturating_sub(at_us).max(1),
@@ -1119,6 +1203,7 @@ fn server_loop(
     rx: Receiver<ServerRequest>,
     alive: Arc<AtomicBool>,
     search_hist: Option<Arc<Histogram>>,
+    queue: Option<Arc<Gauge>>,
 ) {
     while let Ok(req) = rx.recv() {
         if !alive.load(Ordering::Relaxed) {
@@ -1132,6 +1217,12 @@ fn server_loop(
                 requester,
                 reply,
             } => {
+                // Picked up: it no longer sits in the mailbox. (Kill and
+                // restart reset the gauge, covering requests dropped with
+                // a dead mailbox.)
+                if let Some(q) = &queue {
+                    q.add(-1);
+                }
                 let (targets, do_local) = match mode {
                     ContactMode::LocalOnly => (Vec::new(), true),
                     ContactMode::Entry => {

@@ -50,6 +50,12 @@ pub struct RuntimeConfig {
     /// arbitrary work behind every mailbox; past this limit `query_as`
     /// blocks until a slot frees. `0` disables admission control.
     pub max_inflight_queries: usize,
+    /// Response-time SLO in milliseconds: on an instrumented cluster,
+    /// queries slower than this bump the `runtime.slo_violations` burn
+    /// counter (the query itself is unaffected — unlike the deadline,
+    /// an SLO miss changes nothing about execution). `0` disables the
+    /// counter.
+    pub slo_response_ms: u64,
 }
 
 impl RuntimeConfig {
@@ -67,6 +73,7 @@ impl RuntimeConfig {
             dispatcher_threads: 4,
             enable_failover: true,
             max_inflight_queries: 64,
+            slo_response_ms: 10_000,
         }
     }
 
@@ -85,6 +92,7 @@ impl RuntimeConfig {
             dispatcher_threads: 2,
             enable_failover: true,
             max_inflight_queries: 16,
+            slo_response_ms: 5_000,
         }
     }
 
@@ -150,6 +158,11 @@ mod tests {
             assert!(
                 cfg.max_inflight_queries >= 1,
                 "admission control on by default"
+            );
+            assert!(cfg.slo_response_ms > 0, "SLO burn counter on by default");
+            assert!(
+                cfg.slo_response_ms <= cfg.query_deadline_ms,
+                "an SLO beyond the deadline could never fire"
             );
         }
     }

@@ -1,0 +1,306 @@
+//! Live cluster health: instrument bundle and snapshot API.
+//!
+//! An instrumented [`crate::RoadsCluster`] pre-resolves every instrument
+//! here at startup ([`RuntimeMetrics::new`]), so all metric families are
+//! present in a scrape from the first moment (counters at 0) and the hot
+//! query path never touches the registry's name map — only the `Arc`'d
+//! instruments themselves.
+//!
+//! Naming follows the exposition label convention
+//! ([`roads_telemetry::labeled`]): per-server series are
+//! `runtime.server.<what>{server="N"}`, per-mode dispatch latency is
+//! `runtime.dispatch_latency_ms{mode="entry"|...}`, and fault events are
+//! one counter family `runtime.fault_events{kind="kill"|"restart"}` so a
+//! kill/restart/failover storm shows up as labeled series on one chart.
+//!
+//! [`ClusterHealth`] is the pull API: a consistent-enough point-in-time
+//! table of per-server liveness, mailbox queue depth, reply count and
+//! dispatch p99 that `roads-inspect health` renders from a scrape and
+//! tests assert on directly.
+
+use crate::cluster::ContactMode;
+use roads_core::ServerId;
+use roads_telemetry::{labeled, Counter, Gauge, Histogram, Registry};
+use std::fmt;
+use std::sync::Arc;
+
+/// The exposition label for a contact mode.
+pub(crate) fn mode_label(mode: ContactMode) -> &'static str {
+    match mode {
+        ContactMode::Entry => "entry",
+        ContactMode::Branch => "branch",
+        ContactMode::LocalOnly => "local_only",
+        ContactMode::Failover { .. } => "failover",
+    }
+}
+
+/// Per-server instruments, labeled `{server="N"}`.
+#[derive(Debug, Clone)]
+pub(crate) struct ServerInstruments {
+    /// `runtime.server.alive`: 1 while the server thread runs, 0 after a
+    /// kill (until restart).
+    pub alive: Arc<Gauge>,
+    /// `runtime.server.queue_depth`: queries sitting in the server's
+    /// mailbox, maintained explicitly — incremented when the dispatcher
+    /// delivers a request, decremented when the server thread picks it
+    /// up, reset on kill/restart (a dead mailbox drops its queue).
+    pub queue_depth: Arc<Gauge>,
+    /// `runtime.server.dispatch_latency_ms`: dispatch → reply wall time
+    /// for sub-queries answered by this server.
+    pub dispatch_ms: Arc<Histogram>,
+    /// `runtime.server.replies`: replies received from this server.
+    pub replies: Arc<Counter>,
+}
+
+/// Every instrument an instrumented cluster records into, pre-resolved.
+#[derive(Debug, Clone)]
+pub(crate) struct RuntimeMetrics {
+    // Phase timers (wall-clock µs, aggregated across servers/queries).
+    pub local_search: Arc<Histogram>,
+    pub channel_wait: Arc<Histogram>,
+    pub result_merge: Arc<Histogram>,
+    /// `runtime.inflight_queries`: queries admitted past the gate.
+    pub inflight: Arc<Gauge>,
+    /// `runtime.queries`: queries completed (any outcome).
+    pub queries: Arc<Counter>,
+    /// `runtime.incomplete_queries`: completed with `complete = false`.
+    pub incomplete: Arc<Counter>,
+    /// `runtime.deadline_miss`: queries cut short by the query deadline.
+    pub deadline_miss: Arc<Counter>,
+    /// `runtime.dispatch_timeouts`: per-dispatch timeouts (incl. closed
+    /// mailboxes and deadline closures).
+    pub dispatch_timeout: Arc<Counter>,
+    /// `runtime.retries`: re-dispatches after a timeout.
+    pub retries: Arc<Counter>,
+    /// `runtime.failovers`: overlay stand-ins nominated for dead servers.
+    pub failovers: Arc<Counter>,
+    /// `runtime.slo_violations`: queries slower than
+    /// [`crate::RuntimeConfig::slo_response_ms`] (SLO burn counter).
+    pub slo_violation: Arc<Counter>,
+    /// `runtime.query_response_ms`: end-to-end query response time.
+    pub response_ms: Arc<Histogram>,
+    /// `runtime.dispatch_latency_ms{mode=...}`, indexed entry, branch,
+    /// local_only, failover.
+    pub dispatch_by_mode: [Arc<Histogram>; 4],
+    /// `runtime.fault_events{kind="kill"}`.
+    pub kills: Arc<Counter>,
+    /// `runtime.fault_events{kind="restart"}`.
+    pub restarts: Arc<Counter>,
+    /// Per-server instruments, indexed by `ServerId::index`.
+    pub servers: Vec<ServerInstruments>,
+}
+
+impl RuntimeMetrics {
+    /// Resolve (and thereby declare) every instrument for an `n`-server
+    /// cluster in `reg`.
+    pub fn new(reg: &Registry, n: usize) -> Self {
+        let mode_hist = |m: ContactMode| {
+            reg.histogram(&labeled(
+                "runtime.dispatch_latency_ms",
+                &[("mode", mode_label(m))],
+            ))
+        };
+        let servers = (0..n)
+            .map(|s| {
+                let id = s.to_string();
+                let lbl = [("server", id.as_str())];
+                let si = ServerInstruments {
+                    alive: reg.gauge(&labeled("runtime.server.alive", &lbl)),
+                    queue_depth: reg.gauge(&labeled("runtime.server.queue_depth", &lbl)),
+                    dispatch_ms: reg
+                        .histogram(&labeled("runtime.server.dispatch_latency_ms", &lbl)),
+                    replies: reg.counter(&labeled("runtime.server.replies", &lbl)),
+                };
+                si.alive.set(1);
+                si
+            })
+            .collect();
+        RuntimeMetrics {
+            local_search: reg.histogram("runtime.local_search_us"),
+            channel_wait: reg.histogram("runtime.channel_wait_us"),
+            result_merge: reg.histogram("runtime.result_merge_us"),
+            inflight: reg.gauge("runtime.inflight_queries"),
+            queries: reg.counter("runtime.queries"),
+            incomplete: reg.counter("runtime.incomplete_queries"),
+            deadline_miss: reg.counter("runtime.deadline_miss"),
+            dispatch_timeout: reg.counter("runtime.dispatch_timeouts"),
+            retries: reg.counter("runtime.retries"),
+            failovers: reg.counter("runtime.failovers"),
+            slo_violation: reg.counter("runtime.slo_violations"),
+            response_ms: reg.histogram("runtime.query_response_ms"),
+            dispatch_by_mode: [
+                mode_hist(ContactMode::Entry),
+                mode_hist(ContactMode::Branch),
+                mode_hist(ContactMode::LocalOnly),
+                mode_hist(ContactMode::Failover {
+                    dead: ServerId(u32::MAX), // label only; dead id unused
+                }),
+            ],
+            kills: reg.counter(&labeled("runtime.fault_events", &[("kind", "kill")])),
+            restarts: reg.counter(&labeled("runtime.fault_events", &[("kind", "restart")])),
+            servers,
+        }
+    }
+
+    /// The dispatch-latency histogram for `mode`.
+    pub fn dispatch_hist(&self, mode: ContactMode) -> &Arc<Histogram> {
+        let i = match mode {
+            ContactMode::Entry => 0,
+            ContactMode::Branch => 1,
+            ContactMode::LocalOnly => 2,
+            ContactMode::Failover { .. } => 3,
+        };
+        &self.dispatch_by_mode[i]
+    }
+}
+
+/// Point-in-time health of one server, from [`ClusterHealth`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerHealth {
+    /// The server.
+    pub server: ServerId,
+    /// Whether its thread is running (kill/restart bookkeeping).
+    pub alive: bool,
+    /// Queries sitting in its mailbox right now.
+    pub queue_depth: i64,
+    /// Replies received from it since cluster start.
+    pub replies: u64,
+    /// p99 of dispatch → reply wall time, ms; `None` before any reply.
+    pub dispatch_p99_ms: Option<f64>,
+}
+
+/// A point-in-time health snapshot of a live instrumented cluster
+/// ([`crate::RoadsCluster::health`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterHealth {
+    /// Per-server rows, ascending by id.
+    pub servers: Vec<ServerHealth>,
+    /// Queries currently admitted past the inflight gate.
+    pub inflight_queries: i64,
+    /// Queries completed.
+    pub queries: u64,
+    /// Re-dispatches after timeouts.
+    pub retries: u64,
+    /// Queries cut short by the deadline.
+    pub deadline_misses: u64,
+    /// Overlay stand-ins nominated.
+    pub failovers: u64,
+}
+
+impl ClusterHealth {
+    /// Number of servers currently alive.
+    pub fn alive_count(&self) -> usize {
+        self.servers.iter().filter(|s| s.alive).count()
+    }
+}
+
+impl fmt::Display for ClusterHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cluster: {}/{} alive, {} inflight, {} queries ({} retries, {} deadline misses, {} failovers)",
+            self.alive_count(),
+            self.servers.len(),
+            self.inflight_queries,
+            self.queries,
+            self.retries,
+            self.deadline_misses,
+            self.failovers,
+        )?;
+        writeln!(
+            f,
+            "{:>6} {:>6} {:>7} {:>8} {:>14}",
+            "server", "alive", "queue", "replies", "dispatch p99"
+        )?;
+        for s in &self.servers {
+            writeln!(
+                f,
+                "{:>6} {:>6} {:>7} {:>8} {:>14}",
+                s.server.0,
+                if s.alive { "up" } else { "DOWN" },
+                s.queue_depth,
+                s.replies,
+                match s.dispatch_p99_ms {
+                    Some(p) => format!("{p:.1} ms"),
+                    None => "-".to_string(),
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_declare_families_at_startup() {
+        let reg = Registry::new();
+        let m = RuntimeMetrics::new(&reg, 3);
+        assert_eq!(m.servers.len(), 3);
+        let counters = reg.counter_values();
+        assert_eq!(counters["runtime.deadline_miss"], 0);
+        assert_eq!(
+            counters[&labeled("runtime.fault_events", &[("kind", "kill")])],
+            0
+        );
+        let gauges = reg.gauge_values();
+        assert_eq!(
+            gauges[&labeled("runtime.server.alive", &[("server", "1")])],
+            1
+        );
+        assert_eq!(
+            gauges[&labeled("runtime.server.queue_depth", &[("server", "2")])],
+            0
+        );
+        // All four mode-labeled dispatch histograms exist.
+        let hists = reg.histogram_snapshots();
+        for mode in ["entry", "branch", "local_only", "failover"] {
+            assert!(hists.contains_key(&labeled("runtime.dispatch_latency_ms", &[("mode", mode)])));
+        }
+    }
+
+    #[test]
+    fn mode_labels_cover_all_modes() {
+        assert_eq!(mode_label(ContactMode::Entry), "entry");
+        assert_eq!(mode_label(ContactMode::Branch), "branch");
+        assert_eq!(mode_label(ContactMode::LocalOnly), "local_only");
+        assert_eq!(
+            mode_label(ContactMode::Failover { dead: ServerId(7) }),
+            "failover"
+        );
+    }
+
+    #[test]
+    fn cluster_health_renders_table() {
+        let h = ClusterHealth {
+            servers: vec![
+                ServerHealth {
+                    server: ServerId(0),
+                    alive: true,
+                    queue_depth: 2,
+                    replies: 10,
+                    dispatch_p99_ms: Some(12.5),
+                },
+                ServerHealth {
+                    server: ServerId(1),
+                    alive: false,
+                    queue_depth: 0,
+                    replies: 0,
+                    dispatch_p99_ms: None,
+                },
+            ],
+            inflight_queries: 1,
+            queries: 5,
+            retries: 2,
+            deadline_misses: 0,
+            failovers: 1,
+        };
+        assert_eq!(h.alive_count(), 1);
+        let text = h.to_string();
+        assert!(text.contains("1/2 alive"));
+        assert!(text.contains("DOWN"));
+        assert!(text.contains("12.5 ms"));
+    }
+}

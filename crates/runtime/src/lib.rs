@@ -25,6 +25,13 @@
 //!   via the replication overlay (§III-C). [`cluster::RoadsCluster`]
 //!   exposes `kill_server`/`restart_server` for live fault injection and
 //!   reports `complete`/`failed_servers`/`retries` per query.
+//! * [`health`] — the live observability plane: an instrumented cluster
+//!   ([`RoadsCluster::start_instrumented`]) maintains per-server mailbox
+//!   queue-depth and liveness gauges, per-mode and per-server dispatch
+//!   latency histograms, deadline-miss/SLO-burn counters and labeled
+//!   `runtime.fault_events` series, all scrapeable as OpenMetrics text
+//!   via `roads_telemetry::OpenMetricsSnapshot` and summarized by
+//!   [`RoadsCluster::health`] into a [`ClusterHealth`] table.
 //!
 //! Fig. 11's crossover — the central repository wins at low selectivity
 //! (fewer round trips), ROADS catches up and wins as selectivity grows
@@ -35,9 +42,11 @@ pub mod central;
 pub mod cluster;
 pub mod config;
 pub(crate) mod faults;
+pub mod health;
 pub mod store;
 
 pub use central::CentralCluster;
 pub use cluster::{ContactMode, RoadsCluster, RuntimeOutcome};
 pub use config::RuntimeConfig;
+pub use health::{ClusterHealth, ServerHealth};
 pub use store::RecordStore;

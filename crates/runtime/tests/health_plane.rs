@@ -1,0 +1,286 @@
+//! Live cluster health plane acceptance tests: an instrumented
+//! [`RoadsCluster`] must expose per-server queue-depth gauges,
+//! deadline-miss counters and dispatch-latency histogram buckets through
+//! the OpenMetrics exposition, show kill/restart/failover fault events as
+//! labeled series, render byte-identically for identical snapshots, and
+//! summarize itself through [`RoadsCluster::health`].
+
+use roads_core::{RoadsConfig, RoadsNetwork, ServerId};
+use roads_netsim::DelaySpace;
+use roads_records::{OwnerId, Query, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
+use roads_runtime::{RoadsCluster, RuntimeConfig};
+use roads_summary::SummaryConfig;
+use roads_telemetry::{labeled, parse_openmetrics, OpenMetricsSnapshot, Registry};
+
+const RECORDS_PER_SERVER: usize = 10;
+
+fn build_net(n: usize) -> RoadsNetwork {
+    let schema = Schema::unit_numeric(1);
+    let cfg = RoadsConfig {
+        max_children: 3,
+        summary: SummaryConfig::with_buckets(64),
+        ..RoadsConfig::paper_default()
+    };
+    let records: Vec<Vec<Record>> = (0..n)
+        .map(|s| {
+            (0..RECORDS_PER_SERVER)
+                .map(|i| {
+                    let id = s * RECORDS_PER_SERVER + i;
+                    Record::new_unchecked(
+                        RecordId(id as u64),
+                        OwnerId(s as u32),
+                        vec![Value::Float(id as f64 / (n * RECORDS_PER_SERVER) as f64)],
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    RoadsNetwork::build(schema, cfg, records)
+}
+
+fn full_query(c: &RoadsCluster) -> Query {
+    QueryBuilder::new(c.network().schema(), QueryId(1))
+        .range("x0", 0.0, 1.0)
+        .build()
+}
+
+/// First non-root server with children: killing it exercises replica
+/// failover (a sibling/ancestor stands in for its branch).
+fn a_branch(c: &RoadsCluster) -> ServerId {
+    let tree = c.network().tree();
+    (0..c.network().len() as u32)
+        .map(ServerId)
+        .find(|&s| s != tree.root() && !tree.children(s).is_empty())
+        .expect("hierarchy of 13 has an internal non-root server")
+}
+
+#[test]
+fn scrape_exposes_queue_gauges_deadline_counters_and_latency_buckets() {
+    let n = 13;
+    let reg = Registry::new();
+    let c = RoadsCluster::start_instrumented(
+        build_net(n),
+        DelaySpace::paper(n, 77),
+        RuntimeConfig::test_faulty(),
+        &reg,
+    );
+    let q = full_query(&c);
+    let root = c.network().tree().root();
+
+    // Healthy query first, then kill a branch server and query again so
+    // timeout → failover paths run, then restart it.
+    let out = c.query(&q, root);
+    assert_eq!(out.records.len(), n * RECORDS_PER_SERVER);
+    let victim = a_branch(&c);
+    assert!(c.kill_server(victim));
+
+    // The kill is visible immediately, before any more traffic.
+    let mid = OpenMetricsSnapshot::from_registry(&reg).render();
+    let vid = victim.0.to_string();
+    assert!(mid.contains(&format!("runtime_server_alive{{server=\"{vid}\"}} 0\n")));
+    assert!(mid.contains("runtime_fault_events_total{kind=\"kill\"} 1\n"));
+
+    let faulted = c.query(&q, root);
+    assert!(faulted.failed_servers.contains(&victim));
+    assert!(c.restart_server(victim));
+    let recovered = c.query(&q, root);
+    assert_eq!(recovered.records.len(), n * RECORDS_PER_SERVER);
+
+    let snap = OpenMetricsSnapshot::from_registry(&reg);
+    let text = snap.render();
+
+    // Acceptance: per-server queue-depth gauges for every server (all
+    // drained back to 0), deadline-miss counter family, dispatch-latency
+    // histogram buckets.
+    for s in 0..n {
+        assert!(
+            text.contains(&format!("runtime_server_queue_depth{{server=\"{s}\"}} 0\n")),
+            "queue gauge for server {s} missing or non-zero:\n{text}"
+        );
+    }
+    assert!(text.contains("# TYPE runtime_deadline_miss counter\n"));
+    assert!(text.contains("runtime_deadline_miss_total 0\n"));
+    assert!(text.contains("# TYPE runtime_dispatch_latency_ms histogram\n"));
+    assert!(
+        text.contains("runtime_dispatch_latency_ms_bucket{mode=\"entry\",le=\""),
+        "entry-mode latency buckets missing:\n{text}"
+    );
+    assert!(text.contains("runtime_dispatch_latency_ms_bucket{mode=\"branch\",le=\""));
+
+    // Fault events show as labeled series: the kill, the restart, and at
+    // least one failover nomination for the dead branch.
+    assert!(text.contains("runtime_fault_events_total{kind=\"kill\"} 1\n"));
+    assert!(text.contains("runtime_fault_events_total{kind=\"restart\"} 1\n"));
+    let scrape = parse_openmetrics(&text).expect("scrape parses");
+    let failovers = scrape
+        .family("runtime_failovers")
+        .expect("failover counter family")
+        .sample_with("_total", &[])
+        .expect("failover sample");
+    assert!(failovers.value >= 1.0, "killing a branch must fail over");
+    let timeouts = scrape
+        .family("runtime_dispatch_timeouts")
+        .unwrap()
+        .sample_with("_total", &[])
+        .unwrap();
+    assert!(timeouts.value >= 1.0, "dead server must time out");
+
+    // The restarted server is back, and replies were attributed per
+    // server.
+    assert!(text.contains(&format!("runtime_server_alive{{server=\"{vid}\"}} 1\n")));
+    let replies = scrape.family("runtime_server_replies").unwrap();
+    let root_replies = replies
+        .sample_with("_total", &[("server", &root.0.to_string())])
+        .unwrap();
+    assert!(root_replies.value >= 3.0, "entry server replied per query");
+
+    // Determinism acceptance: identical snapshots render byte-identically.
+    assert_eq!(text, snap.render());
+    assert_eq!(text, OpenMetricsSnapshot::from_registry(&reg).render());
+    c.shutdown();
+}
+
+#[test]
+fn health_snapshot_tracks_kill_restart_and_counts() {
+    let n = 13;
+    let reg = Registry::new();
+    let c = RoadsCluster::start_instrumented(
+        build_net(n),
+        DelaySpace::paper(n, 21),
+        RuntimeConfig::test_faulty(),
+        &reg,
+    );
+    let q = full_query(&c);
+    let root = c.network().tree().root();
+    c.query(&q, root);
+
+    let healthy = c.health().expect("instrumented cluster has health");
+    assert_eq!(healthy.servers.len(), n);
+    assert_eq!(healthy.alive_count(), n);
+    assert_eq!(healthy.queries, 1);
+    assert_eq!(healthy.inflight_queries, 0, "no query in flight now");
+    let root_row = &healthy.servers[root.index()];
+    assert!(root_row.alive);
+    assert!(root_row.replies >= 1);
+    assert!(root_row.dispatch_p99_ms.is_some());
+    assert_eq!(root_row.queue_depth, 0);
+
+    let victim = a_branch(&c);
+    c.kill_server(victim);
+    c.query(&q, root);
+    let degraded = c.health().unwrap();
+    assert_eq!(degraded.alive_count(), n - 1);
+    assert!(!degraded.servers[victim.index()].alive);
+    assert_eq!(degraded.queries, 2);
+    assert!(degraded.failovers >= 1);
+    // The text rendering carries the down marker.
+    let table = degraded.to_string();
+    assert!(
+        table.contains("DOWN"),
+        "table must flag the dead server:\n{table}"
+    );
+    assert!(table.contains(&format!("{}/{} alive", n - 1, n)));
+
+    c.restart_server(victim);
+    assert_eq!(c.health().unwrap().alive_count(), n);
+    c.shutdown();
+}
+
+#[test]
+fn uninstrumented_cluster_has_no_health() {
+    let n = 4;
+    let c = RoadsCluster::start(
+        build_net(n),
+        DelaySpace::paper(n, 5),
+        RuntimeConfig::test_fast(),
+    );
+    assert!(c.health().is_none());
+    c.shutdown();
+}
+
+#[test]
+fn slo_burn_counter_fires_on_slow_queries() {
+    let n = 6;
+    let reg = Registry::new();
+    // A 1 ms SLO that every real query (emulated backend costs, network
+    // delays) must blow through, without affecting execution.
+    let cfg = RuntimeConfig {
+        slo_response_ms: 1,
+        ..RuntimeConfig::test_fast()
+    };
+    let c = RoadsCluster::start_instrumented(build_net(n), DelaySpace::paper(n, 9), cfg, &reg);
+    let q = full_query(&c);
+    let root = c.network().tree().root();
+    for _ in 0..3 {
+        let out = c.query(&q, root);
+        assert_eq!(out.records.len(), n * RECORDS_PER_SERVER);
+        assert!(out.complete, "SLO misses never change execution");
+    }
+    c.shutdown();
+    let counters = reg.counter_values();
+    assert_eq!(counters["runtime.queries"], 3);
+    assert_eq!(counters["runtime.slo_violations"], 3);
+    assert_eq!(counters["runtime.incomplete_queries"], 0);
+    // And the response-time histogram saw every query.
+    assert_eq!(
+        reg.histogram_snapshots()["runtime.query_response_ms"].count,
+        3
+    );
+}
+
+#[test]
+fn queue_depth_rises_under_backlog_and_drains() {
+    let n = 9;
+    let reg = Registry::new();
+    // Slow backend so requests visibly queue behind busy servers.
+    let cfg = RuntimeConfig {
+        base_query_cost_us: 20_000,
+        max_inflight_queries: 8,
+        ..RuntimeConfig::test_fast()
+    };
+    let c = std::sync::Arc::new(RoadsCluster::start_instrumented(
+        build_net(n),
+        DelaySpace::paper(n, 13),
+        cfg,
+        &reg,
+    ));
+    let q = full_query(&c);
+    let root = c.network().tree().root();
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let c = std::sync::Arc::clone(&c);
+            let q = q.clone();
+            std::thread::spawn(move || c.query(&q, root).records.len())
+        })
+        .collect();
+    // Sample queue depths while the burst is in flight; with 6 concurrent
+    // full-fan-out queries and a 20 ms busy period per request, some
+    // mailbox must be observed non-empty at least once.
+    let mut saw_backlog = false;
+    for _ in 0..200 {
+        let gauges = reg.gauge_values();
+        if (0..n).any(|s| {
+            gauges[&labeled("runtime.server.queue_depth", &[("server", &s.to_string())])] > 0
+        }) {
+            saw_backlog = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    for h in handles {
+        assert_eq!(h.join().unwrap(), n * RECORDS_PER_SERVER);
+    }
+    assert!(
+        saw_backlog,
+        "burst of 6 queries never showed a queued request"
+    );
+    // Drained: every mailbox gauge is back to zero.
+    let gauges = reg.gauge_values();
+    for s in 0..n {
+        assert_eq!(
+            gauges[&labeled("runtime.server.queue_depth", &[("server", &s.to_string())])],
+            0,
+            "server {s} mailbox not drained"
+        );
+    }
+}

@@ -21,7 +21,12 @@
 //!   (root/acyclicity validation, critical paths) and a Chrome
 //!   trace-event / Perfetto exporter (`results/<figure>.trace.json`).
 //! * [`timeline`] — a fixed-interval gauge sampler producing
-//!   `timeline.<gauge>` time-series inside a [`FigureExport`].
+//!   `timeline.<gauge>` time-series inside a [`FigureExport`], with an
+//!   optional bounded per-series ring for long-running samplers.
+//! * [`openmetrics`] — Prometheus/OpenMetrics text exposition of a
+//!   [`Registry`] snapshot (deterministic ordering, label escaping, full
+//!   histogram buckets), a parser for scrape files, and a background
+//!   [`Sampler`] thread feeding a bounded [`Timeline`] ring.
 //! * [`json`] / [`export`] — a small hand-rolled JSON value type (writer
 //!   *and* parser) and the `results/<figure>.json` exporter used by every
 //!   `fig*` binary.
@@ -33,6 +38,7 @@
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod openmetrics;
 pub mod registry;
 pub mod span;
 pub mod stats;
@@ -45,7 +51,11 @@ pub use event::{
 };
 pub use export::{FigureExport, ReferencePoint, Series};
 pub use json::Json;
-pub use registry::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+pub use openmetrics::{
+    labeled, parse as parse_openmetrics, OpenMetricsSnapshot, Sampler, Scrape, ScrapeFamily,
+    ScrapeSample,
+};
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use span::SpanTimer;
 pub use stats::LatencyStats;
 pub use timeline::{Timeline, TimelineSeries};

@@ -214,6 +214,27 @@ impl Histogram {
         self.inner.lock().buckets.clone()
     }
 
+    /// Freeze the full bucketed state under one lock acquisition, so the
+    /// result is a consistent point-in-time view even under concurrent
+    /// writers (same invariant as [`Histogram::summary`], but keeping the
+    /// buckets for exposition formats that need them).
+    pub fn full_snapshot(&self) -> HistogramSnapshot {
+        let g = self.inner.lock();
+        HistogramSnapshot {
+            count: g.count,
+            sum: g.sum,
+            min: if g.count == 0 { 0.0 } else { g.min },
+            max: if g.count == 0 { 0.0 } else { g.max },
+            buckets: g
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (Self::bucket_value(i), c))
+                .collect(),
+        }
+    }
+
     /// Freeze into a [`LatencyStats`]; `None` when empty. Mean/min/max are
     /// exact; percentiles carry the bucket quantization error.
     ///
@@ -287,6 +308,51 @@ impl Registry {
         )
     }
 
+    /// The counter named `name` if it already exists (no creation) —
+    /// lookup for scrapers that must not invent series.
+    pub fn find_counter(&self, name: &str) -> Option<Arc<Counter>> {
+        self.counters.lock().get(name).map(Arc::clone)
+    }
+
+    /// The gauge named `name` if it already exists (no creation).
+    pub fn find_gauge(&self, name: &str) -> Option<Arc<Gauge>> {
+        self.gauges.lock().get(name).map(Arc::clone)
+    }
+
+    /// The histogram named `name` if it already exists (no creation).
+    pub fn find_histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        self.histograms.lock().get(name).map(Arc::clone)
+    }
+
+    /// Current value of every counter, by name.
+    pub fn counter_values(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Current value of every gauge, by name.
+    pub fn gauge_values(&self) -> BTreeMap<String, i64> {
+        self.gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Full bucketed snapshot of every histogram, by name. Unlike
+    /// [`Registry::snapshot`] this keeps empty histograms (count 0), so a
+    /// scrape exposes every declared family even before traffic arrives.
+    pub fn histogram_snapshots(&self) -> BTreeMap<String, HistogramSnapshot> {
+        self.histograms
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.full_snapshot()))
+            .collect()
+    }
+
     /// Freeze every instrument. Empty histograms are omitted (they carry
     /// no information and would serialize as nulls).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -311,6 +377,22 @@ impl Registry {
                 .collect(),
         }
     }
+}
+
+/// A consistent point-in-time copy of one histogram's full bucketed
+/// state, captured under a single lock acquisition (no torn reads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Exact sum of recorded samples.
+    pub sum: f64,
+    /// Exact minimum (0 when empty).
+    pub min: f64,
+    /// Exact maximum (0 when empty).
+    pub max: f64,
+    /// Non-empty buckets as `(upper edge, count)`, edges increasing.
+    pub buckets: Vec<(f64, u64)>,
 }
 
 /// A point-in-time copy of every instrument in a [`Registry`].
@@ -480,6 +562,42 @@ mod tests {
         for w in writers {
             w.join().unwrap();
         }
+    }
+
+    #[test]
+    fn full_snapshot_keeps_buckets() {
+        let h = Histogram::new();
+        assert_eq!(h.full_snapshot().count, 0);
+        assert!(h.full_snapshot().buckets.is_empty());
+        h.record(0.5);
+        h.record(2.0);
+        h.record(2.0);
+        let s = h.full_snapshot();
+        assert_eq!(s.count, 3);
+        assert!((s.sum - 4.5).abs() < 1e-12);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 2.0);
+        // Two distinct buckets, edges increasing, counts totaling `count`.
+        assert_eq!(s.buckets.len(), 2);
+        assert!(s.buckets[0].0 < s.buckets[1].0);
+        assert_eq!(s.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 3);
+        // Upper edges are conservative: each sample's bucket edge >= sample.
+        assert!(s.buckets[1].0 >= 2.0);
+    }
+
+    #[test]
+    fn registry_find_does_not_create() {
+        let r = Registry::new();
+        assert!(r.find_counter("nope").is_none());
+        assert!(r.find_gauge("nope").is_none());
+        r.counter("c").inc();
+        r.gauge("g").set(7);
+        assert_eq!(r.find_counter("c").unwrap().get(), 1);
+        assert_eq!(r.find_gauge("g").unwrap().get(), 7);
+        assert_eq!(r.counter_values()["c"], 1);
+        assert_eq!(r.gauge_values()["g"], 7);
+        r.histogram("h");
+        assert_eq!(r.histogram_snapshots()["h"].count, 0);
     }
 
     #[test]

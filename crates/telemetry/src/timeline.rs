@@ -25,13 +25,23 @@ pub struct TimelineSeries {
 pub struct Timeline {
     interval_ms: f64,
     next_due_ms: f64,
+    capacity: usize,
     series: Vec<TimelineSeries>,
 }
 
 impl Timeline {
     /// A timeline sampling every `interval_ms` (> 0) milliseconds,
-    /// first sample due at time 0.
+    /// first sample due at time 0. Unbounded; see
+    /// [`Timeline::with_capacity`] for a ring that drops old samples.
     pub fn new(interval_ms: f64) -> Self {
+        Self::with_capacity(interval_ms, 0)
+    }
+
+    /// Like [`Timeline::new`], but each series keeps at most `capacity`
+    /// points: once full, recording drops the series' oldest point, so a
+    /// long-running sampler holds a bounded sliding window instead of
+    /// growing without limit. `capacity == 0` means unbounded.
+    pub fn with_capacity(interval_ms: f64, capacity: usize) -> Self {
         assert!(
             interval_ms > 0.0 && interval_ms.is_finite(),
             "timeline interval must be positive, got {interval_ms}"
@@ -39,8 +49,14 @@ impl Timeline {
         Timeline {
             interval_ms,
             next_due_ms: 0.0,
+            capacity,
             series: Vec::new(),
         }
+    }
+
+    /// Per-series point capacity (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The sampling interval in milliseconds.
@@ -57,8 +73,14 @@ impl Timeline {
     /// use. Does not consult the schedule — use [`Timeline::sample`] for
     /// interval-gated sampling.
     pub fn record(&mut self, now_ms: f64, name: &str, value: f64) {
+        let cap = self.capacity;
         match self.series.iter_mut().find(|s| s.name == name) {
-            Some(s) => s.points.push((now_ms, value)),
+            Some(s) => {
+                s.points.push((now_ms, value));
+                if cap > 0 && s.points.len() > cap {
+                    s.points.remove(0);
+                }
+            }
             None => self.series.push(TimelineSeries {
                 name: name.to_string(),
                 points: vec![(now_ms, value)],
@@ -136,5 +158,18 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_interval_panics() {
         Timeline::new(0.0);
+    }
+
+    #[test]
+    fn bounded_ring_drops_oldest() {
+        let mut t = Timeline::with_capacity(1.0, 3);
+        assert_eq!(t.capacity(), 3);
+        for i in 0..6 {
+            t.sample(i as f64, [("q", i as f64)]);
+        }
+        let s = &t.series()[0];
+        assert_eq!(s.points, vec![(3.0, 3.0), (4.0, 4.0), (5.0, 5.0)]);
+        // Unbounded timelines keep everything.
+        assert_eq!(Timeline::new(1.0).capacity(), 0);
     }
 }

@@ -1,9 +1,11 @@
-//! Property tests for the metrics registry primitives and the flight
-//! recorder's bounded event ring.
+//! Property tests for the metrics registry primitives, the flight
+//! recorder's bounded event ring, and the OpenMetrics exposition
+//! renderer/parser pair.
 
 use proptest::prelude::*;
 use roads_telemetry::{
-    Event, EventKind, Histogram, LatencyStats, Recorder, Registry, SpanId, TraceId,
+    labeled, parse_openmetrics, Event, EventKind, Histogram, LatencyStats, OpenMetricsSnapshot,
+    Recorder, Registry, SpanId, TraceId,
 };
 
 /// A minimal event for ring-buffer tests: `detail` doubles as a sequence
@@ -147,6 +149,98 @@ proptest! {
         let got: Vec<u64> = rec.events().iter().map(|e| e.detail).collect();
         let expect: Vec<u64> = (n.saturating_sub(capacity) as u64..n as u64).collect();
         prop_assert_eq!(got, expect);
+    }
+
+    /// A randomized registry renders to exposition text that parses back,
+    /// and re-rendering the parse reproduces the text byte-for-byte.
+    #[test]
+    fn openmetrics_parse_round_trips(
+        counters in prop::collection::vec(
+            (
+                "[a-z.]{1,8}",
+                prop::collection::vec(("[a-z]{1,3}", "[a-d \"\\\\]{0,5}"), 0..3),
+                0u64..1_000_000,
+            ),
+            0..6,
+        ),
+        gauges in prop::collection::vec(("[a-z._]{1,8}", -1_000i64..1_000), 0..4),
+        hist_samples in prop::collection::vec(0.0f64..1e6, 0..32),
+    ) {
+        let reg = Registry::new();
+        for (base, labels, v) in &counters {
+            let refs: Vec<(&str, &str)> =
+                labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            reg.counter(&labeled(base, &refs)).add(*v);
+        }
+        for (name, v) in &gauges {
+            reg.gauge(name).set(*v);
+        }
+        let h = reg.histogram("h.lat");
+        for &s in &hist_samples {
+            h.record(s);
+        }
+        let snap = OpenMetricsSnapshot::from_registry(&reg);
+        let text = snap.render();
+        // Determinism: identical snapshots render byte-identically.
+        prop_assert_eq!(&text, &OpenMetricsSnapshot::from_registry(&reg).render());
+        let scrape = parse_openmetrics(&text)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}\n{text}")))?;
+        prop_assert_eq!(scrape.render(), text, "parse→render must be the identity");
+        // The histogram's _count sample recovers the sample count and the
+        // +Inf bucket agrees with it.
+        let fam = scrape.family("h_lat").expect("histogram family");
+        prop_assert_eq!(
+            fam.sample_with("_count", &[]).expect("_count").value,
+            hist_samples.len() as f64
+        );
+        prop_assert_eq!(
+            fam.sample_with("_bucket", &[("le", "+Inf")]).expect("+Inf").value,
+            hist_samples.len() as f64
+        );
+    }
+
+    /// Label values survive the full labeled → render → parse trip even
+    /// with quotes, backslashes and newlines in them.
+    #[test]
+    fn openmetrics_label_escaping_round_trips(
+        raw in "[a-f \"\\\\]{0,10}",
+        nl in 0usize..3,
+    ) {
+        // Splice newlines in (the charclass strategy can't emit them).
+        let mut value = raw;
+        for _ in 0..nl {
+            let at = value.len() / 2;
+            value.insert(at, '\n');
+        }
+        let reg = Registry::new();
+        reg.counter(&labeled("esc.test", &[("v", &value)])).inc();
+        let text = OpenMetricsSnapshot::from_registry(&reg).render();
+        let scrape = parse_openmetrics(&text)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}\n{text}")))?;
+        let fam = scrape.family("esc_test").expect("family");
+        let got = fam.samples[0].label("v").expect("label v");
+        prop_assert_eq!(got, value.as_str());
+    }
+
+    /// Rendering is insertion-order independent: feeding the same
+    /// instruments in a rotated order produces identical text.
+    #[test]
+    fn openmetrics_order_independent(
+        names in prop::collection::vec("[a-z.]{1,8}", 1..8),
+        rot in 0usize..8,
+    ) {
+        let build = |ordered: &[String]| {
+            let reg = Registry::new();
+            // Value = name length, so duplicates accumulate identically
+            // in every insertion order.
+            for n in ordered {
+                reg.counter(n).add(n.len() as u64);
+            }
+            OpenMetricsSnapshot::from_registry(&reg).render()
+        };
+        let mut rotated = names.clone();
+        rotated.rotate_left(rot % names.len().max(1));
+        prop_assert_eq!(build(&names), build(&rotated));
     }
 
     /// Merging one node's recorder into another yields a globally
