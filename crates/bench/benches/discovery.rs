@@ -7,9 +7,11 @@ use roads_core::{
     RoadsConfig, RoadsNetwork, SearchScope, ServerId,
 };
 use roads_netsim::DelaySpace;
+use roads_records::{OwnerId, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
+use roads_runtime::{RoadsCluster, RuntimeConfig};
 use roads_summary::SummaryConfig;
 use roads_sword::SwordNetwork;
-use roads_telemetry::{OpenMetricsSnapshot, Registry, Sampler};
+use roads_telemetry::{OpenMetricsSnapshot, Registry, Sampler, TailSampler};
 use roads_workload::{
     default_schema, generate_node_records, generate_queries, QueryWorkloadConfig,
     RecordWorkloadConfig,
@@ -165,6 +167,81 @@ fn bench_recorder_overhead(c: &mut Criterion) {
         );
         query_instrumented(b, &reg);
         sampler.stop();
+    });
+    // Tail-sampling acceptance check: a live cluster with a TailSampler
+    // attached assembles a QueryExplain per query and offers it to the
+    // reservoir; without one, queries skip explain work entirely. The
+    // sampled path must stay within 5% of the unsampled path at default
+    // thresholds (query wall time is dominated by the emulated backend,
+    // so per-hop bookkeeping must disappear into it).
+    let live_cluster = || {
+        let n = 9usize;
+        let schema = Schema::unit_numeric(1);
+        let records: Vec<Vec<Record>> = (0..n)
+            .map(|s| {
+                (0..10)
+                    .map(|i| {
+                        let id = s * 10 + i;
+                        Record::new_unchecked(
+                            RecordId(id as u64),
+                            OwnerId(s as u32),
+                            vec![Value::Float(id as f64 / (n * 10) as f64)],
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let net = RoadsNetwork::build(
+            schema,
+            RoadsConfig {
+                max_children: 3,
+                summary: SummaryConfig::with_buckets(64),
+                ..RoadsConfig::paper_default()
+            },
+            records,
+        );
+        let cfg = RuntimeConfig {
+            dispatch_timeout_ms: 400,
+            max_retries: 1,
+            backoff_base_ms: 5,
+            query_deadline_ms: 10_000,
+            delay_scale: 0.02,
+            per_record_retrieval_us: 20,
+            base_query_cost_us: 100,
+            ..RuntimeConfig::paper_like()
+        };
+        RoadsCluster::start(net, DelaySpace::paper(n, 7), cfg)
+    };
+    let live_queries: Vec<_> = (0..16)
+        .map(|i| {
+            let lo = 0.75 * (i as f64 * 0.37).fract();
+            (lo, lo + 0.25)
+        })
+        .collect();
+    let drive = |b: &mut criterion::Bencher, cluster: &RoadsCluster| {
+        let schema = cluster.network().schema().clone();
+        let root = cluster.network().tree().root();
+        let mut i = 0;
+        b.iter(|| {
+            let (lo, hi) = live_queries[i % live_queries.len()];
+            let q = QueryBuilder::new(&schema, QueryId(i as u64))
+                .range("x0", lo, hi)
+                .build();
+            i += 1;
+            black_box(cluster.query(&q, root))
+        })
+    };
+    g.sample_size(10);
+    g.bench_function("tail_off", |b| {
+        let cluster = live_cluster();
+        drive(b, &cluster);
+        cluster.shutdown();
+    });
+    g.bench_function("tail_on", |b| {
+        let mut cluster = live_cluster();
+        cluster.set_tail_sampler(TailSampler::shared());
+        drive(b, &cluster);
+        cluster.shutdown();
     });
     // Rendering a populated registry to OpenMetrics text (the scrape
     // cost a live health endpoint would pay per poll).

@@ -22,17 +22,27 @@
 //! `--smoke` shrinks the matrix for CI (seconds, not minutes); `--out`
 //! overrides the default `BENCH_ROADS.json` output path. Compare two
 //! reports with `roads-inspect bench-diff OLD NEW --fail-over <pct>`.
+//!
+//! The live-cluster phases run with a flight recorder and tail-based
+//! sampler attached, so alongside the bench report the suite writes
+//! `SLOW_QUERIES.json` (next to `--out`): the tail-sampler report of the
+//! slowest / failed / incomplete queries of the run with full
+//! [`QueryExplain`] provenance, inspectable with `roads-inspect explain`
+//! and `roads-inspect slow` and validated by `roads-inspect check`.
+//!
+//! [`QueryExplain`]: roads_telemetry::QueryExplain
 
-use roads_bench::suite::{metrics_digest, BenchRecord, BenchReport};
+use roads_bench::suite::{print_metrics_digest, BenchRecord, BenchReport};
 use roads_core::{BuildOptions, RoadsConfig, RoadsNetwork, ServerId};
 use roads_netsim::DelaySpace;
 use roads_records::{OwnerId, Query, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
 use roads_runtime::{RoadsCluster, RuntimeConfig};
 use roads_summary::SummaryConfig;
-use roads_telemetry::Registry;
+use roads_telemetry::{Recorder, Registry, TailSampler};
 use roads_workload::{default_schema, generate_node_records, RecordWorkloadConfig};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Matrix dimensions, scaled by `--smoke`.
@@ -273,12 +283,18 @@ fn main() {
     // --- Live query plane: overlay-spread vs root-only entry. -----------
     let n = m.cluster_servers;
     let reg = Registry::new();
-    let cluster = RoadsCluster::start_instrumented(
+    let mut cluster = RoadsCluster::start_instrumented(
         cluster_net(n),
         DelaySpace::paper(n, 31),
         cluster_config(),
         &reg,
     );
+    // Tail-based sampling over the whole live-cluster run: slow / failed /
+    // incomplete queries keep their explain record + flight-recorder trace.
+    let recorder = Arc::new(Recorder::new(65_536));
+    let tail = TailSampler::shared();
+    cluster.set_recorder(Arc::clone(&recorder));
+    cluster.set_tail_sampler(Arc::clone(&tail));
     let root = cluster.network().tree().root();
     let cschema = cluster.network().schema().clone();
     let spread = queries(&cschema, n, m.cluster_queries, root, true);
@@ -326,5 +342,26 @@ fn main() {
             std::process::exit(1);
         }
     }
-    println!("{}", metrics_digest(&reg.snapshot()));
+
+    // The tail of this run: retained slow/failed/incomplete queries with
+    // full provenance, next to the bench report.
+    let slow_path = match out.parent() {
+        Some(dir) if dir.as_os_str().is_empty() => PathBuf::from("SLOW_QUERIES.json"),
+        Some(dir) => dir.join("SLOW_QUERIES.json"),
+        None => PathBuf::from("SLOW_QUERIES.json"),
+    };
+    match std::fs::write(&slow_path, tail.report().to_string_pretty()) {
+        Ok(()) => println!(
+            "wrote {} ({} retained of {} observed, threshold {:.2} ms)",
+            slow_path.display(),
+            tail.retained().len(),
+            tail.observed(),
+            tail.threshold_ms()
+        ),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", slow_path.display());
+            std::process::exit(1);
+        }
+    }
+    print_metrics_digest(&reg.snapshot());
 }

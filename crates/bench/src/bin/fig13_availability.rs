@@ -243,5 +243,5 @@ fn main() {
     fig.write_default();
     write_chrome_trace_default(&fig.figure, &rec);
     // Digest covers the instrumented (failover-on) cluster.
-    println!("{}", roads_bench::suite::metrics_digest(&reg.snapshot()));
+    roads_bench::suite::print_metrics_digest(&reg.snapshot());
 }

@@ -4,11 +4,16 @@
 //! ```text
 //! roads-inspect summary <base>          # run summary + slowest-query critical path
 //! roads-inspect diff <base-a> <base-b>  # series/reference regression report
-//! roads-inspect check <base>...         # CI gate: valid figure/bench documents
+//! roads-inspect check <base>...         # CI gate: valid figure/bench/slow-query documents
 //! roads-inspect bench-diff OLD NEW [--fail-over <pct>]
 //!                                       # BENCH_*.json regression gate
 //! roads-inspect health <scrape.txt>     # cluster health table from an
 //!                                       # OpenMetrics scrape
+//! roads-inspect explain <artifact> [query-id]
+//!                                       # hop waterfall + decision tree of
+//!                                       # retained tail queries
+//! roads-inspect slow <artifact>         # ranked tail table with latency
+//!                                       # attribution
 //! ```
 //!
 //! `<base>` is a result stem such as `results/fig3_latency_vs_nodes`; the
@@ -22,7 +27,20 @@
 //! figure binary. Documents carrying a `benches` key take the
 //! `BENCH_*.json` schema path instead ([`roads_bench::suite`]): unknown
 //! `schema_version`s, empty bench lists and non-finite statistics fail,
-//! and no trace file is expected.
+//! and no trace file is expected. Documents carrying a `slow_queries` key
+//! (the `SLOW_QUERIES.json` tail-sampler report written by `bench_suite`)
+//! validate through [`roads_bench::explain_view::parse_slow_doc`]: every
+//! retained entry must parse back into a [`QueryExplain`] and its retained
+//! flight-recorder events must form a valid span tree.
+//!
+//! `explain` renders every retained query of a `SLOW_QUERIES.json`
+//! artifact as a hop-by-hop waterfall plus the decision tree of *why*
+//! each server was contacted; an optional trailing query id narrows the
+//! render to one query. `slow` renders the ranked tail table with the
+//! queue/network/compute/retry/failover attribution of each retained
+//! query.
+//!
+//! [`QueryExplain`]: roads_telemetry::QueryExplain
 //!
 //! `bench-diff` compares two bench reports and exits non-zero when any
 //! bench moved more than the threshold (default 10%) in its unit's bad
@@ -34,7 +52,7 @@
 //!
 //! [`FigureExport`]: roads_telemetry::FigureExport
 
-use roads_bench::suite;
+use roads_bench::{explain_view, suite};
 use roads_telemetry::{
     critical_path, parse_openmetrics, slowest_trace, span_tree_root, trace_ids, Event, EventKind,
     Json, SpanId, TraceId,
@@ -50,12 +68,18 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "check" && !rest.is_empty() => check(rest),
         Some((cmd, rest)) if cmd == "bench-diff" => bench_diff(rest),
         Some((cmd, rest)) if cmd == "health" && rest.len() == 1 => health(&rest[0]),
+        Some((cmd, rest)) if cmd == "explain" && (rest.len() == 1 || rest.len() == 2) => {
+            explain(&rest[0], rest.get(1).and_then(|q| q.parse().ok()))
+        }
+        Some((cmd, rest)) if cmd == "slow" && rest.len() == 1 => slow(&rest[0]),
         _ => {
             eprintln!("usage: roads-inspect summary <base>");
             eprintln!("       roads-inspect diff <base-a> <base-b>");
             eprintln!("       roads-inspect check <base>...");
             eprintln!("       roads-inspect bench-diff <old.json> <new.json> [--fail-over <pct>]");
             eprintln!("       roads-inspect health <scrape.txt>");
+            eprintln!("       roads-inspect explain <slow-queries.json> [query-id]");
+            eprintln!("       roads-inspect slow <slow-queries.json>");
             eprintln!("  <base> is a result stem, e.g. results/fig3_latency_vs_nodes");
             ExitCode::from(2)
         }
@@ -309,6 +333,22 @@ fn check(bases: &[String]) -> ExitCode {
                 }
                 continue;
             }
+            // Tail-sampler reports (SLOW_QUERIES.json) validate each
+            // retained explain record and its span tree; no trace file.
+            Ok(doc) if explain_view::is_slow_doc(&doc) => {
+                match explain_view::parse_slow_doc(&doc) {
+                    Ok(slow) => println!(
+                        "OK   {base}: slow-query report, {} retained of {} observed",
+                        slow.retained.len(),
+                        slow.observed
+                    ),
+                    Err(e) => {
+                        eprintln!("FAIL {}: {e}", fig_path.display());
+                        failed = true;
+                    }
+                }
+                continue;
+            }
             Ok(doc) if doc.get("figure").and_then(Json::as_str_val).is_some() => {}
             Ok(_) => {
                 eprintln!("FAIL {}: not a figure document", fig_path.display());
@@ -410,6 +450,70 @@ fn bench_diff(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn load_slow_doc(path: &str) -> Result<explain_view::SlowDoc, String> {
+    let (fig_path, _) = expand(path);
+    let doc = load_json(&fig_path)?;
+    if !explain_view::is_slow_doc(&doc) {
+        return Err(format!(
+            "{}: not a slow-query report (no slow_queries key)",
+            fig_path.display()
+        ));
+    }
+    explain_view::parse_slow_doc(&doc).map_err(|e| format!("{}: {e}", fig_path.display()))
+}
+
+fn explain(path: &str, query_id: Option<u64>) -> ExitCode {
+    let slow = match load_slow_doc(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let selected: Vec<_> = slow
+        .retained
+        .iter()
+        .filter(|e| query_id.is_none_or(|q| e.explain.query_id == q))
+        .collect();
+    if selected.is_empty() {
+        match query_id {
+            Some(q) => eprintln!("error: no retained query with id {q}"),
+            None => eprintln!("error: report retained no queries"),
+        }
+        return ExitCode::FAILURE;
+    }
+    for (i, entry) in selected.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        println!("retained [{}]:", entry.reason.as_str());
+        print!("{}", explain_view::render_waterfall(&entry.explain));
+        println!("decision tree:");
+        print!("{}", explain_view::render_decision_tree(&entry.explain));
+        if !entry.events.is_empty() {
+            println!(
+                "flight recorder: {} events retained for trace {}",
+                entry.events.len(),
+                entry.explain.trace_id
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn slow(path: &str) -> ExitCode {
+    match load_slow_doc(path) {
+        Ok(doc) => {
+            print!("{}", explain_view::render_slow_table(&doc));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -149,8 +149,5 @@ fn main() {
     write_chrome_trace_default(&fig.figure, &rec);
     // This binary drives no query plane; the digest records that
     // explicitly rather than omitting the line.
-    println!(
-        "{}",
-        roads_bench::suite::metrics_digest(&roads_telemetry::Registry::new().snapshot())
-    );
+    roads_bench::suite::print_metrics_digest(&roads_telemetry::Registry::new().snapshot());
 }

@@ -1,0 +1,500 @@
+//! Offline views of the query explain plane: parse and render
+//! `SLOW_QUERIES.json` artifacts written by a [`TailSampler`].
+//!
+//! Three consumers share this module:
+//!
+//! * `roads-inspect explain <artifact>` — hop-by-hop waterfall plus the
+//!   decision tree of each retained query ([`render_waterfall`],
+//!   [`render_decision_tree`]).
+//! * `roads-inspect slow <artifact>` — the ranked tail table with p99
+//!   latency attribution ([`render_slow_table`]).
+//! * `roads-inspect check` — strict schema validation
+//!   ([`parse_slow_doc`]): every retained entry must carry a parseable
+//!   reason and explain record, and retained flight-recorder events must
+//!   form a valid span tree for the explain's trace.
+//!
+//! [`TailSampler`]: roads_telemetry::TailSampler
+
+use roads_telemetry::{
+    event_from_json, span_tree_root, Event, ExplainHop, HopOutcome, Json, QueryExplain,
+    RetainReason, TraceId,
+};
+
+/// One retained entry of a `SLOW_QUERIES.json` document.
+#[derive(Debug, Clone)]
+pub struct RetainedEntry {
+    /// Why the sampler kept it.
+    pub reason: RetainReason,
+    /// The provenance record.
+    pub explain: QueryExplain,
+    /// Flight-recorder events of the same trace (may be empty).
+    pub events: Vec<Event>,
+}
+
+/// A parsed `SLOW_QUERIES.json` document.
+#[derive(Debug, Clone)]
+pub struct SlowDoc {
+    /// Retention threshold at write time (ms).
+    pub threshold_ms: f64,
+    /// Queries the sampler observed in total.
+    pub observed: u64,
+    /// Queries folded into the histogram but not retained.
+    pub dropped: u64,
+    /// Retained tail queries, ranked slowest first.
+    pub retained: Vec<RetainedEntry>,
+    /// Histogram exemplars: `(bucket_ms, trace_id)` pairs.
+    pub exemplars: Vec<(f64, u64)>,
+}
+
+/// Whether the document carries the `SLOW_QUERIES.json` marker key:
+/// used by `roads-inspect check` to route between schemas.
+pub fn is_slow_doc(doc: &Json) -> bool {
+    doc.get("slow_queries").is_some()
+}
+
+/// Parse and validate a `SLOW_QUERIES.json` document. Strict: a
+/// truncated or hand-edited artifact fails with a message naming the
+/// offending entry instead of producing a half-empty view.
+pub fn parse_slow_doc(doc: &Json) -> Result<SlowDoc, String> {
+    let num = |key: &str| -> Result<f64, String> {
+        let v = doc
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing or non-numeric {key}"))?;
+        if !v.is_finite() {
+            return Err(format!("non-finite {key}"));
+        }
+        Ok(v)
+    };
+    let threshold_ms = num("threshold_ms")?;
+    let observed = num("observed")? as u64;
+    let dropped = num("dropped")? as u64;
+    let entries = doc
+        .get("retained")
+        .and_then(Json::as_arr)
+        .ok_or("missing retained array")?;
+    let mut retained = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let reason = entry
+            .get("reason")
+            .and_then(Json::as_str_val)
+            .and_then(RetainReason::parse)
+            .ok_or_else(|| format!("retained[{i}]: missing or unknown reason"))?;
+        let explain = entry
+            .get("explain")
+            .ok_or_else(|| format!("retained[{i}]: missing explain record"))
+            .and_then(|e| {
+                QueryExplain::from_json(e).map_err(|why| format!("retained[{i}]: {why}"))
+            })?;
+        let events = match entry.get("events").and_then(Json::as_arr) {
+            Some(evs) => evs
+                .iter()
+                .map(event_from_json)
+                .collect::<Result<Vec<Event>, String>>()
+                .map_err(|why| format!("retained[{i}]: {why}"))?,
+            None => Vec::new(),
+        };
+        if !events.is_empty() {
+            // The retained trace must reconstruct: one causal span tree
+            // for the query the explain record describes.
+            let trace = TraceId(explain.trace_id);
+            span_tree_root(&events, trace)
+                .map_err(|why| format!("retained[{i}]: trace {}: {why}", explain.trace_id))?;
+        }
+        retained.push(RetainedEntry {
+            reason,
+            explain,
+            events,
+        });
+    }
+    let exemplars = match doc.get("exemplars").and_then(Json::as_arr) {
+        Some(arr) => arr
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let bucket = e
+                    .get("bucket_ms")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("exemplars[{i}]: missing bucket_ms"))?;
+                let trace = e
+                    .get("trace_id")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("exemplars[{i}]: missing trace_id"))?;
+                Ok((bucket, trace as u64))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        None => Vec::new(),
+    };
+    Ok(SlowDoc {
+        threshold_ms,
+        observed,
+        dropped,
+        retained,
+        exemplars,
+    })
+}
+
+fn outcome_label(h: &ExplainHop) -> &'static str {
+    match h.outcome {
+        HopOutcome::Replied => "replied",
+        HopOutcome::TimedOut => "TIMEOUT",
+        HopOutcome::MailboxDown => "DOWN",
+        HopOutcome::Abandoned => "abandoned",
+    }
+}
+
+fn summary_label(h: &ExplainHop) -> String {
+    match h.summary {
+        Some(kind) => {
+            if h.false_positive {
+                format!("{}(FP)", kind.as_str())
+            } else {
+                kind.as_str().to_string()
+            }
+        }
+        None => "-".to_string(),
+    }
+}
+
+/// The hop-by-hop waterfall: one row per hop in dispatch order, with its
+/// decision, summary verdict, outcome, latency split, and a bar placing
+/// the hop inside the query's total response window.
+pub fn render_waterfall(ex: &QueryExplain) -> String {
+    const BAR: usize = 32;
+    let total_us = ex.response_us.max(1.0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "query {} (trace {}) entry server-{}: {:.2} ms, {} records, {}{}\n",
+        ex.query_id,
+        ex.trace_id,
+        ex.entry,
+        ex.response_us / 1_000.0,
+        ex.records,
+        if ex.complete {
+            "complete"
+        } else {
+            "INCOMPLETE"
+        },
+        if ex.deadline_hit {
+            " (deadline hit)"
+        } else {
+            ""
+        },
+    ));
+    let a = ex.attribution();
+    out.push_str(&format!(
+        "attribution: queue {:.2} ms, network {:.2} ms, compute {:.2} ms, \
+         retry {:.2} ms, failover {:.2} ms\n",
+        a.queue_us / 1_000.0,
+        a.network_us / 1_000.0,
+        a.compute_us / 1_000.0,
+        a.retry_us / 1_000.0,
+        a.failover_us / 1_000.0,
+    ));
+    out.push_str(&format!(
+        "{:>4} {:<12} {:<16} {:<14} {:<9} {:>9} {:>9}  waterfall\n",
+        "hop", "server", "decision", "summary", "outcome", "start", "dur"
+    ));
+    for (i, h) in ex.hops.iter().enumerate() {
+        let start = ((h.at_us / total_us) * BAR as f64) as usize;
+        let width = (((h.dur_us / total_us) * BAR as f64).ceil() as usize).max(1);
+        let (start, width) = (start.min(BAR - 1), width.min(BAR));
+        let mut bar: Vec<char> = vec!['.'; BAR];
+        for c in bar.iter_mut().skip(start).take(width) {
+            *c = '#';
+        }
+        out.push_str(&format!(
+            "{:>4} {:<12} {:<16} {:<14} {:<9} {:>7.2}ms {:>7.2}ms  |{}|{}\n",
+            i,
+            format!("server-{}", h.server),
+            h.decision.as_str(),
+            summary_label(h),
+            outcome_label(h),
+            h.at_us / 1_000.0,
+            h.dur_us / 1_000.0,
+            bar.into_iter().collect::<String>(),
+            match h.caused_by {
+                Some(c) => format!(" <-{c}"),
+                None => String::new(),
+            },
+        ));
+    }
+    out
+}
+
+/// The decision tree: hops nested under the hop that caused them, so the
+/// render shows *why* each server was contacted (entry at the root,
+/// summary descents under their redirecting parent, retries under the
+/// timed-out attempt, failover stand-ins under the hop that died).
+pub fn render_decision_tree(ex: &QueryExplain) -> String {
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); ex.hops.len()];
+    let mut roots = Vec::new();
+    for (i, h) in ex.hops.iter().enumerate() {
+        match h.caused_by {
+            Some(c) if c < ex.hops.len() => children[c].push(i),
+            _ => roots.push(i),
+        }
+    }
+    fn walk(
+        out: &mut String,
+        ex: &QueryExplain,
+        children: &[Vec<usize>],
+        idx: usize,
+        prefix: &str,
+        last: bool,
+    ) {
+        let h = &ex.hops[idx];
+        let branch = if prefix.is_empty() {
+            ""
+        } else if last {
+            "└─ "
+        } else {
+            "├─ "
+        };
+        out.push_str(&format!(
+            "{prefix}{branch}#{idx} server-{} {} [{}] {}{:.2}ms, {} local\n",
+            h.server,
+            h.decision.as_str(),
+            summary_label(h),
+            match h.outcome {
+                HopOutcome::Replied => "",
+                HopOutcome::TimedOut => "TIMEOUT ",
+                HopOutcome::MailboxDown => "DOWN ",
+                HopOutcome::Abandoned => "abandoned ",
+            },
+            h.dur_us / 1_000.0,
+            h.local_matches,
+        ));
+        let next = if prefix.is_empty() {
+            String::new()
+        } else {
+            format!("{prefix}{}", if last { "   " } else { "│  " })
+        };
+        let kids = &children[idx];
+        for (j, &k) in kids.iter().enumerate() {
+            let p = if prefix.is_empty() { "  " } else { &next };
+            walk(out, ex, children, k, p, j + 1 == kids.len());
+        }
+    }
+    let mut out = String::new();
+    for (j, &r) in roots.iter().enumerate() {
+        walk(&mut out, ex, &children, r, "", j + 1 == roots.len());
+    }
+    out
+}
+
+/// The ranked tail table: one row per retained query (already ranked
+/// slowest first by the sampler), with its retention reason, hop/retry
+/// counts, and the percentage latency attribution.
+pub fn render_slow_table(doc: &SlowDoc) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "tail reservoir: {} retained of {} observed ({} dropped), threshold {:.2} ms\n",
+        doc.retained.len(),
+        doc.observed,
+        doc.dropped,
+        doc.threshold_ms,
+    ));
+    out.push_str(&format!(
+        "{:>6} {:<10} {:>10} {:>5} {:>7} {:>3} {:>7} {:>7} {:>7} {:>7} {:>8}\n",
+        "query",
+        "reason",
+        "ms",
+        "hops",
+        "retries",
+        "fp",
+        "queue%",
+        "net%",
+        "comp%",
+        "retry%",
+        "failov%"
+    ));
+    for e in &doc.retained {
+        let ex = &e.explain;
+        let a = ex.attribution();
+        let total = a.total_us().max(1.0);
+        let pct = |v: f64| 100.0 * v / total;
+        out.push_str(&format!(
+            "{:>6} {:<10} {:>10.2} {:>5} {:>7} {:>3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>7.1}%\n",
+            ex.query_id,
+            e.reason.as_str(),
+            ex.response_us / 1_000.0,
+            ex.hops.len(),
+            ex.retry_count(),
+            ex.false_positive_count(),
+            pct(a.queue_us),
+            pct(a.network_us),
+            pct(a.compute_us),
+            pct(a.retry_us),
+            pct(a.failover_us),
+        ));
+    }
+    if !doc.exemplars.is_empty() {
+        out.push_str(&format!(
+            "exemplars: {} histogram buckets link to retained traces\n",
+            doc.exemplars.len()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roads_telemetry::{ExplainDecision, LatencySplit, SummaryKind, TailConfig, TailSampler};
+
+    fn hop(
+        server: u32,
+        decision: ExplainDecision,
+        outcome: HopOutcome,
+        caused_by: Option<usize>,
+    ) -> ExplainHop {
+        ExplainHop {
+            server,
+            decision,
+            summary: matches!(
+                decision,
+                ExplainDecision::SummaryDescent | ExplainDecision::OverlayShortcut
+            )
+            .then_some(SummaryKind::Histogram),
+            false_positive: false,
+            outcome,
+            at_us: 100.0 * server as f64,
+            dur_us: 500.0,
+            caused_by,
+            local_matches: 2,
+            split: LatencySplit {
+                queue_us: 10.0,
+                network_us: 200.0,
+                compute_us: 50.0,
+                backoff_us: 0.0,
+            },
+        }
+    }
+
+    fn explain() -> QueryExplain {
+        QueryExplain {
+            query_id: 7,
+            trace_id: 42,
+            entry: 0,
+            response_us: 900.0,
+            complete: false,
+            deadline_hit: false,
+            records: 4,
+            hops: vec![
+                hop(0, ExplainDecision::Entry, HopOutcome::Replied, None),
+                hop(
+                    1,
+                    ExplainDecision::SummaryDescent,
+                    HopOutcome::Replied,
+                    Some(0),
+                ),
+                hop(
+                    2,
+                    ExplainDecision::SummaryDescent,
+                    HopOutcome::MailboxDown,
+                    Some(0),
+                ),
+                hop(3, ExplainDecision::Failover, HopOutcome::Replied, Some(2)),
+            ],
+        }
+    }
+
+    #[test]
+    fn waterfall_lists_every_hop_with_outcome() {
+        let text = render_waterfall(&explain());
+        assert!(text.contains("query 7 (trace 42)"), "{text}");
+        assert!(text.contains("INCOMPLETE"), "{text}");
+        assert!(text.contains("attribution:"), "{text}");
+        for needle in ["entry", "summary-descent", "failover", "DOWN", "histogram"] {
+            assert!(text.contains(needle), "missing {needle}:\n{text}");
+        }
+        assert_eq!(text.matches('|').count() % 2, 0, "bars open and close");
+    }
+
+    #[test]
+    fn decision_tree_nests_by_cause() {
+        let text = render_decision_tree(&explain());
+        let entry_at = text.find("#0 server-0 entry").unwrap();
+        let failover_at = text.find("#3 server-3 failover").unwrap();
+        assert!(entry_at < failover_at, "entry renders before failover");
+        // The failover hop nests under the dead descent hop, one level
+        // deeper than the entry.
+        let failover_line = text.lines().find(|l| l.contains("#3")).unwrap();
+        assert!(
+            failover_line.starts_with("  ") && failover_line.contains("└─"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn slow_doc_round_trips_through_the_sampler_report() {
+        let s = TailSampler::new(TailConfig {
+            capacity: 8,
+            min_samples: 1_000_000,
+            floor_ms: 0.0001,
+        });
+        s.observe(explain(), false, Vec::new());
+        let doc = Json::parse(&s.report().to_string_pretty()).unwrap();
+        assert!(is_slow_doc(&doc));
+        let parsed = parse_slow_doc(&doc).unwrap();
+        assert_eq!(parsed.observed, 1);
+        assert_eq!(parsed.retained.len(), 1);
+        assert_eq!(parsed.retained[0].explain.query_id, 7);
+        assert_eq!(parsed.exemplars.len(), 1);
+        let table = render_slow_table(&parsed);
+        assert!(table.contains("incomplete"), "{table}");
+        assert!(table.contains("queue%"), "{table}");
+    }
+
+    #[test]
+    fn parser_rejects_corrupt_documents() {
+        let missing = Json::obj(vec![("slow_queries", Json::num(1.0))]);
+        assert!(parse_slow_doc(&missing)
+            .unwrap_err()
+            .contains("threshold_ms"));
+
+        // A retained entry whose explain lost its hops.
+        let bad = Json::parse(
+            r#"{"slow_queries":1,"threshold_ms":1,"observed":1,"dropped":0,
+                "retained":[{"reason":"slow","explain":{"query_id":1}}],"exemplars":[]}"#,
+        )
+        .unwrap();
+        let err = parse_slow_doc(&bad).unwrap_err();
+        assert!(err.contains("retained[0]"), "{err}");
+
+        // An unknown retention reason.
+        let bad_reason = Json::parse(
+            r#"{"slow_queries":1,"threshold_ms":1,"observed":1,"dropped":0,
+                "retained":[{"reason":"meh","explain":{}}],"exemplars":[]}"#,
+        )
+        .unwrap();
+        assert!(parse_slow_doc(&bad_reason)
+            .unwrap_err()
+            .contains("unknown reason"));
+    }
+
+    #[test]
+    fn parser_rejects_events_that_do_not_form_a_span_tree() {
+        let s = TailSampler::new(TailConfig {
+            capacity: 8,
+            min_samples: 1_000_000,
+            floor_ms: 0.0001,
+        });
+        // An orphan event: parent span 999 never appears in the trace.
+        let orphan = Event {
+            at_us: 0,
+            dur_us: 10,
+            node: 0,
+            trace: roads_telemetry::TraceId(42),
+            span: roads_telemetry::SpanId(1),
+            parent: roads_telemetry::SpanId(999),
+            kind: roads_telemetry::EventKind::QueryHop,
+            detail: 0,
+        };
+        s.observe(explain(), false, vec![orphan]);
+        let doc = Json::parse(&s.report().to_string_pretty()).unwrap();
+        let err = parse_slow_doc(&doc).unwrap_err();
+        assert!(err.contains("trace 42"), "{err}");
+    }
+}

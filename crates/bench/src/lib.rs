@@ -13,6 +13,7 @@
 //! sweep for smoke testing).
 
 pub mod chart;
+pub mod explain_view;
 pub mod suite;
 
 use roads_central::CentralRepository;

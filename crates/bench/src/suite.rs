@@ -364,6 +364,14 @@ pub fn metrics_digest(snap: &MetricsSnapshot) -> String {
     format!("[metrics] queries={queries} retries={retries} p99_query_ms={p99}")
 }
 
+/// Print the [`metrics_digest`] line to **stderr**. Every figure binary
+/// exits through this so its stdout stays machine-pipeable (figure series
+/// and tables only); the digest is operator chatter, like progress
+/// output.
+pub fn print_metrics_digest(snap: &MetricsSnapshot) {
+    eprintln!("{}", metrics_digest(snap));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,11 +31,24 @@ fn inspect(args: &[&str]) -> (bool, String) {
 #[test]
 fn smoke_suite_produces_a_valid_checkable_report_and_diff_gates() {
     let baseline = tmp("baseline.json");
-    let status = Command::new(env!("CARGO_BIN_EXE_bench_suite"))
+    let run = Command::new(env!("CARGO_BIN_EXE_bench_suite"))
         .args(["--smoke", "--out", baseline.to_str().unwrap()])
-        .status()
+        .output()
         .expect("bench_suite runs");
-    assert!(status.success(), "bench_suite --smoke failed");
+    assert!(run.status.success(), "bench_suite --smoke failed");
+
+    // The [metrics] digest is operator chatter: it must land on stderr,
+    // never in the machine-pipeable stdout stream.
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(
+        !stdout.contains("[metrics]"),
+        "digest leaked into stdout:\n{stdout}"
+    );
+    assert!(
+        stderr.contains("[metrics]"),
+        "digest missing from stderr:\n{stderr}"
+    );
 
     // The report parses, validates, and covers the whole matrix.
     let report = BenchReport::load(&baseline).expect("valid report");
@@ -59,6 +72,36 @@ fn smoke_suite_produces_a_valid_checkable_report_and_diff_gates() {
     let (ok, out) = inspect(&["check", baseline.to_str().unwrap()]);
     assert!(ok, "check rejected a fresh report:\n{out}");
     assert!(out.contains("bench report"), "{out}");
+
+    // The suite also wrote the tail-sampler report next to the bench
+    // report; the failover phase guarantees retained (failed) queries.
+    let slow_path = baseline.parent().unwrap().join("SLOW_QUERIES.json");
+    assert!(
+        slow_path.exists(),
+        "bench_suite must write SLOW_QUERIES.json"
+    );
+    let (ok, out) = inspect(&["check", slow_path.to_str().unwrap()]);
+    assert!(ok, "check rejected the slow-query report:\n{out}");
+    assert!(out.contains("slow-query report"), "{out}");
+
+    // `slow` renders the ranked attribution table, `explain` the
+    // hop-by-hop waterfall + decision tree of every retained query.
+    let (ok, out) = inspect(&["slow", slow_path.to_str().unwrap()]);
+    assert!(ok, "slow failed:\n{out}");
+    assert!(out.contains("tail reservoir"), "{out}");
+    assert!(
+        out.contains("failed"),
+        "failover phase retains failures:\n{out}"
+    );
+    let (ok, out) = inspect(&["explain", slow_path.to_str().unwrap()]);
+    assert!(ok, "explain failed:\n{out}");
+    assert!(out.contains("waterfall"), "{out}");
+    assert!(out.contains("decision tree:"), "{out}");
+    assert!(out.contains("attribution:"), "{out}");
+    assert!(
+        out.contains("flight recorder:"),
+        "retained queries carry their trace:\n{out}"
+    );
 
     // Same report against itself: no regressions, exit 0.
     let (ok, out) = inspect(&[
@@ -134,6 +177,68 @@ fn check_rejects_malformed_bench_reports() {
     let (ok, out) = inspect(&["check", nan.to_str().unwrap()]);
     assert!(!ok);
     assert!(out.contains("non-numeric value"), "{out}");
+}
+
+#[test]
+fn check_fails_cleanly_on_truncated_and_corrupt_artifacts() {
+    // A slow-query report cut off mid-write (crashed bench run).
+    let truncated = tmp("truncated_slow.json");
+    std::fs::write(&truncated, r#"{"slow_queries":1,"retained":[{"#).unwrap();
+    let (ok, out) = inspect(&["check", truncated.to_str().unwrap()]);
+    assert!(!ok, "truncated JSON must fail:\n{out}");
+    assert!(out.contains("FAIL"), "{out}");
+
+    // A structurally valid slow doc whose retained entry is corrupt: the
+    // explain record lost its hops array.
+    let corrupt = tmp("corrupt_slow.json");
+    std::fs::write(
+        &corrupt,
+        r#"{"slow_queries":1,"threshold_ms":1.0,"observed":3,"dropped":2,
+            "retained":[{"reason":"slow","explain":{"query_id":9}}],"exemplars":[]}"#,
+    )
+    .unwrap();
+    let (ok, out) = inspect(&["check", corrupt.to_str().unwrap()]);
+    assert!(!ok, "corrupt retained entry must fail:\n{out}");
+    assert!(out.contains("retained[0]"), "{out}");
+
+    // An unknown retention reason (schema drift).
+    let bad_reason = tmp("bad_reason_slow.json");
+    std::fs::write(
+        &bad_reason,
+        r#"{"slow_queries":1,"threshold_ms":1.0,"observed":1,"dropped":0,
+            "retained":[{"reason":"mystery","explain":{}}],"exemplars":[]}"#,
+    )
+    .unwrap();
+    let (ok, out) = inspect(&["check", bad_reason.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(out.contains("unknown reason"), "{out}");
+
+    // `explain` and `slow` reject the same artifacts with a message, not
+    // a panic.
+    for cmd in ["explain", "slow"] {
+        let (ok, out) = inspect(&[cmd, corrupt.to_str().unwrap()]);
+        assert!(!ok, "{cmd} accepted a corrupt artifact:\n{out}");
+        assert!(out.contains("error:"), "{out}");
+    }
+
+    // A bench report cut off mid-write.
+    let truncated_bench = tmp("truncated_bench.json");
+    std::fs::write(&truncated_bench, r#"{"schema_version":1,"benches":[{"#).unwrap();
+    let (ok, out) = inspect(&["check", truncated_bench.to_str().unwrap()]);
+    assert!(!ok, "truncated bench JSON must fail:\n{out}");
+    assert!(out.contains("FAIL"), "{out}");
+
+    // A figure document whose trace file is truncated mid-array.
+    let fig = tmp("figx.json");
+    std::fs::write(
+        &fig,
+        r#"{"figure":"figx","title":"t","series":[],"reference":[],"notes":[]}"#,
+    )
+    .unwrap();
+    std::fs::write(tmp("figx.trace.json"), r#"{"traceEvents":[{"cat":"roa"#).unwrap();
+    let (ok, out) = inspect(&["check", fig.to_str().unwrap()]);
+    assert!(!ok, "truncated trace must fail:\n{out}");
+    assert!(out.contains("FAIL"), "{out}");
 }
 
 #[test]

@@ -47,9 +47,9 @@ pub use policy::{
     apply_policy, Disclosure, OpenPolicy, RequesterId, SharingPolicy, TieredPolicy, TrustClass,
 };
 pub use queryexec::{
-    execute_query, execute_query_mode, execute_query_recorded, execute_query_traced,
-    record_query_events, trace_to_telemetry, ForwardingMode, QueryOutcome, SearchScope, TraceEvent,
-    TraceRole,
+    execute_query, execute_query_explained, execute_query_mode, execute_query_recorded,
+    execute_query_traced, explain_from_trace, record_query_events, trace_to_telemetry,
+    ForwardingMode, QueryOutcome, SearchScope, TraceEvent, TraceRole,
 };
 pub use tree::{BalanceStats, HierarchyTree, ServerId, TreeError};
 pub use updates::{record_update_round_events, update_round, UpdateBreakdown};

@@ -17,7 +17,11 @@ use crate::engine::RoadsNetwork;
 use crate::tree::ServerId;
 use roads_netsim::DelaySpace;
 use roads_records::{wire::MSG_HEADER_BYTES, Query, WireSize};
-use roads_telemetry::{Event, EventKind, Recorder, SpanId, TraceId};
+use roads_summary::SummaryVerdict;
+use roads_telemetry::{
+    Event, EventKind, ExplainDecision, ExplainHop, HopOutcome, LatencySplit, QueryExplain,
+    Recorder, SpanId, SummaryKind, TraceId,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -241,6 +245,150 @@ pub fn trace_to_telemetry(
         hops,
         completed_ms,
     }
+}
+
+/// Map an [`AttributeSummary::kind_name`](roads_summary::AttributeSummary)
+/// label into the telemetry vocabulary.
+fn summary_kind(label: &str) -> Option<SummaryKind> {
+    Some(match label {
+        "histogram" => SummaryKind::Histogram,
+        "multires" => SummaryKind::MultiRes,
+        "set" => SummaryKind::ValueSet,
+        "bloom" => SummaryKind::Bloom,
+        _ => return None,
+    })
+}
+
+/// The summary kind likeliest to have *caused* the routing decision that
+/// contacted `server`: the fuzziest kind participating in its branch
+/// summary's match (the candidate false-positive source).
+fn deciding_kind(net: &RoadsNetwork, server: ServerId, query: &Query) -> Option<SummaryKind> {
+    match net.branch_summary(server).decide(query) {
+        SummaryVerdict::Match { fuzziest } => fuzziest.and_then(summary_kind),
+        SummaryVerdict::Prune { decided_by } => decided_by.and_then(summary_kind),
+    }
+}
+
+/// Build a [`QueryExplain`] provenance record from a finished simulation
+/// trace: one hop per contact, each with the routing decision that caused
+/// it (tree descent, overlay shortcut, ancestor probe), the summary kind
+/// behind the decision, false-positive detection, and a latency split
+/// (pure network transit in the simulation — queue and compute are
+/// emulated only by the threaded runtime).
+///
+/// `trace_id` links the record to flight-recorder events of the same
+/// execution (use [`TraceId::NONE`] when no recorder was attached).
+pub fn explain_from_trace(
+    net: &RoadsNetwork,
+    query: &Query,
+    trace_id: TraceId,
+    trace: &[TraceEvent],
+    outcome: &QueryOutcome,
+) -> QueryExplain {
+    let to_us = |ms: f64| ms * 1000.0;
+    // Who forwarded the query to each contact (contacts are time-ordered);
+    // same reconstruction as `record_query_events`.
+    let parent_idx: Vec<Option<usize>> = trace
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            if i == 0 {
+                None
+            } else {
+                trace[..i]
+                    .iter()
+                    .position(|p| p.forwarded_to.contains(&e.server))
+            }
+        })
+        .collect();
+    // A hop's duration covers its redirect subtree (its own work plus
+    // everything it caused), mirroring the recorded span tree.
+    let mut end_ms: Vec<f64> = trace.iter().map(|e| e.at_ms).collect();
+    for i in (1..trace.len()).rev() {
+        if let Some(p) = parent_idx[i] {
+            end_ms[p] = end_ms[p].max(end_ms[i]);
+        }
+    }
+    let hops = trace
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let (decision, summary) = match e.role {
+                TraceRole::Entry => (ExplainDecision::Entry, None),
+                TraceRole::AncestorProbe => (
+                    ExplainDecision::AncestorProbe,
+                    deciding_kind(net, e.server, query),
+                ),
+                TraceRole::Branch => {
+                    let forwarder = parent_idx[i].map(|p| trace[p].server);
+                    let via_tree = forwarder.is_some() && net.tree().parent(e.server) == forwarder;
+                    (
+                        if via_tree {
+                            ExplainDecision::SummaryDescent
+                        } else {
+                            ExplainDecision::OverlayShortcut
+                        },
+                        deciding_kind(net, e.server, query),
+                    )
+                }
+            };
+            let network_us = match parent_idx[i] {
+                Some(p) => to_us(e.at_ms - trace[p].at_ms),
+                None => 0.0,
+            };
+            ExplainHop {
+                server: e.server.0,
+                decision,
+                summary,
+                false_positive: e.role == TraceRole::Branch
+                    && e.local_matches == 0
+                    && e.forwarded_to.is_empty(),
+                outcome: HopOutcome::Replied,
+                at_us: to_us(e.at_ms),
+                dur_us: to_us(end_ms[i] - e.at_ms),
+                caused_by: parent_idx[i],
+                local_matches: e.local_matches as u64,
+                split: LatencySplit {
+                    network_us,
+                    ..LatencySplit::default()
+                },
+            }
+        })
+        .collect();
+    QueryExplain {
+        query_id: query.id.0,
+        trace_id: trace_id.0,
+        entry: trace.first().map(|e| e.server.0).unwrap_or(0),
+        response_us: to_us(outcome.latency_ms),
+        complete: true,
+        deadline_hit: false,
+        records: outcome.matching_records as u64,
+        hops,
+    }
+}
+
+/// [`execute_query`] that also assembles the per-query provenance record.
+/// When a recorder is attached the execution is additionally recorded as
+/// a span tree and the explain record carries its trace id.
+pub fn execute_query_explained(
+    net: &RoadsNetwork,
+    delays: &DelaySpace,
+    query: &Query,
+    start: ServerId,
+    scope: SearchScope,
+    rec: Option<&Recorder>,
+) -> (QueryOutcome, QueryExplain) {
+    let (outcome, trace) = execute_query_traced(net, delays, query, start, scope);
+    let trace_id = match rec {
+        Some(r) => {
+            let id = r.next_trace_id();
+            record_query_events(r, id, &trace);
+            id
+        }
+        None => TraceId::NONE,
+    };
+    let explain = explain_from_trace(net, query, trace_id, &trace, &outcome);
+    (outcome, explain)
 }
 
 /// Record a contact trace into the flight recorder as a span tree under
@@ -785,6 +933,93 @@ mod tests {
         );
         assert_eq!(plain, some);
         assert!(!rec.is_empty(), "recorded execution must emit events");
+    }
+
+    #[test]
+    fn explained_execution_reconstructs_hop_sequence() {
+        use roads_telemetry::{span_tree_root, Recorder};
+        let (net, delays) = network(30, 3);
+        let q = QueryBuilder::new(net.schema(), QueryId(21))
+            .range("x0", 0.0, 1.0)
+            .build();
+        let leaf = *net.tree().leaves().iter().max().unwrap();
+        let rec = Recorder::new(4096);
+        let (out, explain) =
+            execute_query_explained(&net, &delays, &q, leaf, SearchScope::full(), Some(&rec));
+
+        // One hop per contacted server, entry first.
+        assert_eq!(explain.hops.len(), out.servers_contacted);
+        assert_eq!(explain.entry, leaf.0);
+        assert_eq!(explain.hops[0].decision, ExplainDecision::Entry);
+        assert_eq!(explain.query_id, 21);
+        assert_eq!(explain.records, out.matching_records as u64);
+        assert!((explain.response_us - out.latency_ms * 1000.0).abs() < 1e-6);
+
+        // Simulation never times out: every hop replied, and the distinct
+        // responder count equals servers contacted.
+        assert!(explain
+            .hops
+            .iter()
+            .all(|h| h.outcome == HopOutcome::Replied));
+        assert_eq!(explain.distinct_responders(), out.servers_contacted);
+
+        // A leaf entry on a broad query uses the overlay and descends.
+        assert!(explain
+            .hops
+            .iter()
+            .any(|h| h.decision == ExplainDecision::OverlayShortcut));
+        assert!(explain
+            .hops
+            .iter()
+            .any(|h| h.decision == ExplainDecision::SummaryDescent));
+        // Routed hops carry the deciding summary kind (histograms here).
+        assert!(explain
+            .hops
+            .iter()
+            .filter(|h| h.decision != ExplainDecision::Entry
+                && h.decision != ExplainDecision::AncestorProbe)
+            .all(|h| h.summary == Some(SummaryKind::Histogram)));
+
+        // The explain's causal structure matches the recorded span tree:
+        // same trace id, and the hop-caused_by graph has exactly one root.
+        let events = rec.events();
+        assert!(span_tree_root(&events, TraceId(explain.trace_id)).is_ok());
+        let roots = explain
+            .hops
+            .iter()
+            .filter(|h| h.caused_by.is_none())
+            .count();
+        assert_eq!(roots, 1, "only the entry hop is uncaused");
+
+        // Attribution is pure network time in the simulation.
+        let a = explain.attribution();
+        assert!(a.network_us > 0.0);
+        assert_eq!(a.queue_us, 0.0);
+        assert_eq!(a.compute_us, 0.0);
+        assert_eq!(a.retry_us, 0.0);
+        assert_eq!(a.failover_us, 0.0);
+    }
+
+    #[test]
+    fn explain_flags_false_positive_hops() {
+        // A query outside every record's used domain: histograms clamp
+        // into the last bucket, so branches holding values near 1.0 may
+        // false-positive; any contacted branch with no local match and no
+        // further redirect must be flagged.
+        let (net, delays) = network(10, 3);
+        let q = QueryBuilder::new(net.schema(), QueryId(22))
+            .range("x0", 2.0, 3.0)
+            .build();
+        let (out, explain) =
+            execute_query_explained(&net, &delays, &q, ServerId(4), SearchScope::full(), None);
+        assert_eq!(out.matching_records, 0);
+        assert_eq!(explain.trace_id, 0, "no recorder, no trace id");
+        if explain.hops.len() > 1 {
+            assert!(
+                explain.false_positive_count() > 0,
+                "dead-end redirects on a no-match query are false positives"
+            );
+        }
     }
 
     #[test]

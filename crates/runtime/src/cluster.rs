@@ -45,8 +45,11 @@ use roads_core::policy::{apply_policy, OpenPolicy, RequesterId, SharingPolicy};
 use roads_core::{RoadsNetwork, ServerId};
 use roads_netsim::DelaySpace;
 use roads_records::{Query, Record, WireSize};
+use roads_summary::SummaryVerdict;
 use roads_telemetry::{
-    span::timed, Event, EventKind, Gauge, Histogram, Recorder, Registry, SpanId, TraceId,
+    span::timed, trace_events, Event, EventKind, ExplainDecision, ExplainHop, Gauge, Histogram,
+    HopOutcome, LatencySplit, QueryExplain, Recorder, Registry, SpanId, SummaryKind, TailSampler,
+    TraceId,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -143,6 +146,9 @@ pub(crate) enum ServerRequest {
         mode: ContactMode,
         requester: RequesterId,
         reply: ReplyHandle,
+        /// Stamped by the dispatcher at mailbox delivery; the server's
+        /// pickup-time elapsed reading is the request's queue wait.
+        enqueued: Instant,
     },
     Shutdown,
 }
@@ -155,6 +161,11 @@ pub(crate) enum Notice {
         server: ServerId,
         targets: Vec<(ServerId, ContactMode)>,
         records: Vec<Record>,
+        /// Mailbox wait measured by the server (enqueue → pickup), µs.
+        queue_us: f64,
+        /// Server-side work (summary evaluation + local search + emulated
+        /// backend cost), µs.
+        compute_us: f64,
     },
     /// The target's mailbox was already closed — its thread exited or
     /// panicked before the request could even be queued. The attempt id
@@ -175,7 +186,13 @@ pub(crate) struct ReplyHandle {
 }
 
 impl ReplyHandle {
-    fn send(self, targets: Vec<(ServerId, ContactMode)>, records: Vec<Record>) {
+    fn send(
+        self,
+        targets: Vec<(ServerId, ContactMode)>,
+        records: Vec<Record>,
+        queue_us: f64,
+        compute_us: f64,
+    ) {
         let ReplyHandle {
             timer,
             done,
@@ -192,6 +209,8 @@ impl ReplyHandle {
                     server,
                     targets,
                     records,
+                    queue_us,
+                    compute_us,
                 },
             },
         );
@@ -227,11 +246,16 @@ impl DispatchJob {
         match self {
             DispatchJob::Send {
                 sender,
-                request,
+                mut request,
                 done,
                 attempt,
                 queue,
             } => {
+                // The queue wait clock starts at mailbox delivery, not at
+                // dispatch scheduling (which includes the network delay).
+                if let ServerRequest::Query { enqueued, .. } = &mut request {
+                    *enqueued = Instant::now();
+                }
                 if sender.send(request).is_err() {
                     let _ = done.send(Notice::Down { attempt });
                 } else if let Some(q) = queue {
@@ -295,6 +319,7 @@ pub struct RoadsCluster {
     gate: InflightGate,
     metrics: Option<RuntimeMetrics>,
     recorder: Option<Arc<Recorder>>,
+    tail: Option<Arc<TailSampler>>,
 }
 
 impl RoadsCluster {
@@ -384,6 +409,7 @@ impl RoadsCluster {
             gate: InflightGate::new(cfg.max_inflight_queries),
             metrics,
             recorder: None,
+            tail: None,
         }
     }
 
@@ -399,6 +425,22 @@ impl RoadsCluster {
     /// The attached flight recorder, if any.
     pub fn recorder(&self) -> Option<&Arc<Recorder>> {
         self.recorder.as_ref()
+    }
+
+    /// Attach a tail-based sampler: every subsequent query assembles a
+    /// [`QueryExplain`] provenance record and offers it to the sampler on
+    /// completion; slow / failed / incomplete queries are retained with
+    /// their flight-recorder trace (when a recorder is also attached),
+    /// everything else folds into the sampler's live histogram and is
+    /// dropped. Without a sampler, plain [`Self::query`] calls skip
+    /// explain assembly entirely.
+    pub fn set_tail_sampler(&mut self, tail: Arc<TailSampler>) {
+        self.tail = Some(tail);
+    }
+
+    /// The attached tail sampler, if any.
+    pub fn tail_sampler(&self) -> Option<&Arc<TailSampler>> {
+        self.tail.as_ref()
     }
 
     /// The converged control state.
@@ -518,6 +560,40 @@ impl RoadsCluster {
         start: ServerId,
         requester: RequesterId,
     ) -> RuntimeOutcome {
+        // Explain assembly is driven by the tail sampler here: attached ⇒
+        // every query is a retention candidate, absent ⇒ zero explain work.
+        self.query_inner(query, start, requester, self.tail.is_some())
+            .0
+    }
+
+    /// [`Self::query`] that also returns the query's full provenance
+    /// record, regardless of whether a tail sampler is attached.
+    pub fn query_explained(
+        &self,
+        query: &Query,
+        start: ServerId,
+    ) -> (RuntimeOutcome, QueryExplain) {
+        self.query_as_explained(query, start, RequesterId(0))
+    }
+
+    /// [`Self::query_as`] that also returns the provenance record.
+    pub fn query_as_explained(
+        &self,
+        query: &Query,
+        start: ServerId,
+        requester: RequesterId,
+    ) -> (RuntimeOutcome, QueryExplain) {
+        let (outcome, explain) = self.query_inner(query, start, requester, true);
+        (outcome, explain.expect("explain was requested"))
+    }
+
+    fn query_inner(
+        &self,
+        query: &Query,
+        start: ServerId,
+        requester: RequesterId,
+        want_explain: bool,
+    ) -> (RuntimeOutcome, Option<QueryExplain>) {
         // Admission first: the deadline below budgets execution, not time
         // spent queued at the gate.
         let _slot = InflightSlot::enter(
@@ -550,6 +626,8 @@ impl RoadsCluster {
             retries: 0,
             deadline_hit: false,
             root_span: SpanId::NONE,
+            explain_hops: want_explain.then(Vec::new),
+            attempt_hop: HashMap::new(),
         };
         driver.run(done_rx)
     }
@@ -667,10 +745,29 @@ struct Driver<'a> {
     retries: usize,
     deadline_hit: bool,
     root_span: SpanId,
+    /// Explain assembly: one [`ExplainHop`] per dispatched attempt, in
+    /// dispatch order. `None` disables the whole plane (the hot path
+    /// then only pays a branch per dispatch).
+    explain_hops: Option<Vec<ExplainHop>>,
+    /// Attempt id → index into `explain_hops` (resolves replies,
+    /// timeouts and deadline abandonment back to their hop).
+    attempt_hop: HashMap<u64, usize>,
+}
+
+/// Map a summary kind label (as returned by
+/// `AttributeSummary::kind_name`) to its explain-plane enum.
+fn summary_kind(label: &str) -> Option<SummaryKind> {
+    Some(match label {
+        "histogram" => SummaryKind::Histogram,
+        "multires" => SummaryKind::MultiRes,
+        "set" => SummaryKind::ValueSet,
+        "bloom" => SummaryKind::Bloom,
+        _ => return None,
+    })
 }
 
 impl Driver<'_> {
-    fn run(mut self, done_rx: Receiver<Notice>) -> RuntimeOutcome {
+    fn run(mut self, done_rx: Receiver<Notice>) -> (RuntimeOutcome, Option<QueryExplain>) {
         let cfg = self.cluster.cfg;
         let deadline = (cfg.query_deadline_ms > 0)
             .then(|| self.t0 + Duration::from_millis(cfg.query_deadline_ms));
@@ -681,6 +778,8 @@ impl Driver<'_> {
             SpanId::NONE,
             Duration::ZERO,
             0,
+            None,
+            ExplainDecision::Entry,
         );
         self.root_span = self.attempts[&entry].span;
         self.emit(Event {
@@ -721,6 +820,8 @@ impl Driver<'_> {
                     server,
                     targets,
                     records,
+                    queue_us,
+                    compute_us,
                 }) => {
                     if let Some(m) = &self.cluster.metrics {
                         m.channel_wait
@@ -732,7 +833,7 @@ impl Driver<'_> {
                         self.cluster.metrics.as_ref().map(|m| {
                             roads_telemetry::SpanTimer::start(Arc::clone(&m.result_merge))
                         });
-                    self.on_reply(attempt, server, targets, records);
+                    self.on_reply(attempt, server, targets, records, queue_us, compute_us);
                 }
                 Ok(Notice::Down { attempt }) => self.attempt_failed(attempt, true),
                 Err(RecvTimeoutError::Timeout) => {
@@ -794,18 +895,50 @@ impl Driver<'_> {
                 m.slo_violation.inc();
             }
         }
-        RuntimeOutcome {
-            response_ms,
-            records: self.records,
-            servers_contacted: self.responders.len(),
+        let explain = self.explain_hops.take().map(|hops| QueryExplain {
+            query_id: self.query.id.0,
+            trace_id: self.trace.0,
+            entry: self.start.0,
+            response_us: response_ms * 1_000.0,
             complete,
-            failed_servers: self.failed.keys().copied().collect(),
-            retries: self.retries,
+            deadline_hit: self.deadline_hit,
+            records: self.records.len() as u64,
+            hops,
+        });
+        if let (Some(tail), Some(explain)) = (&self.cluster.tail, &explain) {
+            let failed = !self.failed.is_empty();
+            // Collecting the flight-recorder trace means scanning the
+            // whole ring buffer — only worth it for queries the sampler
+            // will actually retain. `classify` is stable across the
+            // `observe` call because classification happens before the
+            // sample folds in.
+            let events = if tail.classify(response_ms, failed, complete).is_some() {
+                self.rec
+                    .map(|r| trace_events(&r.events(), self.trace))
+                    .unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            tail.observe(explain.clone(), failed, events);
         }
+        (
+            RuntimeOutcome {
+                response_ms,
+                records: self.records,
+                servers_contacted: self.responders.len(),
+                complete,
+                failed_servers: self.failed.keys().copied().collect(),
+                retries: self.retries,
+            },
+            explain,
+        )
     }
 
     /// Send one sub-query; `extra_delay` is the retry backoff (zero for
-    /// first attempts). Returns the attempt id.
+    /// first attempts). `caused_by`/`decision` feed the explain plane:
+    /// the hop index that triggered this dispatch and why. Returns the
+    /// attempt id.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &mut self,
         target: ServerId,
@@ -813,6 +946,8 @@ impl Driver<'_> {
         parent: SpanId,
         extra_delay: Duration,
         tries: u32,
+        caused_by: Option<usize>,
+        decision: ExplainDecision,
     ) -> u64 {
         let cfg = self.cluster.cfg;
         let id = self.next_attempt;
@@ -822,6 +957,50 @@ impl Driver<'_> {
             None => SpanId::NONE,
         };
         let delay_out = self.cluster.scaled_delay(self.start, target);
+        let at_us = self.t0.elapsed().as_micros() as u64;
+        if let Some(hops) = &mut self.explain_hops {
+            // Which summary structure vouched for this hop. Descent and
+            // shortcut hops were admitted by the target's *branch*
+            // summary; ancestor probes by its *local* summary (the probe
+            // asks only about the ancestor's own records).
+            let summary = match decision {
+                ExplainDecision::SummaryDescent | ExplainDecision::OverlayShortcut => {
+                    match self.cluster.net.branch_summary(target).decide(self.query) {
+                        SummaryVerdict::Match { fuzziest } => fuzziest.and_then(summary_kind),
+                        SummaryVerdict::Prune { decided_by } => decided_by.and_then(summary_kind),
+                    }
+                }
+                ExplainDecision::AncestorProbe => {
+                    match self.cluster.net.local_summary(target).decide(self.query) {
+                        SummaryVerdict::Match { fuzziest } => fuzziest.and_then(summary_kind),
+                        SummaryVerdict::Prune { decided_by } => decided_by.and_then(summary_kind),
+                    }
+                }
+                _ => None,
+            };
+            self.attempt_hop.insert(id, hops.len());
+            hops.push(ExplainHop {
+                server: target.0,
+                decision,
+                summary,
+                false_positive: false,
+                // Placeholder until the reply/timeout resolves the hop;
+                // deadline-cut hops keep it.
+                outcome: HopOutcome::Abandoned,
+                at_us: at_us as f64,
+                dur_us: 0.0,
+                caused_by,
+                local_matches: 0,
+                split: LatencySplit {
+                    queue_us: 0.0,
+                    // Round trip over the simulated link, known exactly
+                    // at dispatch time (symmetric one-way latency).
+                    network_us: 2.0 * delay_out.as_micros() as f64,
+                    compute_us: 0.0,
+                    backoff_us: extra_delay.as_micros() as f64,
+                },
+            });
+        }
         let expires = (cfg.dispatch_timeout_ms > 0)
             .then(|| Instant::now() + extra_delay + Duration::from_millis(cfg.dispatch_timeout_ms));
         self.attempts.insert(
@@ -831,7 +1010,7 @@ impl Driver<'_> {
                 mode,
                 tries,
                 span,
-                at_us: self.t0.elapsed().as_micros() as u64,
+                at_us,
                 parent,
                 expires,
                 open: true,
@@ -855,6 +1034,9 @@ impl Driver<'_> {
                     mode,
                     requester: self.requester,
                     reply,
+                    // Re-stamped at mailbox delivery (DispatchJob::run);
+                    // this value is never read.
+                    enqueued: Instant::now(),
                 },
                 done: self.done_tx.clone(),
                 attempt: id,
@@ -874,6 +1056,8 @@ impl Driver<'_> {
         server: ServerId,
         targets: Vec<(ServerId, ContactMode)>,
         records: Vec<Record>,
+        queue_us: f64,
+        compute_us: f64,
     ) {
         let Some(a) = self.attempts.get_mut(&attempt) else {
             return;
@@ -883,6 +1067,29 @@ impl Driver<'_> {
         if a.open {
             a.open = false;
             self.open -= 1;
+        }
+        let replier_hop = self.attempt_hop.get(&attempt).copied();
+        if let Some(hops) = &mut self.explain_hops {
+            if let Some(hi) = replier_hop {
+                // Late replies (racing a retry, or landing after a
+                // timeout verdict) still resolve their hop: the record
+                // should show what actually happened, and it keeps
+                // `distinct_responders` consistent with the outcome's
+                // `servers_contacted`.
+                let h = &mut hops[hi];
+                h.outcome = HopOutcome::Replied;
+                h.dur_us = (self.t0.elapsed().as_micros() as u64).saturating_sub(at_us) as f64;
+                h.local_matches = records.len() as u64;
+                h.split.queue_us = queue_us;
+                h.split.compute_us = compute_us;
+                // A branch summary vouched for this subtree, yet neither
+                // local records nor any further redirect came back: the
+                // lossy summary matched spuriously.
+                h.false_positive = matches!(mode, ContactMode::Branch)
+                    && records.is_empty()
+                    && targets.is_empty()
+                    && h.summary.is_some();
+            }
         }
         if let Some(m) = &self.cluster.metrics {
             // Dispatch → reply wall time, attributed to the replier and
@@ -924,7 +1131,23 @@ impl Driver<'_> {
         }
         for (t, m) in targets {
             if self.ledger.admit(t, m) {
-                self.dispatch(t, m, span, Duration::ZERO, 0);
+                let decision = match m {
+                    // A Branch redirect from the target's tree parent is
+                    // ordinary summary descent; from anyone else (the
+                    // entry's replica shortcuts, a failover stand-in) it
+                    // rode the replication overlay.
+                    ContactMode::Branch => {
+                        if self.cluster.net.tree().parent(t) == Some(server) {
+                            ExplainDecision::SummaryDescent
+                        } else {
+                            ExplainDecision::OverlayShortcut
+                        }
+                    }
+                    ContactMode::LocalOnly => ExplainDecision::AncestorProbe,
+                    ContactMode::Entry => ExplainDecision::Entry,
+                    ContactMode::Failover { .. } => ExplainDecision::Failover,
+                };
+                self.dispatch(t, m, span, Duration::ZERO, 0, replier_hop, decision);
             }
         }
     }
@@ -948,6 +1171,18 @@ impl Driver<'_> {
         let (server, mode, tries, span, at_us, parent) =
             (a.server, a.mode, a.tries, a.span, a.at_us, a.parent);
         let now_us = self.t0.elapsed().as_micros() as u64;
+        let failed_hop = self.attempt_hop.get(&attempt).copied();
+        if let Some(hops) = &mut self.explain_hops {
+            if let Some(hi) = failed_hop {
+                let h = &mut hops[hi];
+                h.outcome = if mailbox_closed {
+                    HopOutcome::MailboxDown
+                } else {
+                    HopOutcome::TimedOut
+                };
+                h.dur_us = now_us.saturating_sub(at_us) as f64;
+            }
+        }
         if let Some(m) = &self.cluster.metrics {
             m.dispatch_timeout.inc();
         }
@@ -986,22 +1221,31 @@ impl Driver<'_> {
                 span,
                 backoff_delay(cfg.backoff_base_ms, tries),
                 tries + 1,
+                failed_hop,
+                ExplainDecision::Retry,
             );
             return;
         }
-        self.give_up(server, mode, span);
+        self.give_up(server, mode, span, failed_hop);
     }
 
     /// Retries exhausted for `server` in `mode`: record the failure and
-    /// route around it through the replication overlay.
-    fn give_up(&mut self, server: ServerId, mode: ContactMode, span: SpanId) {
+    /// route around it through the replication overlay. `caused_by` is
+    /// the failed attempt's hop index, inherited by any failover hops.
+    fn give_up(
+        &mut self,
+        server: ServerId,
+        mode: ContactMode,
+        span: SpanId,
+        caused_by: Option<usize>,
+    ) {
         match mode {
             ContactMode::Failover { dead } => {
                 // The stand-in died too: remember it so failover for a
                 // *different* dead server cannot nominate it again, then
                 // advance to the next candidate.
                 self.dead_helpers.insert(server);
-                self.try_failover(dead, span);
+                self.try_failover(dead, span, caused_by);
             }
             ContactMode::LocalOnly => {
                 // Only this server held the probed data; nothing replicates
@@ -1010,7 +1254,7 @@ impl Driver<'_> {
             }
             ContactMode::Branch => {
                 self.mark_failed(server, mode);
-                self.try_failover(server, span);
+                self.try_failover(server, span, caused_by);
             }
             ContactMode::Entry => {
                 self.mark_failed(server, mode);
@@ -1020,8 +1264,8 @@ impl Driver<'_> {
                 // targets include the dead server itself, but the ledger
                 // already holds it at Entry rank, so its children would
                 // otherwise be unreachable.
-                self.entry_failover(server, span);
-                self.try_failover(server, span);
+                self.entry_failover(server, span, caused_by);
+                self.try_failover(server, span, caused_by);
             }
         }
     }
@@ -1039,7 +1283,7 @@ impl Driver<'_> {
     }
 
     /// Dispatch the next viable overlay stand-in for `dead`'s branch.
-    fn try_failover(&mut self, dead: ServerId, parent_span: SpanId) {
+    fn try_failover(&mut self, dead: ServerId, parent_span: SpanId, caused_by: Option<usize>) {
         if !self.cluster.cfg.enable_failover {
             return;
         }
@@ -1066,7 +1310,15 @@ impl Driver<'_> {
                 continue;
             }
             self.failover_pos.insert(dead, pos);
-            let id = self.dispatch(helper, mode, parent_span, Duration::ZERO, 0);
+            let id = self.dispatch(
+                helper,
+                mode,
+                parent_span,
+                Duration::ZERO,
+                0,
+                caused_by,
+                ExplainDecision::Failover,
+            );
             if let Some(m) = &self.cluster.metrics {
                 m.failovers.inc();
             }
@@ -1089,7 +1341,7 @@ impl Driver<'_> {
     }
 
     /// Nominate a replacement entry server after the original died.
-    fn entry_failover(&mut self, dead: ServerId, parent_span: SpanId) {
+    fn entry_failover(&mut self, dead: ServerId, parent_span: SpanId, caused_by: Option<usize>) {
         if !self.cluster.cfg.enable_failover {
             return;
         }
@@ -1100,7 +1352,15 @@ impl Driver<'_> {
             {
                 continue;
             }
-            let id = self.dispatch(helper, ContactMode::Entry, parent_span, Duration::ZERO, 0);
+            let id = self.dispatch(
+                helper,
+                ContactMode::Entry,
+                parent_span,
+                Duration::ZERO,
+                0,
+                caused_by,
+                ExplainDecision::Failover,
+            );
             if let Some(m) = &self.cluster.metrics {
                 m.failovers.inc();
             }
@@ -1133,6 +1393,13 @@ impl Driver<'_> {
         let (server, mode, tries, span, at_us, parent) =
             (a.server, a.mode, a.tries, a.span, a.at_us, a.parent);
         let now_us = self.t0.elapsed().as_micros() as u64;
+        if let Some(hops) = &mut self.explain_hops {
+            if let Some(&hi) = self.attempt_hop.get(&attempt) {
+                // Keep the Abandoned placeholder but stamp how long the
+                // hop had been in flight when the deadline cut it off.
+                hops[hi].dur_us = now_us.saturating_sub(at_us) as f64;
+            }
+        }
         if let Some(m) = &self.cluster.metrics {
             m.dispatch_timeout.inc();
         }
@@ -1216,6 +1483,7 @@ fn server_loop(
                 mode,
                 requester,
                 reply,
+                enqueued,
             } => {
                 // Picked up: it no longer sits in the mailbox. (Kill and
                 // restart reset the gauge, covering requests dropped with
@@ -1223,6 +1491,11 @@ fn server_loop(
                 if let Some(q) = &queue {
                     q.add(-1);
                 }
+                // Mailbox delivery → pickup is pure queue wait; everything
+                // from here to the reply send is this server's compute
+                // (summary evaluation + search + emulated backend cost).
+                let queue_us = enqueued.elapsed().as_micros() as f64;
+                let work_t0 = Instant::now();
                 let (targets, do_local) = match mode {
                     ContactMode::LocalOnly => (Vec::new(), true),
                     ContactMode::Entry => {
@@ -1284,7 +1557,12 @@ fn server_loop(
                 if !alive.load(Ordering::Relaxed) {
                     break; // killed mid-query: the in-flight reply is lost
                 }
-                reply.send(targets, records);
+                reply.send(
+                    targets,
+                    records,
+                    queue_us,
+                    work_t0.elapsed().as_micros() as f64,
+                );
             }
         }
     }

@@ -1,0 +1,331 @@
+//! The query explain plane against the live runtime: per-hop provenance
+//! must reconcile exactly with the [`RuntimeOutcome`] it explains, and a
+//! tail-retained query's explain record must reconstruct the same hop
+//! sequence the flight recorder saw — healthy, and under kill/restart
+//! fault injection.
+
+use roads_core::{RoadsConfig, RoadsNetwork, ServerId};
+use roads_netsim::DelaySpace;
+use roads_records::{OwnerId, Query, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
+use roads_runtime::{RoadsCluster, RuntimeConfig};
+use roads_summary::SummaryConfig;
+use roads_telemetry::{
+    span_tree_root, trace_events, EventKind, ExplainDecision, HopOutcome, QueryExplain, Recorder,
+    RetainReason, TailConfig, TailSampler, TraceId,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const RECORDS_PER_SERVER: usize = 20;
+
+fn build_net(n: usize, max_children: usize) -> RoadsNetwork {
+    let schema = Schema::unit_numeric(1);
+    let cfg = RoadsConfig {
+        max_children,
+        summary: SummaryConfig::with_buckets(64),
+        ..RoadsConfig::paper_default()
+    };
+    let records: Vec<Vec<Record>> = (0..n)
+        .map(|s| {
+            (0..RECORDS_PER_SERVER)
+                .map(|i| {
+                    let id = s * RECORDS_PER_SERVER + i;
+                    Record::new_unchecked(
+                        RecordId(id as u64),
+                        OwnerId(s as u32),
+                        vec![Value::Float(id as f64 / (n * RECORDS_PER_SERVER) as f64)],
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    RoadsNetwork::build(schema, cfg, records)
+}
+
+fn build_cluster(n: usize, cfg: RuntimeConfig) -> RoadsCluster {
+    RoadsCluster::start(build_net(n, 3), DelaySpace::paper(n, 77), cfg)
+}
+
+fn full_query(c: &RoadsCluster, id: u64) -> Query {
+    QueryBuilder::new(c.network().schema(), QueryId(id))
+        .range("x0", 0.0, 1.0)
+        .build()
+}
+
+fn a_leaf(c: &RoadsCluster) -> ServerId {
+    let tree = c.network().tree();
+    (0..c.network().len() as u32)
+        .map(ServerId)
+        .find(|&s| tree.children(s).is_empty())
+        .expect("every finite tree has a leaf")
+}
+
+/// The invariants tying an explain record to the outcome it explains.
+fn assert_consistent(out: &roads_runtime::RuntimeOutcome, ex: &QueryExplain) {
+    assert_eq!(
+        ex.distinct_responders(),
+        out.servers_contacted,
+        "distinct Replied hops must equal servers_contacted"
+    );
+    assert_eq!(
+        ex.retry_count() as usize,
+        out.retries,
+        "Retry hops must equal the outcome's retry count"
+    );
+    assert_eq!(ex.records, out.records.len() as u64, "record count");
+    assert_eq!(ex.complete, out.complete, "completeness verdict");
+    assert!((ex.response_us / 1_000.0 - out.response_ms).abs() < 1e-6);
+    // Causality is well-founded: the entry hop is first and uncaused,
+    // every other hop is caused by an earlier one.
+    assert_eq!(ex.hops[0].decision, ExplainDecision::Entry);
+    assert_eq!(ex.hops[0].caused_by, None);
+    for (i, h) in ex.hops.iter().enumerate().skip(1) {
+        let c = h.caused_by.expect("non-entry hops have a cause");
+        assert!(c < i, "hop {i} caused by later hop {c}");
+    }
+}
+
+#[test]
+fn explain_matches_outcome_on_healthy_cluster() {
+    let n = 13;
+    let c = build_cluster(n, RuntimeConfig::test_fast());
+    let entry = a_leaf(&c);
+    let (out, ex) = c.query_explained(&full_query(&c, 1), entry);
+
+    assert_eq!(out.records.len(), n * RECORDS_PER_SERVER);
+    assert_consistent(&out, &ex);
+    assert_eq!(ex.entry, entry.0);
+    assert!(!ex.deadline_hit);
+    assert!(
+        ex.hops.iter().all(|h| h.outcome == HopOutcome::Replied),
+        "healthy cluster: every hop replies"
+    );
+    assert!(
+        ex.hops
+            .iter()
+            .any(|h| h.decision == ExplainDecision::SummaryDescent),
+        "a full-range query descends the hierarchy"
+    );
+    // Every server holds matching data, so every descent hop was
+    // vouched for by some summary structure and found local records.
+    for h in &ex.hops {
+        if h.decision == ExplainDecision::SummaryDescent {
+            assert!(h.summary.is_some(), "descent hops carry a summary kind");
+            assert!(!h.false_positive);
+        }
+    }
+    // Attribution: simulated links make network time dominate; nothing
+    // was retried or failed over.
+    let attr = ex.attribution();
+    assert!(attr.network_us > 0.0);
+    assert_eq!(attr.retry_us, 0.0);
+    assert_eq!(attr.failover_us, 0.0);
+    assert!(attr.total_us() > 0.0);
+    c.shutdown();
+}
+
+#[test]
+fn explain_consistency_under_kill_and_restart() {
+    let n = 13;
+    let c = build_cluster(n, RuntimeConfig::test_faulty());
+    let tree = c.network().tree();
+    let victim = *tree
+        .children(tree.root())
+        .iter()
+        .find(|&&s| !tree.children(s).is_empty())
+        .expect("13 servers at degree 3 have an interior non-root child");
+    assert!(c.kill_server(victim));
+
+    let (out, ex) = c.query_explained(&full_query(&c, 2), tree.root());
+    assert_eq!(out.failed_servers, vec![victim]);
+    assert_consistent(&out, &ex);
+    // The dead server's hop records the closed mailbox, and the overlay
+    // stand-in hop points back at it as its cause.
+    let dead_hop = ex
+        .hops
+        .iter()
+        .position(|h| h.server == victim.0)
+        .expect("the dead server was dispatched to");
+    assert_eq!(ex.hops[dead_hop].outcome, HopOutcome::MailboxDown);
+    let failover = ex
+        .hops
+        .iter()
+        .find(|h| h.decision == ExplainDecision::Failover)
+        .expect("an overlay stand-in was nominated");
+    assert_eq!(failover.caused_by, Some(dead_hop));
+    assert_eq!(failover.outcome, HopOutcome::Replied);
+    let attr = ex.attribution();
+    assert!(attr.failover_us > 0.0, "failover time must be attributed");
+
+    // After a restart the same query explains cleanly again.
+    assert!(c.restart_server(victim));
+    let (healed, hex) = c.query_explained(&full_query(&c, 3), tree.root());
+    assert!(healed.complete);
+    assert_consistent(&healed, &hex);
+    assert!(hex.hops.iter().all(|h| h.outcome == HopOutcome::Replied));
+    assert_eq!(hex.attribution().failover_us, 0.0);
+    c.shutdown();
+}
+
+#[test]
+fn explain_counts_real_retries() {
+    // One slow-but-alive server: the dispatch timeout fires, the driver
+    // retries, and the explain record must show the same retry the
+    // outcome counts — with its backoff attributed to retry time.
+    let cfg = RuntimeConfig {
+        base_query_cost_us: 400_000,
+        dispatch_timeout_ms: 250,
+        max_retries: 1,
+        backoff_base_ms: 5,
+        query_deadline_ms: 8_000,
+        ..RuntimeConfig::test_fast()
+    };
+    let c = build_cluster(1, cfg);
+    let only = c.network().tree().root();
+    let (out, ex) = c.query_explained(&full_query(&c, 4), only);
+    assert!(out.retries >= 1);
+    assert_consistent(&out, &ex);
+    let retry = ex
+        .hops
+        .iter()
+        .find(|h| h.decision == ExplainDecision::Retry)
+        .expect("a retry hop was dispatched");
+    assert!(retry.split.backoff_us > 0.0, "retries carry their backoff");
+    assert!(ex.attribution().retry_us > 0.0);
+    c.shutdown();
+}
+
+/// Acceptance: a tail-retained query's explain record reconstructs its
+/// full hop sequence, verified against the flight-recorder span tree
+/// captured for the same trace.
+#[test]
+fn retained_query_explain_reconstructs_span_tree() {
+    let n = 13;
+    let mut c = build_cluster(n, RuntimeConfig::test_faulty());
+    let rec = Arc::new(Recorder::new(65_536));
+    c.set_recorder(Arc::clone(&rec));
+    let tail = Arc::new(TailSampler::new(TailConfig {
+        capacity: 16,
+        min_samples: 1_000_000, // stay on the floor threshold
+        floor_ms: 1e9,          // retain only failed/incomplete queries
+    }));
+    c.set_tail_sampler(Arc::clone(&tail));
+
+    // Warm-up query: healthy, fast, below the floor — observed, dropped.
+    let healthy = c.query(&full_query(&c, 5), a_leaf(&c));
+    assert!(healthy.complete);
+
+    // Kill a leaf: the next query fails partially and must be retained.
+    let victim = a_leaf(&c);
+    assert!(c.kill_server(victim));
+    let out = c.query(&full_query(&c, 6), c.network().tree().root());
+    assert_eq!(out.failed_servers, vec![victim]);
+
+    assert_eq!(tail.observed(), 2);
+    assert_eq!(tail.dropped(), 1, "the healthy query folds and drops");
+    let retained = tail.retained();
+    assert_eq!(retained.len(), 1);
+    let kept = &retained[0];
+    assert_eq!(kept.reason, RetainReason::Failed);
+    let ex = &kept.explain;
+    assert_consistent(&out, ex);
+
+    // The retained flight-recorder events belong to this trace and form
+    // a valid span tree.
+    assert!(ex.trace_id != 0, "recorder attached ⇒ real trace id");
+    let trace = TraceId(ex.trace_id);
+    assert!(!kept.events.is_empty());
+    assert!(kept.events.iter().all(|e| e.trace == trace));
+    assert_eq!(kept.events, trace_events(&rec.events(), trace));
+    span_tree_root(&kept.events, trace).expect("retained events form a span tree");
+
+    // Hop-by-hop reconstruction: the explain record and the span tree
+    // describe the same execution. Every Replied hop is a QueryHop event
+    // on the same server; timeouts/mailbox failures are DispatchTimeout
+    // events; Retry and Failover decisions match their event kinds.
+    let replied: BTreeSet<u32> = ex
+        .hops
+        .iter()
+        .filter(|h| h.outcome == HopOutcome::Replied)
+        .map(|h| h.server)
+        .collect();
+    let hop_events: BTreeSet<u32> = kept
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::QueryHop)
+        .map(|e| e.node)
+        .collect();
+    assert_eq!(replied, hop_events, "Replied hops ⇔ QueryHop events");
+    let failures = ex
+        .hops
+        .iter()
+        .filter(|h| matches!(h.outcome, HopOutcome::TimedOut | HopOutcome::MailboxDown))
+        .count();
+    let timeout_events = kept
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::DispatchTimeout)
+        .count();
+    assert_eq!(failures, timeout_events, "failed hops ⇔ timeout events");
+    let failover_hops = ex
+        .hops
+        .iter()
+        .filter(|h| h.decision == ExplainDecision::Failover)
+        .count();
+    let failover_events = kept
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Failover)
+        .count();
+    assert_eq!(failover_hops, failover_events);
+    assert_eq!(
+        ex.retry_count(),
+        kept.events
+            .iter()
+            .filter(|e| e.kind == EventKind::Retry)
+            .count() as u64
+    );
+
+    // Exemplar: the latency bucket this query fell into links back to
+    // the retained trace.
+    assert_eq!(tail.exemplar(out.response_ms), Some(ex.trace_id));
+    c.shutdown();
+}
+
+/// Deadline-abandoned hops stay `Abandoned` and the query is retained as
+/// incomplete even though nothing failed outright.
+#[test]
+fn deadline_cutoff_retains_incomplete_with_abandoned_hops() {
+    let cfg = RuntimeConfig {
+        base_query_cost_us: 800_000,
+        query_deadline_ms: 200,
+        dispatch_timeout_ms: 0,
+        ..RuntimeConfig::test_fast()
+    };
+    let mut c = build_cluster(4, cfg);
+    let tail = Arc::new(TailSampler::new(TailConfig {
+        capacity: 4,
+        min_samples: 1_000_000,
+        floor_ms: 1e9,
+    }));
+    c.set_tail_sampler(Arc::clone(&tail));
+    let root = c.network().tree().root();
+    let (out, ex) = c.query_explained(&full_query(&c, 7), root);
+    assert!(!out.complete);
+    assert!(ex.deadline_hit);
+    assert_consistent(&out, &ex);
+    assert!(
+        ex.hops
+            .iter()
+            .any(|h| h.outcome == HopOutcome::Abandoned && h.dur_us > 0.0),
+        "deadline-cut hops must be recorded as abandoned with their age"
+    );
+    // The sampler saw the same query once more (query_explained also
+    // feeds an attached sampler) and kept it.
+    let retained = tail.retained();
+    assert!(!retained.is_empty());
+    assert!(retained
+        .iter()
+        .all(|q| q.reason == RetainReason::Failed || q.reason == RetainReason::Incomplete));
+    c.shutdown();
+}

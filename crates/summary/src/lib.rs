@@ -36,5 +36,5 @@ pub use bloom::BloomFilter;
 pub use histogram::Histogram;
 pub use multires::MultiResHistogram;
 pub use soft_state::{SoftState, SoftStateTable};
-pub use summary::{CategoricalMode, Summary, SummaryConfig};
+pub use summary::{CategoricalMode, Summary, SummaryConfig, SummaryVerdict};
 pub use value_set::ValueSet;

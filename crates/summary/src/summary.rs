@@ -12,6 +12,26 @@ use crate::value_set::ValueSet;
 use roads_records::{AttrType, Query, Record, Schema, Value, WireSize};
 use serde::{Deserialize, Serialize};
 
+/// Outcome of [`Summary::decide`]: the may-match answer plus which
+/// per-attribute representation it hinged on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryVerdict {
+    /// Some record may match. `fuzziest` names the loosest participating
+    /// summary kind (the likeliest false-positive source).
+    Match {
+        /// [`AttributeSummary::kind_name`] label, `None` for predicate-free
+        /// queries.
+        fuzziest: Option<&'static str>,
+    },
+    /// Provably no record matches. `decided_by` names the kind that
+    /// proved absence (`None` when the summary itself is empty or the
+    /// predicate fell outside the schema).
+    Prune {
+        /// [`AttributeSummary::kind_name`] label of the pruning attribute.
+        decided_by: Option<&'static str>,
+    },
+}
+
 /// How categorical attributes are summarized.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum CategoricalMode {
@@ -207,6 +227,46 @@ impl Summary {
         })
     }
 
+    /// [`Summary::may_match`] with provenance: *which* per-attribute
+    /// representation decided.
+    ///
+    /// On a prune, reports the kind of the first attribute summary that
+    /// proved absence. On a match, reports the *fuzziest* participating
+    /// kind — the likeliest false-positive source, ranked Bloom >
+    /// multi-resolution > histogram > exact value set (a value set cannot
+    /// false-positive at all). Kind labels are
+    /// [`AttributeSummary::kind_name`] strings; `None` when the summary
+    /// is empty or the query has no in-range predicates.
+    pub fn decide(&self, query: &Query) -> SummaryVerdict {
+        if self.records == 0 {
+            return SummaryVerdict::Prune { decided_by: None };
+        }
+        let mut fuzziest: Option<&'static str> = None;
+        for p in query.predicates() {
+            let idx = p.attr().index();
+            if idx >= self.per_attr.len() {
+                return SummaryVerdict::Prune { decided_by: None };
+            }
+            let a = &self.per_attr[idx];
+            if !a.may_match(p) {
+                return SummaryVerdict::Prune {
+                    decided_by: Some(a.kind_name()),
+                };
+            }
+            let rank = |k: &str| match k {
+                "set" => 0,
+                "histogram" => 1,
+                "multires" => 2,
+                "bloom" => 3,
+                _ => 0,
+            };
+            if fuzziest.is_none_or(|f| rank(a.kind_name()) > rank(f)) {
+                fuzziest = Some(a.kind_name());
+            }
+        }
+        SummaryVerdict::Match { fuzziest }
+    }
+
     /// Merge another summary (bottom-up aggregation step).
     pub fn merge(&mut self, other: &Summary) -> Result<(), AttrMergeError> {
         if self.per_attr.len() != other.per_attr.len() {
@@ -274,6 +334,71 @@ mod tests {
 
     fn config() -> SummaryConfig {
         SummaryConfig::with_buckets(100)
+    }
+
+    #[test]
+    fn decide_reports_pruning_and_fuzziest_kind() {
+        let s = schema();
+        let records = vec![camera(&s, 1, "MPEG2", 100.0), camera(&s, 2, "MPEG2", 200.0)];
+        // Bloom categorical summaries: the fuzziest participating kind.
+        let cfg = SummaryConfig {
+            categorical: CategoricalMode::Bloom {
+                bits: 256,
+                hashes: 3,
+            },
+            ..SummaryConfig::with_buckets(100)
+        };
+        let sum = Summary::from_records(&s, &cfg, &records);
+
+        // Match driven by a bloom + a histogram: bloom is fuzzier.
+        let q = QueryBuilder::new(&s, QueryId(1))
+            .eq("type", "camera")
+            .gt("rate", 150.0)
+            .build();
+        assert_eq!(
+            sum.decide(&q),
+            SummaryVerdict::Match {
+                fuzziest: Some("bloom")
+            }
+        );
+
+        // Histogram-only predicate: histogram is the fuzziest participant.
+        let q = QueryBuilder::new(&s, QueryId(2)).gt("rate", 150.0).build();
+        assert_eq!(
+            sum.decide(&q),
+            SummaryVerdict::Match {
+                fuzziest: Some("histogram")
+            }
+        );
+
+        // A rate range no record covers: the histogram proves absence.
+        let q = QueryBuilder::new(&s, QueryId(3))
+            .range("rate", 900.0, 1000.0)
+            .build();
+        assert_eq!(
+            sum.decide(&q),
+            SummaryVerdict::Prune {
+                decided_by: Some("histogram")
+            }
+        );
+
+        // decide() agrees with may_match() on both branches.
+        for q in [
+            QueryBuilder::new(&s, QueryId(4)).gt("rate", 150.0).build(),
+            QueryBuilder::new(&s, QueryId(5))
+                .range("rate", 900.0, 1000.0)
+                .build(),
+        ] {
+            assert_eq!(
+                matches!(sum.decide(&q), SummaryVerdict::Match { .. }),
+                sum.may_match(&q)
+            );
+        }
+
+        // Empty summary prunes with no deciding attribute.
+        let empty = Summary::from_records(&s, &cfg, &[]);
+        let q = QueryBuilder::new(&s, QueryId(6)).gt("rate", 0.0).build();
+        assert_eq!(empty.decide(&q), SummaryVerdict::Prune { decided_by: None });
     }
 
     #[test]

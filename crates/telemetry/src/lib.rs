@@ -27,6 +27,14 @@
 //!   [`Registry`] snapshot (deterministic ordering, label escaping, full
 //!   histogram buckets), a parser for scrape files, and a background
 //!   [`Sampler`] thread feeding a bounded [`Timeline`] ring.
+//! * [`explain`] — per-query provenance: a [`QueryExplain`] record built
+//!   along the query path, one hop per contact attempt with its routing
+//!   decision, summary kind, outcome and latency split, folded into a
+//!   query-level queue/network/compute/retry/failover [`Attribution`].
+//! * [`tail`] — tail-based sampling: a bounded [`TailSampler`] reservoir
+//!   retaining full explain records (+ flight-recorder traces) only for
+//!   slow / failed / incomplete queries, with per-histogram-bucket
+//!   exemplar trace ids linking p99 buckets to concrete queries.
 //! * [`json`] / [`export`] — a small hand-rolled JSON value type (writer
 //!   *and* parser) and the `results/<figure>.json` exporter used by every
 //!   `fig*` binary.
@@ -36,18 +44,23 @@
 //! instrumented build costs nothing when telemetry is not requested.
 
 pub mod event;
+pub mod explain;
 pub mod export;
 pub mod json;
 pub mod openmetrics;
 pub mod registry;
 pub mod span;
 pub mod stats;
+pub mod tail;
 pub mod timeline;
 pub mod trace;
 
 pub use event::{
     chrome_trace_json, critical_path, slowest_trace, span_tree_root, trace_events, trace_ids,
     write_chrome_trace, write_chrome_trace_default, Event, EventKind, Recorder, SpanId, TraceId,
+};
+pub use explain::{
+    Attribution, ExplainDecision, ExplainHop, HopOutcome, LatencySplit, QueryExplain, SummaryKind,
 };
 pub use export::{FigureExport, ReferencePoint, Series};
 pub use json::Json;
@@ -58,5 +71,6 @@ pub use openmetrics::{
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use span::SpanTimer;
 pub use stats::LatencyStats;
+pub use tail::{event_from_json, RetainReason, RetainedQuery, TailConfig, TailSampler};
 pub use timeline::{Timeline, TimelineSeries};
 pub use trace::{aggregate_traces, gini, Hop, HopReason, QueryTrace, TraceReport};

@@ -588,8 +588,10 @@ fn percentile_of_snapshot(s: &HistogramSnapshot, q: f64) -> f64 {
 /// bounded [`Timeline`] ring at a fixed wall-clock interval.
 ///
 /// `stop` joins the thread and returns the timeline; dropping without
-/// stopping also shuts the thread down. A `scrape` mid-run clones the
-/// timeline accumulated so far without disturbing the schedule.
+/// stopping also signals and joins it. Either shutdown path takes one
+/// final sample first, so instrument changes after the last scheduled
+/// tick are never lost. A `scrape` mid-run clones the timeline
+/// accumulated so far without disturbing the schedule.
 pub struct Sampler {
     shared: Arc<SamplerShared>,
     handle: Option<JoinHandle<()>>,
@@ -630,11 +632,15 @@ impl Sampler {
                         let (guard, _) = sh.cv.wait_timeout(st, wait).expect("sampler state");
                         st = guard;
                     }
-                    if st.stop {
+                    let stopping = st.stop;
+                    drop(st);
+                    // One final sample on shutdown: counter increments
+                    // since the last scheduled tick would otherwise never
+                    // reach the timeline returned by `stop`/seen at drop.
+                    sh.tick(sh.t0.elapsed().as_secs_f64() * 1e3);
+                    if stopping {
                         return;
                     }
-                    drop(st);
-                    sh.tick(sh.t0.elapsed().as_secs_f64() * 1e3);
                     next += sh.interval;
                 }
             })
@@ -863,6 +869,59 @@ mod tests {
         assert!(
             !tl.series().iter().any(|s| s.name.starts_with("absent")),
             "unknown names never invent series"
+        );
+    }
+
+    /// Regression: shutdown (explicit `stop` or plain drop) must take one
+    /// final sample, so counter increments after the last scheduled tick
+    /// are not lost, and must join the thread (no leak past drop).
+    #[test]
+    fn sampler_shutdown_takes_final_sample_and_joins() {
+        let r = Arc::new(Registry::new());
+        r.counter("final.count").add(1);
+        // Huge interval: after the immediate t0 tick the thread would not
+        // sample again for an hour — only the shutdown path can see the
+        // later increments.
+        let sampler = Sampler::start(
+            Arc::clone(&r),
+            &["final.count"],
+            Duration::from_secs(3600),
+            0,
+        );
+        r.counter("final.count").add(41);
+        let tl = sampler.stop();
+        let series = tl
+            .series()
+            .iter()
+            .find(|s| s.name == "final.count")
+            .expect("series recorded")
+            .clone();
+        assert_eq!(
+            series.points.last().unwrap().1,
+            42.0,
+            "final snapshot must capture post-tick increments"
+        );
+
+        // Same via Drop: the join in shutdown() makes the write visible
+        // before drop returns, observable through a mid-run scrape clone
+        // being strictly older than the registry's final state.
+        let sampler = Sampler::start(
+            Arc::clone(&r),
+            &["final.count"],
+            Duration::from_secs(3600),
+            0,
+        );
+        r.counter("final.count").add(8);
+        let shared = Arc::clone(&sampler.shared);
+        drop(sampler);
+        let st = shared.state.lock().expect("sampler state");
+        assert!(
+            st.timeline
+                .series()
+                .iter()
+                .find(|s| s.name == "final.count")
+                .is_some_and(|s| s.points.last().unwrap().1 == 50.0),
+            "drop must flush a final sample before the thread exits"
         );
     }
 

@@ -148,6 +148,15 @@ impl Histogram {
         }
     }
 
+    /// Upper edge of the bucket `v` falls into — the canonical key for
+    /// associating out-of-band data (e.g. exemplar trace ids) with a
+    /// histogram bucket. Two values land in the same bucket iff their
+    /// edges are equal, and the edge matches the representative value
+    /// reported by [`Histogram::full_snapshot`] for that bucket.
+    pub fn bucket_edge(v: f64) -> f64 {
+        Self::bucket_value(Self::index(v))
+    }
+
     /// Record one sample.
     pub fn record(&self, v: f64) {
         let mut g = self.inner.lock();
