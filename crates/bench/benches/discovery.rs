@@ -8,7 +8,7 @@ use roads_core::{
 };
 use roads_netsim::DelaySpace;
 use roads_records::{OwnerId, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
-use roads_runtime::{RoadsCluster, RuntimeConfig};
+use roads_runtime::{AuditConfig, AuditMetrics, Auditor, RoadsCluster, RuntimeConfig};
 use roads_summary::SummaryConfig;
 use roads_sword::SwordNetwork;
 use roads_telemetry::{OpenMetricsSnapshot, Registry, Sampler, TailSampler};
@@ -241,6 +241,45 @@ fn bench_recorder_overhead(c: &mut Criterion) {
         let mut cluster = live_cluster();
         cluster.set_tail_sampler(TailSampler::shared());
         drive(b, &cluster);
+        cluster.shutdown();
+    });
+    // Audit-plane acceptance check: with AuditMetrics attached the reply
+    // path folds every branch-mode outcome into two atomic counters, and
+    // the background Auditor recomputes ground truth on its own thread.
+    // Neither may cost the query path more than 5% vs the bare cluster.
+    g.bench_function("auditor_off", |b| {
+        let cluster = live_cluster();
+        drive(b, &cluster);
+        cluster.shutdown();
+    });
+    g.bench_function("auditor_on", |b| {
+        let reg = Registry::new();
+        let mut cluster = live_cluster();
+        let net = cluster.shared_network();
+        let metrics = Arc::new(AuditMetrics::new(&reg, net.tree().levels()));
+        cluster.set_audit_metrics(Arc::clone(&metrics));
+        let probes: Vec<_> = (0..8)
+            .map(|i| {
+                let lo = 0.75 * (i as f64 * 0.37).fract();
+                QueryBuilder::new(net.schema(), QueryId(1_000 + i as u64))
+                    .range("x0", lo, lo + 0.25)
+                    .build()
+            })
+            .collect();
+        let auditor = Auditor::start(
+            net,
+            metrics,
+            AuditConfig {
+                interval: Duration::from_millis(5),
+                probes_per_tick: 4,
+                refresh_every: 4,
+                ..AuditConfig::default()
+            },
+            probes,
+            cluster.liveness(),
+        );
+        drive(b, &cluster);
+        auditor.stop();
         cluster.shutdown();
     });
     // Rendering a populated registry to OpenMetrics text (the scrape

@@ -30,20 +30,26 @@
 //! [`QueryExplain`] provenance, inspectable with `roads-inspect explain`
 //! and `roads-inspect slow` and validated by `roads-inspect check`.
 //!
+//! A background [`Auditor`] additionally samples summary ground truth
+//! throughout the run and writes `AUDIT.json` (also next to `--out`):
+//! cumulative per-level FP/FN counts, overlay divergence and staleness,
+//! inspectable with `roads-inspect audit` and validated by
+//! `roads-inspect check`.
+//!
 //! [`QueryExplain`]: roads_telemetry::QueryExplain
 
 use roads_bench::suite::{print_metrics_digest, BenchRecord, BenchReport};
 use roads_core::{BuildOptions, RoadsConfig, RoadsNetwork, ServerId};
 use roads_netsim::DelaySpace;
 use roads_records::{OwnerId, Query, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
-use roads_runtime::{RoadsCluster, RuntimeConfig};
+use roads_runtime::{AuditConfig, AuditMetrics, Auditor, RoadsCluster, RuntimeConfig};
 use roads_summary::SummaryConfig;
 use roads_telemetry::{Recorder, Registry, TailSampler};
 use roads_workload::{default_schema, generate_node_records, RecordWorkloadConfig};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Matrix dimensions, scaled by `--smoke`.
 struct Matrix {
@@ -295,8 +301,30 @@ fn main() {
     let tail = TailSampler::shared();
     cluster.set_recorder(Arc::clone(&recorder));
     cluster.set_tail_sampler(Arc::clone(&tail));
+    // Summary-fidelity auditing over the whole live-cluster run: live
+    // branch outcomes fold into `audit.live_*`, a background auditor
+    // samples ground truth on a budget, and the final AUDIT.json lands
+    // next to the bench report.
+    let audit_metrics = Arc::new(AuditMetrics::new(&reg, cluster.network().tree().levels()));
+    cluster.set_audit_metrics(Arc::clone(&audit_metrics));
     let root = cluster.network().tree().root();
     let cschema = cluster.network().schema().clone();
+    let audit_probes: Vec<Query> = queries(&cschema, n, 16, root, false)
+        .into_iter()
+        .map(|(q, _)| q)
+        .collect();
+    let auditor = Auditor::start(
+        cluster.shared_network(),
+        audit_metrics,
+        AuditConfig {
+            interval: Duration::from_millis(100),
+            probes_per_tick: 4,
+            refresh_every: 4,
+            ..AuditConfig::default()
+        },
+        audit_probes,
+        cluster.liveness(),
+    );
     let spread = queries(&cschema, n, m.cluster_queries, root, true);
     let rooted = queries(&cschema, n, m.cluster_queries, root, false);
     for (bench, workload) in [("qps_overlay", &spread), ("qps_root", &rooted)] {
@@ -332,6 +360,7 @@ fn main() {
     let r = BenchRecord::from_samples("failover_recovery", "ms", &samples);
     println!("{:<20} {:>10.1} ms (p99 {:.1})", r.name, r.value, r.p99);
     benches.push(r);
+    let audit_report = auditor.stop();
     cluster.shutdown();
 
     let report = BenchReport::new(m.config, benches);
@@ -360,6 +389,28 @@ fn main() {
         ),
         Err(e) => {
             eprintln!("error: could not write {}: {e}", slow_path.display());
+            std::process::exit(1);
+        }
+    }
+
+    // The audit of this run: cumulative per-level fidelity plus the final
+    // divergence/staleness state, next to the bench report.
+    let audit_path = match out.parent() {
+        Some(dir) if dir.as_os_str().is_empty() => PathBuf::from("AUDIT.json"),
+        Some(dir) => dir.join("AUDIT.json"),
+        None => PathBuf::from("AUDIT.json"),
+    };
+    match audit_report.write(&audit_path) {
+        Ok(()) => println!(
+            "wrote {} ({} ticks, {} probes, divergence {:.2}%, staleness p99 {})",
+            audit_path.display(),
+            audit_report.ticks,
+            audit_report.probes(),
+            audit_report.divergence * 100.0,
+            audit_report.staleness_p99
+        ),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", audit_path.display());
             std::process::exit(1);
         }
     }

@@ -25,8 +25,11 @@ use roads_netsim::DelaySpace;
 use roads_records::{OwnerId, Query, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
 use roads_runtime::{RoadsCluster, RuntimeConfig};
 use roads_summary::SummaryConfig;
-use roads_telemetry::{Attribution, FigureExport, QueryExplain, Registry};
+use roads_telemetry::{
+    write_chrome_trace_default, Attribution, FigureExport, QueryExplain, Recorder, Registry,
+};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 const RECORDS_PER_SERVER: usize = 30;
 
@@ -123,8 +126,10 @@ fn main() {
     );
 
     let reg = Registry::new();
-    let cluster =
+    let rec = Arc::new(Recorder::new(65_536));
+    let mut cluster =
         RoadsCluster::start_instrumented(build_net(n), DelaySpace::paper(n, 31), runtime_cfg, &reg);
+    cluster.set_recorder(Arc::clone(&rec));
     let root = cluster.network().tree().root();
     let q = QueryBuilder::new(cluster.network().schema(), QueryId(15))
         .range("x0", 0.0, 1.0)
@@ -219,5 +224,6 @@ fn main() {
          so components can exceed the end-to-end response time",
     );
     fig.write_default();
+    write_chrome_trace_default(&fig.figure, &rec);
     roads_bench::suite::print_metrics_digest(&reg.snapshot());
 }

@@ -14,6 +14,8 @@
 //!                                       # retained tail queries
 //! roads-inspect slow <artifact>         # ranked tail table with latency
 //!                                       # attribution
+//! roads-inspect audit <artifact>        # per-level summary-fidelity table
+//!                                       # from an AUDIT.json artifact
 //! ```
 //!
 //! `<base>` is a result stem such as `results/fig3_latency_vs_nodes`; the
@@ -31,7 +33,14 @@
 //! (the `SLOW_QUERIES.json` tail-sampler report written by `bench_suite`)
 //! validate through [`roads_bench::explain_view::parse_slow_doc`]: every
 //! retained entry must parse back into a [`QueryExplain`] and its retained
-//! flight-recorder events must form a valid span tree.
+//! flight-recorder events must form a valid span tree. Documents carrying
+//! an `audit` key (the `AUDIT.json` auditor report) validate through the
+//! strict [`roads_bench::audit_view::AuditReport`] parser: every scalar
+//! and per-level row must be present and well-typed.
+//!
+//! `audit` renders the per-level summary-fidelity table of an
+//! `AUDIT.json` artifact: ground-truth probes, FP/FN rates, overlay
+//! divergence and staleness per hierarchy level.
 //!
 //! `explain` renders every retained query of a `SLOW_QUERIES.json`
 //! artifact as a hop-by-hop waterfall plus the decision tree of *why*
@@ -52,7 +61,7 @@
 //!
 //! [`FigureExport`]: roads_telemetry::FigureExport
 
-use roads_bench::{explain_view, suite};
+use roads_bench::{audit_view, explain_view, suite};
 use roads_telemetry::{
     critical_path, parse_openmetrics, slowest_trace, span_tree_root, trace_ids, Event, EventKind,
     Json, SpanId, TraceId,
@@ -72,6 +81,7 @@ fn main() -> ExitCode {
             explain(&rest[0], rest.get(1).and_then(|q| q.parse().ok()))
         }
         Some((cmd, rest)) if cmd == "slow" && rest.len() == 1 => slow(&rest[0]),
+        Some((cmd, rest)) if cmd == "audit" && rest.len() == 1 => audit(&rest[0]),
         _ => {
             eprintln!("usage: roads-inspect summary <base>");
             eprintln!("       roads-inspect diff <base-a> <base-b>");
@@ -80,6 +90,7 @@ fn main() -> ExitCode {
             eprintln!("       roads-inspect health <scrape.txt>");
             eprintln!("       roads-inspect explain <slow-queries.json> [query-id]");
             eprintln!("       roads-inspect slow <slow-queries.json>");
+            eprintln!("       roads-inspect audit <audit.json>");
             eprintln!("  <base> is a result stem, e.g. results/fig3_latency_vs_nodes");
             ExitCode::from(2)
         }
@@ -333,6 +344,23 @@ fn check(bases: &[String]) -> ExitCode {
                 }
                 continue;
             }
+            // Auditor reports (AUDIT.json) validate every scalar and
+            // per-level row through the strict parser; no trace file.
+            Ok(doc) if audit_view::is_audit_doc(&doc) => {
+                match audit_view::AuditReport::from_json(&doc) {
+                    Ok(report) => println!(
+                        "OK   {base}: audit report, {} ticks, {} levels, {} probes",
+                        report.ticks,
+                        report.levels.len(),
+                        report.probes()
+                    ),
+                    Err(e) => {
+                        eprintln!("FAIL {}: {e}", fig_path.display());
+                        failed = true;
+                    }
+                }
+                continue;
+            }
             // Tail-sampler reports (SLOW_QUERIES.json) validate each
             // retained explain record and its span tree; no trace file.
             Ok(doc) if explain_view::is_slow_doc(&doc) => {
@@ -508,6 +536,29 @@ fn slow(path: &str) -> ExitCode {
     match load_slow_doc(path) {
         Ok(doc) => {
             print!("{}", explain_view::render_slow_table(&doc));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn audit(path: &str) -> ExitCode {
+    let (fig_path, _) = expand(path);
+    let report = load_json(&fig_path).and_then(|doc| {
+        if !audit_view::is_audit_doc(&doc) {
+            return Err(format!(
+                "{}: not an audit report (no audit key)",
+                fig_path.display()
+            ));
+        }
+        audit_view::AuditReport::from_json(&doc).map_err(|e| format!("{}: {e}", fig_path.display()))
+    });
+    match report {
+        Ok(report) => {
+            print!("{}", audit_view::render_audit_table(&report));
             ExitCode::SUCCESS
         }
         Err(e) => {

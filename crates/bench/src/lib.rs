@@ -12,6 +12,7 @@
 //! over 10 runs. Binaries accept `--runs N` and `--quick` (a scaled-down
 //! sweep for smoke testing).
 
+pub mod audit_view;
 pub mod chart;
 pub mod explain_view;
 pub mod suite;

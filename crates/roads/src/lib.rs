@@ -23,7 +23,11 @@
 //! * [`maintenance`] — the live protocol over the discrete-event simulator:
 //!   heartbeats, failure detection, grandparent rejoin, root election.
 //! * [`metrics`] — latency statistics helpers.
+//! * [`audit`] — ground-truth auditing of the overlay: epoch-stamped
+//!   replica copies ([`ReplicaLedger`]), staleness ages, divergence scores
+//!   and per-level false-positive/false-negative probes.
 
+pub mod audit;
 pub mod batch;
 pub mod config;
 pub mod engine;
@@ -37,12 +41,15 @@ pub mod queryexec;
 pub mod tree;
 pub mod updates;
 
+pub use audit::{
+    audit_probe, authoritative_branch, DivergenceReport, LevelAudit, ReplicaEntry, ReplicaLedger,
+};
 pub use batch::QueryBatch;
 pub use config::RoadsConfig;
 pub use engine::{BuildOptions, EvalResult, RoadsNetwork};
 pub use load::{choose_entry, EntryPolicy, LoadTracker};
 pub use metrics::{record_query_outcome, LatencyStats};
-pub use overlay::{replication_set, ReplicationSet};
+pub use overlay::{replication_set, ReplicaRole, ReplicationSet};
 pub use policy::{
     apply_policy, Disclosure, OpenPolicy, RequesterId, SharingPolicy, TieredPolicy, TrustClass,
 };
@@ -52,4 +59,6 @@ pub use queryexec::{
     ForwardingMode, QueryOutcome, SearchScope, TraceEvent, TraceRole,
 };
 pub use tree::{BalanceStats, HierarchyTree, ServerId, TreeError};
-pub use updates::{record_update_round_events, update_round, UpdateBreakdown};
+pub use updates::{
+    record_update_round_events, update_round, update_round_stamped, UpdateBreakdown,
+};

@@ -57,6 +57,11 @@ pub enum MaintMsg {
         root_path: Vec<NodeId>,
         /// The root's current children (piggybacked down the tree).
         root_children: Vec<NodeId>,
+        /// Update-round epoch, incremented by the root once per heartbeat
+        /// tick and propagated down the tree. Summaries pushed in round
+        /// `e` carry this stamp; the audit plane derives staleness age
+        /// from the gap between a replica's stamp and the current epoch.
+        epoch: u64,
     },
     /// Child → parent: liveness + branch info used by the join walk.
     HeartbeatReply {
@@ -92,7 +97,8 @@ fn msg_bytes(m: &MaintMsg) -> usize {
         MaintMsg::Heartbeat {
             root_path,
             root_children,
-        } => HEARTBEAT_BASE + PER_ID * (root_path.len() + root_children.len()),
+            ..
+        } => HEARTBEAT_BASE + 8 + PER_ID * (root_path.len() + root_children.len()),
         MaintMsg::HeartbeatReply { .. } => HEARTBEAT_BASE,
         MaintMsg::JoinProbe { .. } | MaintMsg::Leave => HEARTBEAT_BASE,
         MaintMsg::JoinAccept { root_path } => HEARTBEAT_BASE + PER_ID * root_path.len(),
@@ -141,6 +147,10 @@ pub struct MaintNode {
     probation_until_ms: u64,
     /// Former siblings to probe for hierarchy merging.
     merge_candidates: Vec<NodeId>,
+    /// Update-round epoch: the root bumps it once per heartbeat tick and
+    /// every descendant adopts the value piggybacked on its parent's
+    /// heartbeat.
+    epoch: u64,
 }
 
 impl MaintNode {
@@ -158,6 +168,7 @@ impl MaintNode {
             started: false,
             probation_until_ms: 0,
             merge_candidates: Vec::new(),
+            epoch: 0,
         }
     }
 
@@ -175,6 +186,7 @@ impl MaintNode {
             started: false,
             probation_until_ms: 0,
             merge_candidates: Vec::new(),
+            epoch: 0,
         }
     }
 
@@ -198,6 +210,12 @@ impl MaintNode {
     /// Membership state.
     pub fn state(&self) -> &MemberState {
         &self.state
+    }
+
+    /// Current update-round epoch as seen by this node (the root's tick
+    /// count, propagated down one heartbeat per level).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// True when this node currently believes it is the root.
@@ -239,6 +257,10 @@ impl MaintNode {
     }
 
     fn heartbeat_children(&mut self, ctx: &mut Ctx<'_, MaintMsg>) {
+        if self.is_root() {
+            // One update round per heartbeat tick: the root owns the clock.
+            self.epoch += 1;
+        }
         let root_children = if self.is_root() {
             self.children()
         } else {
@@ -255,6 +277,7 @@ impl MaintNode {
                 MaintMsg::Heartbeat {
                     root_path: path.clone(),
                     root_children: root_children.clone(),
+                    epoch: self.epoch,
                 },
             );
         }
@@ -348,6 +371,7 @@ impl Protocol for MaintNode {
             MaintMsg::Heartbeat {
                 root_path,
                 root_children,
+                epoch,
             } => {
                 if self.parent == Some(from) {
                     self.parent_heard_ms = now_ms;
@@ -355,6 +379,9 @@ impl Protocol for MaintNode {
                     path.push(ctx.self_id());
                     self.root_path = path;
                     self.root_children = root_children;
+                    // Epochs only move forward; a heartbeat overtaken by a
+                    // newer one in flight must not rewind the clock.
+                    self.epoch = self.epoch.max(epoch);
                     self.send(
                         ctx,
                         from,
@@ -378,6 +405,7 @@ impl Protocol for MaintNode {
                         path.push(me);
                         self.root_path = path;
                         self.root_children = root_children;
+                        self.epoch = self.epoch.max(epoch);
                         self.rejoin_level = 0;
                         self.send(
                             ctx,
@@ -796,6 +824,28 @@ mod tests {
         assert_eq!(joined_count(&sim), 20);
         let tree = extract_tree(&sim).unwrap();
         assert_eq!(tree.len(), 20);
+    }
+
+    #[test]
+    fn epoch_propagates_down_the_tree() {
+        let sim = run_sim(20, 30_000);
+        let tree = extract_tree(&sim).unwrap();
+        let root_epoch = sim.node(NodeId(tree.root().0)).epoch();
+        // 30s of 1s heartbeats: the root has ticked ~30 rounds.
+        assert!(root_epoch >= 20, "root epoch {root_epoch}");
+        for (id, node) in sim.nodes() {
+            if node.state() != &MemberState::Joined {
+                continue;
+            }
+            let depth = tree.depth(ServerId(id.0)) as u64;
+            // Each level adds one heartbeat of propagation lag; allow one
+            // extra tick of in-flight slack.
+            assert!(
+                node.epoch() + depth + 1 >= root_epoch && node.epoch() <= root_epoch,
+                "node {id} at depth {depth}: epoch {} vs root {root_epoch}",
+                node.epoch()
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,19 @@
 
 use crate::tree::{HierarchyTree, ServerId};
 
+/// Why a server replicates a particular branch summary (§III-C's three
+/// overlay constituents). The audit plane labels every ledger entry with
+/// its role so divergence can be attributed to a constituent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReplicaRole {
+    /// A sibling's branch.
+    Sibling,
+    /// An ancestor's branch (coverage accounting and scope widening).
+    Ancestor,
+    /// An ancestor's sibling's branch (cross-branch redirect shortcut).
+    AncestorSibling,
+}
+
 /// The set of remote servers whose branch summaries one server replicates.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplicationSet {
@@ -53,6 +66,25 @@ impl ReplicationSet {
     pub fn failover_candidates(&self) -> Vec<ServerId> {
         let mut v = self.siblings.clone();
         v.extend(&self.ancestors);
+        v
+    }
+
+    /// Every replicated server tagged with its overlay role, in [`all`]
+    /// order (siblings, ancestor siblings, ancestors).
+    ///
+    /// [`all`]: ReplicationSet::all
+    pub fn entries(&self) -> Vec<(ServerId, ReplicaRole)> {
+        let mut v: Vec<(ServerId, ReplicaRole)> = self
+            .siblings
+            .iter()
+            .map(|&s| (s, ReplicaRole::Sibling))
+            .collect();
+        v.extend(
+            self.ancestor_siblings
+                .iter()
+                .map(|&s| (s, ReplicaRole::AncestorSibling)),
+        );
+        v.extend(self.ancestors.iter().map(|&s| (s, ReplicaRole::Ancestor)));
         v
     }
 
@@ -130,6 +162,23 @@ mod tests {
         assert_eq!(cands[rs.siblings.len()], t.parent(d1).unwrap());
         // Candidates never include the server itself.
         assert!(!cands.contains(&d1));
+    }
+
+    #[test]
+    fn entries_tag_roles_in_all_order() {
+        let t = HierarchyTree::build(15, 2);
+        let d1 = *t.leaves().iter().min().unwrap();
+        let rs = replication_set(&t, d1);
+        let entries = rs.entries();
+        let ids: Vec<ServerId> = entries.iter().map(|&(s, _)| s).collect();
+        assert_eq!(ids, rs.all(), "entries follow all() order");
+        let count = |role: ReplicaRole| entries.iter().filter(|&&(_, r)| r == role).count();
+        assert_eq!(count(ReplicaRole::Sibling), rs.siblings.len());
+        assert_eq!(count(ReplicaRole::Ancestor), rs.ancestors.len());
+        assert_eq!(
+            count(ReplicaRole::AncestorSibling),
+            rs.ancestor_siblings.len()
+        );
     }
 
     #[test]

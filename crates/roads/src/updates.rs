@@ -107,6 +107,21 @@ pub fn update_round(net: &RoadsNetwork) -> UpdateBreakdown {
     out
 }
 
+/// Account one update round *and* apply its replication wave to an
+/// epoch-stamped [`ReplicaLedger`](crate::audit::ReplicaLedger): the
+/// ledger's epoch advances by one and every overlay entry whose holder and
+/// target are both live re-pushes its copy. Entries touching a dead server
+/// keep their stale copy — the staleness the audit plane measures.
+pub fn update_round_stamped(
+    net: &RoadsNetwork,
+    ledger: &mut crate::audit::ReplicaLedger,
+    live: &[bool],
+) -> UpdateBreakdown {
+    let out = update_round(net);
+    ledger.refresh(net, live);
+    out
+}
+
 /// Record one analytic update round into the flight recorder as a
 /// synthetic span tree: a root `Mark` span covering the round, one
 /// `SummaryPublish` span per non-root server parented on its tree
@@ -296,6 +311,18 @@ mod tests {
         // of inbound load with depth.
         assert!(net.replica_set(leaf).len() > net.replica_set(tree.root()).len());
         let _ = (root_load, leaf_load);
+    }
+
+    #[test]
+    fn stamped_round_advances_ledger_epoch() {
+        let net = network(40, 3, 2, 64);
+        let mut ledger = crate::audit::ReplicaLedger::new(&net);
+        let live = vec![true; net.len()];
+        let plain = update_round(&net);
+        let stamped = update_round_stamped(&net, &mut ledger, &live);
+        assert_eq!(plain, stamped, "accounting unchanged by stamping");
+        assert_eq!(ledger.epoch(), 1);
+        assert_eq!(ledger.staleness_p99(), 0, "all-live wave refreshes all");
     }
 
     #[test]

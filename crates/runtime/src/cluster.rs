@@ -35,6 +35,7 @@
 //! `runtime.inflight_queries` gauge tracks the live count on instrumented
 //! clusters.
 
+use crate::audit::{AuditMetrics, Liveness};
 use crate::config::RuntimeConfig;
 use crate::faults::{backoff_delay, mode_rank, DispatchHandle, Dispatcher, VisitLedger};
 use crate::health::{ClusterHealth, RuntimeMetrics, ServerHealth};
@@ -320,6 +321,11 @@ pub struct RoadsCluster {
     metrics: Option<RuntimeMetrics>,
     recorder: Option<Arc<Recorder>>,
     tail: Option<Arc<TailSampler>>,
+    /// Shared liveness board for the audit plane. Slot `alive` flags are
+    /// replaced wholesale on restart (a fresh `Arc` per spawn), so the
+    /// auditor's liveness closure reads this stable board instead.
+    live_board: Arc<Vec<AtomicBool>>,
+    audit: Option<Arc<AuditMetrics>>,
 }
 
 impl RoadsCluster {
@@ -400,6 +406,11 @@ impl RoadsCluster {
             })
             .collect();
         let dispatcher = Dispatcher::start(cfg.dispatcher_threads);
+        let live_board = Arc::new(
+            (0..net.len())
+                .map(|_| AtomicBool::new(true))
+                .collect::<Vec<_>>(),
+        );
         RoadsCluster {
             net,
             delays,
@@ -410,6 +421,8 @@ impl RoadsCluster {
             metrics,
             recorder: None,
             tail: None,
+            live_board,
+            audit: None,
         }
     }
 
@@ -443,9 +456,45 @@ impl RoadsCluster {
         self.tail.as_ref()
     }
 
+    /// Attach audit instruments: every subsequent branch-mode reply is
+    /// folded into the per-level `audit.live_probes` /
+    /// `audit.live_false_positives` counters (a live false positive is a
+    /// branch dispatch whose lossy summary matched but which returned
+    /// neither records nor redirects). Share the same [`AuditMetrics`]
+    /// with a background [`crate::audit::Auditor`] so sampled ground
+    /// truth and live traffic land in one scrape.
+    pub fn set_audit_metrics(&mut self, audit: Arc<AuditMetrics>) {
+        self.audit = Some(audit);
+    }
+
+    /// The attached audit instruments, if any.
+    pub fn audit_metrics(&self) -> Option<&Arc<AuditMetrics>> {
+        self.audit.as_ref()
+    }
+
+    /// A liveness oracle over this cluster's kill/restart bookkeeping,
+    /// safe to hold across restarts (restart replaces the slot's own
+    /// flag, this board is stable). Feed it to
+    /// [`crate::audit::Auditor::start`].
+    pub fn liveness(&self) -> Liveness {
+        let board = Arc::clone(&self.live_board);
+        Arc::new(move |s: ServerId| {
+            board
+                .get(s.index())
+                .map(|b| b.load(Ordering::Relaxed))
+                .unwrap_or(false)
+        })
+    }
+
     /// The converged control state.
     pub fn network(&self) -> &RoadsNetwork {
         &self.net
+    }
+
+    /// The converged control state, shared — what a background
+    /// [`crate::audit::Auditor`] audits against.
+    pub fn shared_network(&self) -> Arc<RoadsNetwork> {
+        Arc::clone(&self.net)
     }
 
     /// Tear down server `id`'s thread for fault injection: in-flight work
@@ -465,6 +514,7 @@ impl RoadsCluster {
             let _ = slot.sender.send(ServerRequest::Shutdown);
             handle
         };
+        self.live_board[id.index()].store(false, Ordering::Relaxed);
         let _ = handle.join();
         if let Some(m) = &self.metrics {
             let si = &m.servers[id.index()];
@@ -494,6 +544,7 @@ impl RoadsCluster {
                 .as_ref()
                 .map(|m| Arc::clone(&m.servers[id.index()].queue_depth)),
         );
+        self.live_board[id.index()].store(true, Ordering::Relaxed);
         if let Some(m) = &self.metrics {
             let si = &m.servers[id.index()];
             si.alive.set(1);
@@ -1089,6 +1140,23 @@ impl Driver<'_> {
                     && records.is_empty()
                     && targets.is_empty()
                     && h.summary.is_some();
+            }
+        }
+        if let Some(audit) = &self.cluster.audit {
+            // Fold this live outcome into the audit plane. The summary
+            // verdict is recomputed here (explain hops may be off): a
+            // branch dispatch only happens because a summary matched, so
+            // an empty-handed branch reply is a live false positive.
+            if matches!(mode, ContactMode::Branch) {
+                let level = self.cluster.net.tree().depth(server);
+                let spurious = records.is_empty()
+                    && targets.is_empty()
+                    && self
+                        .cluster
+                        .net
+                        .branch_summary(server)
+                        .may_match(self.query);
+                audit.observe_live(level, spurious);
             }
         }
         if let Some(m) = &self.cluster.metrics {

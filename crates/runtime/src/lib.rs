@@ -32,12 +32,19 @@
 //!   `runtime.fault_events` series, all scrapeable as OpenMetrics text
 //!   via `roads_telemetry::OpenMetricsSnapshot` and summarized by
 //!   [`RoadsCluster::health`] into a [`ClusterHealth`] table.
+//! * [`audit`] — the summary-fidelity audit plane: a background
+//!   [`audit::Auditor`] thread samples ground truth on a budget against a
+//!   `roads_core` replica ledger, folds live branch-dispatch outcomes from
+//!   real queries into per-level FP/FN counters, exports everything as
+//!   `audit.*` OpenMetrics families and writes a periodic `AUDIT.json`
+//!   artifact ([`audit::AuditReport`]).
 //!
 //! Fig. 11's crossover — the central repository wins at low selectivity
 //! (fewer round trips), ROADS catches up and wins as selectivity grows
 //! (parallel retrieval across servers) — emerges from these mechanics.
 //! Fig. 13 (availability under crashes) exercises the fault plane.
 
+pub mod audit;
 pub mod central;
 pub mod cluster;
 pub mod config;
@@ -45,6 +52,9 @@ pub(crate) mod faults;
 pub mod health;
 pub mod store;
 
+pub use audit::{
+    is_audit_doc, AuditConfig, AuditLevelRow, AuditMetrics, AuditReport, Auditor, Liveness,
+};
 pub use central::CentralCluster;
 pub use cluster::{ContactMode, RoadsCluster, RuntimeOutcome};
 pub use config::RuntimeConfig;

@@ -22,9 +22,13 @@
 //!   (no false negatives).
 //! * [`SoftState`] / [`SoftStateTable`] — TTL wrappers: "data and summaries
 //!   are soft-state and have TTLs associated with them".
+//! * [`SummaryFidelity`] — fidelity probes for the audit plane: Bloom
+//!   saturation, histogram drift against the exact re-aggregate, value-set
+//!   Jaccard distance, per-attribute and per-summary reports.
 
 pub mod attr_summary;
 pub mod bloom;
+pub mod fidelity;
 pub mod histogram;
 pub mod multires;
 pub mod soft_state;
@@ -32,7 +36,8 @@ pub mod summary;
 pub mod value_set;
 
 pub use attr_summary::AttributeSummary;
-pub use bloom::BloomFilter;
+pub use bloom::{BloomFilter, BloomSaturation};
+pub use fidelity::{histogram_drift, AttrFidelity, SummaryFidelity};
 pub use histogram::Histogram;
 pub use multires::MultiResHistogram;
 pub use soft_state::{SoftState, SoftStateTable};

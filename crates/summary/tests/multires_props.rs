@@ -1,0 +1,108 @@
+//! Property tests: the multi-resolution pyramid's algebra and its
+//! conservativeness under coarsening.
+//!
+//! Two families of invariants:
+//!
+//! * merge is a commutative, associative monoid action on pyramids built
+//!   over the same domain/resolution — bottom-up aggregation order (and
+//!   the parallel build's fan-in shape) must not change the result;
+//! * resolution coarsening never under-reports containment: if any
+//!   summarized value falls inside a query range, *every* level of the
+//!   pyramid answers "may match" — selecting a coarser level under a byte
+//!   budget can add false positives but never introduces a false negative.
+
+use proptest::prelude::*;
+use roads_summary::MultiResHistogram;
+
+fn pyramid(values: &[f64], m: usize) -> MultiResHistogram {
+    MultiResHistogram::from_values(0.0, 1.0, m, values.iter().copied())
+}
+
+/// Power-of-two bucket counts only (from_finest asserts this).
+fn buckets() -> impl Strategy<Value = usize> {
+    (0u32..7).prop_map(|e| 1usize << e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(0.0f64..1.0, 0..60),
+        b in prop::collection::vec(0.0f64..1.0, 0..60),
+        m in buckets(),
+    ) {
+        let mut ab = pyramid(&a, m);
+        ab.merge(&pyramid(&b, m)).unwrap();
+        let mut ba = pyramid(&b, m);
+        ba.merge(&pyramid(&a, m)).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0.0f64..1.0, 0..40),
+        b in prop::collection::vec(0.0f64..1.0, 0..40),
+        c in prop::collection::vec(0.0f64..1.0, 0..40),
+        m in buckets(),
+    ) {
+        // (a ⊔ b) ⊔ c
+        let mut left = pyramid(&a, m);
+        left.merge(&pyramid(&b, m)).unwrap();
+        left.merge(&pyramid(&c, m)).unwrap();
+        // a ⊔ (b ⊔ c)
+        let mut bc = pyramid(&b, m);
+        bc.merge(&pyramid(&c, m)).unwrap();
+        let mut right = pyramid(&a, m);
+        right.merge(&bc).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_acts_like_concatenation(
+        a in prop::collection::vec(0.0f64..1.0, 0..60),
+        b in prop::collection::vec(0.0f64..1.0, 0..60),
+        m in buckets(),
+    ) {
+        // Merging two pyramids equals building one pyramid from the
+        // concatenated value stream — at every level, not just the finest.
+        let mut merged = pyramid(&a, m);
+        merged.merge(&pyramid(&b, m)).unwrap();
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, pyramid(&all, m));
+    }
+
+    #[test]
+    fn coarsening_never_under_reports_containment(
+        values in prop::collection::vec(0.0f64..1.0, 1..80),
+        lo in 0.0f64..1.0,
+        w in 0.0f64..1.0,
+        m in buckets(),
+    ) {
+        let p = pyramid(&values, m);
+        let hi = (lo + w).min(1.0);
+        let any_in_range = values.iter().any(|&v| lo <= v && v <= hi);
+        if any_in_range {
+            // Ground-truth containment: every level must say "may match".
+            for level in 0..p.level_count() {
+                prop_assert!(
+                    p.level(level).may_match_range(lo, hi),
+                    "level {level}/{} produced a false negative for [{lo}, {hi}]",
+                    p.level_count(),
+                );
+            }
+        }
+        // Monotonicity along the pyramid: a coarser level never prunes
+        // a range a finer level admits (bucket ranges only union).
+        for level in 1..p.level_count() {
+            if p.level(level - 1).may_match_range(lo, hi) {
+                prop_assert!(
+                    p.level(level).may_match_range(lo, hi),
+                    "coarsening {} -> {} under-reported [{lo}, {hi}]",
+                    level - 1,
+                    level,
+                );
+            }
+        }
+    }
+}
