@@ -14,6 +14,10 @@
 //! * `failover_recovery` — response time of a full-coverage query issued
 //!   right after a branch server is killed: the time the overlay needs
 //!   to detect the death and route around it.
+//! * `qps_planner` — the `qps_overlay` workload re-run on a cluster with
+//!   the replica-aware set-cover planner and the TTL'd result cache
+//!   enabled; the suite first asserts planned dispatch reproduces greedy
+//!   recall exactly and never contacts more servers.
 //!
 //! ```text
 //! bench_suite [--smoke] [--out PATH]
@@ -36,15 +40,24 @@
 //! inspectable with `roads-inspect audit` and validated by
 //! `roads-inspect check`.
 //!
+//! The planner phase writes two more artifacts next to `--out`:
+//! `PLAN.json` — the planner/cache summary ([`PlanReport`], inspectable
+//! with `roads-inspect plan` and validated by `roads-inspect check`) —
+//! and `PLANNER_METRICS.txt`, the final OpenMetrics scrape of the
+//! planner cluster's registry (the `roads.planner.*` and `roads.cache.*`
+//! families CI asserts against).
+//!
+//! [`PlanReport`]: roads_bench::plan_view::PlanReport
 //! [`QueryExplain`]: roads_telemetry::QueryExplain
 
+use roads_bench::plan_view::{PlanReport, PLAN_SCHEMA_VERSION};
 use roads_bench::suite::{print_metrics_digest, BenchRecord, BenchReport};
 use roads_core::{BuildOptions, RoadsConfig, RoadsNetwork, ServerId};
 use roads_netsim::DelaySpace;
 use roads_records::{OwnerId, Query, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
 use roads_runtime::{AuditConfig, AuditMetrics, Auditor, RoadsCluster, RuntimeConfig};
 use roads_summary::SummaryConfig;
-use roads_telemetry::{Recorder, Registry, TailSampler};
+use roads_telemetry::{OpenMetricsSnapshot, Recorder, Registry, TailSampler};
 use roads_workload::{default_schema, generate_node_records, RecordWorkloadConfig};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -336,6 +349,68 @@ fn main() {
         benches.push(r);
     }
 
+    // --- Planner + cache: planned dispatch vs greedy, then cached replays.
+    // A second cluster over the same data runs with the replica-aware
+    // set-cover planner and a 2-round TTL'd result cache; its instruments
+    // land in a separate registry so the `roads.cache.*` /
+    // `roads.planner.*` families are attributable to this phase alone.
+    let plan_reg = Registry::new();
+    let planner_cluster = RoadsCluster::start_instrumented(
+        cluster_net(n),
+        DelaySpace::paper(n, 31),
+        RuntimeConfig {
+            enable_planner: true,
+            cache_ttl_rounds: 2,
+            ..cluster_config()
+        },
+        &plan_reg,
+    );
+    // Comparison pass, cold cache: recall must be identical and planned
+    // dispatch must never widen a query — both asserted here, before the
+    // artifact is even written.
+    let (mut greedy_contacts, mut planned_contacts) = (0u64, 0u64);
+    for (q, entry) in &spread {
+        let g = cluster.query(q, *entry);
+        let p = planner_cluster.query(q, *entry);
+        assert_eq!(
+            g.records.len(),
+            p.records.len(),
+            "planner changed recall (entry {entry:?})"
+        );
+        greedy_contacts += g.servers_contacted as u64;
+        planned_contacts += p.servers_contacted as u64;
+    }
+    assert!(
+        planned_contacts <= greedy_contacts,
+        "planned dispatch widened the workload ({planned_contacts} > {greedy_contacts})"
+    );
+    // Throughput with replays: the comparison pass populated the cache,
+    // so these passes measure the planner + cache steady state.
+    let samples: Vec<f64> = (0..m.qps_repeats)
+        .map(|_| measure_qps(&planner_cluster, &spread, 4))
+        .collect();
+    let r = BenchRecord::from_samples("qps_planner", "qps", &samples);
+    println!("{:<20} {:>10.1} qps (p99 {:.1})", r.name, r.value, r.p99);
+    benches.push(r);
+    // Age every cached answer out so invalidations land on the scrape.
+    planner_cluster.advance_cache_round();
+    planner_cluster.advance_cache_round();
+    let counter = |name: &str| plan_reg.counter(name).get();
+    let plan_report = PlanReport {
+        schema_version: PLAN_SCHEMA_VERSION,
+        config: m.config.to_string(),
+        queries: spread.len() as u64,
+        planned_queries: counter("roads.planner.planned_queries"),
+        pruned_probes: counter("roads.planner.pruned_probes"),
+        greedy_contacts,
+        planned_contacts,
+        cache_hits: counter("roads.cache.hits"),
+        cache_misses: counter("roads.cache.misses"),
+        cache_invalidations: counter("roads.cache.invalidations"),
+    };
+    let planner_scrape = OpenMetricsSnapshot::from_registry(&plan_reg).render();
+    planner_cluster.shutdown();
+
     // --- Failover recovery: kill a branch, time the next query. ----------
     let victim = a_branch(cluster.network());
     let full = QueryBuilder::new(&cschema, QueryId(9_999))
@@ -411,6 +486,42 @@ fn main() {
         ),
         Err(e) => {
             eprintln!("error: could not write {}: {e}", audit_path.display());
+            std::process::exit(1);
+        }
+    }
+
+    // The planner/cache summary of this run (validated by `roads-inspect
+    // check`, rendered by `roads-inspect plan`), plus the raw OpenMetrics
+    // scrape of the planner registry — CI asserts a non-zero
+    // `roads.cache.hits` against it.
+    let plan_path = match out.parent() {
+        Some(dir) if dir.as_os_str().is_empty() => PathBuf::from("PLAN.json"),
+        Some(dir) => dir.join("PLAN.json"),
+        None => PathBuf::from("PLAN.json"),
+    };
+    match plan_report.write(&plan_path) {
+        Ok(()) => println!(
+            "wrote {} ({} queries, contacts {} → {}, cache hit rate {:.1}%)",
+            plan_path.display(),
+            plan_report.queries,
+            plan_report.greedy_contacts,
+            plan_report.planned_contacts,
+            100.0 * plan_report.cache_hit_rate(),
+        ),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", plan_path.display());
+            std::process::exit(1);
+        }
+    }
+    let scrape_path = match out.parent() {
+        Some(dir) if dir.as_os_str().is_empty() => PathBuf::from("PLANNER_METRICS.txt"),
+        Some(dir) => dir.join("PLANNER_METRICS.txt"),
+        None => PathBuf::from("PLANNER_METRICS.txt"),
+    };
+    match std::fs::write(&scrape_path, &planner_scrape) {
+        Ok(()) => println!("wrote {}", scrape_path.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", scrape_path.display());
             std::process::exit(1);
         }
     }

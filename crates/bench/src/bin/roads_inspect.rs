@@ -61,7 +61,7 @@
 //!
 //! [`FigureExport`]: roads_telemetry::FigureExport
 
-use roads_bench::{audit_view, explain_view, suite};
+use roads_bench::{audit_view, explain_view, plan_view, suite};
 use roads_telemetry::{
     critical_path, parse_openmetrics, slowest_trace, span_tree_root, trace_ids, Event, EventKind,
     Json, SpanId, TraceId,
@@ -82,6 +82,7 @@ fn main() -> ExitCode {
         }
         Some((cmd, rest)) if cmd == "slow" && rest.len() == 1 => slow(&rest[0]),
         Some((cmd, rest)) if cmd == "audit" && rest.len() == 1 => audit(&rest[0]),
+        Some((cmd, rest)) if cmd == "plan" && rest.len() == 1 => plan(&rest[0]),
         _ => {
             eprintln!("usage: roads-inspect summary <base>");
             eprintln!("       roads-inspect diff <base-a> <base-b>");
@@ -91,6 +92,7 @@ fn main() -> ExitCode {
             eprintln!("       roads-inspect explain <slow-queries.json> [query-id]");
             eprintln!("       roads-inspect slow <slow-queries.json>");
             eprintln!("       roads-inspect audit <audit.json>");
+            eprintln!("       roads-inspect plan <plan.json>");
             eprintln!("  <base> is a result stem, e.g. results/fig3_latency_vs_nodes");
             ExitCode::from(2)
         }
@@ -361,6 +363,25 @@ fn check(bases: &[String]) -> ExitCode {
                 }
                 continue;
             }
+            // Planner reports (PLAN.json) validate shape plus the
+            // planner's core invariant (planned contacts ≤ greedy); no
+            // trace file.
+            Ok(doc) if plan_view::is_plan_doc(&doc) => {
+                match plan_view::PlanReport::from_json(&doc) {
+                    Ok(report) => println!(
+                        "OK   {base}: plan report, {} queries, contacts {} → {}, hit rate {:.1}%",
+                        report.queries,
+                        report.greedy_contacts,
+                        report.planned_contacts,
+                        100.0 * report.cache_hit_rate()
+                    ),
+                    Err(e) => {
+                        eprintln!("FAIL {}: {e}", fig_path.display());
+                        failed = true;
+                    }
+                }
+                continue;
+            }
             // Tail-sampler reports (SLOW_QUERIES.json) validate each
             // retained explain record and its span tree; no trace file.
             Ok(doc) if explain_view::is_slow_doc(&doc) => {
@@ -559,6 +580,29 @@ fn audit(path: &str) -> ExitCode {
     match report {
         Ok(report) => {
             print!("{}", audit_view::render_audit_table(&report));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn plan(path: &str) -> ExitCode {
+    let (fig_path, _) = expand(path);
+    let report = load_json(&fig_path).and_then(|doc| {
+        if !plan_view::is_plan_doc(&doc) {
+            return Err(format!(
+                "{}: not a plan report (no plan_schema_version key)",
+                fig_path.display()
+            ));
+        }
+        plan_view::PlanReport::from_json(&doc).map_err(|e| format!("{}: {e}", fig_path.display()))
+    });
+    match report {
+        Ok(report) => {
+            print!("{}", plan_view::render_plan_table(&report));
             ExitCode::SUCCESS
         }
         Err(e) => {

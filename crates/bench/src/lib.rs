@@ -15,6 +15,7 @@
 pub mod audit_view;
 pub mod chart;
 pub mod explain_view;
+pub mod plan_view;
 pub mod suite;
 
 use roads_central::CentralRepository;

@@ -1,0 +1,428 @@
+//! Per-server TTL'd query result cache, invalidated by update-round
+//! epochs.
+//!
+//! Summaries change "on the order of several minutes at least" (§IV) while
+//! queries arrive continuously, so the window between two update rounds is
+//! a natural result-validity horizon: a result computed at epoch `e` is
+//! served from cache while `current_epoch − e < ttl_rounds`, and every
+//! [`ResultCache::advance_round`] (called when an update round /
+//! replication wave lands) purges entries that aged out. `ttl_rounds = 1`
+//! means "valid until the next round"; `0` disables caching.
+//!
+//! Keys are structural query fingerprints ([`query_fingerprint`]) combined
+//! with the entry server, the requester (policy-filtered result sets differ
+//! per requester) and the search scope. Hit/miss/invalidation counts are
+//! kept internally and mirrored into the OpenMetrics surface by the
+//! runtime (`roads.cache.*`).
+
+use crate::engine::RoadsNetwork;
+use crate::planner::QueryPlan;
+use crate::queryexec::{execute_query, execute_query_planned, QueryOutcome, SearchScope};
+use crate::tree::ServerId;
+use roads_netsim::DelaySpace;
+use roads_records::{wire::MSG_HEADER_BYTES, Predicate, Query, Record, Value, WireSize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Structural fingerprint of a query's predicates (FNV-1a over attribute
+/// ids, variant tags and value bits). Two queries with the same predicates
+/// collide regardless of their [`QueryId`](roads_records::QueryId) — the id
+/// names the submission, not the question.
+pub fn query_fingerprint(q: &Query) -> u64 {
+    fn mix(h: u64, bytes: &[u8]) -> u64 {
+        bytes
+            .iter()
+            .fold(h, |h, &b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+    }
+    fn mix_value(h: u64, v: &Value) -> u64 {
+        match v {
+            Value::Float(f) => mix(mix(h, &[10]), &f.to_bits().to_le_bytes()),
+            Value::Int(i) => mix(mix(h, &[11]), &i.to_le_bytes()),
+            Value::Text(s) => mix(mix(h, &[12]), s.as_bytes()),
+            Value::Cat(s) => mix(mix(h, &[13]), s.as_bytes()),
+            Value::Timestamp(t) => mix(mix(h, &[14]), &t.to_le_bytes()),
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in q.predicates() {
+        match p {
+            Predicate::Range { attr, lo, hi } => {
+                h = mix(h, &[1]);
+                h = mix(h, &attr.0.to_le_bytes());
+                h = mix(h, &lo.to_bits().to_le_bytes());
+                h = mix(h, &hi.to_bits().to_le_bytes());
+            }
+            Predicate::Eq { attr, value } => {
+                h = mix(h, &[2]);
+                h = mix(h, &attr.0.to_le_bytes());
+                h = mix_value(h, value);
+            }
+            Predicate::OneOf { attr, values } => {
+                h = mix(h, &[3]);
+                h = mix(h, &attr.0.to_le_bytes());
+                for v in values {
+                    h = mix(h, v.as_bytes());
+                    h = mix(h, &[0xff]);
+                }
+            }
+        }
+    }
+    h
+}
+
+/// A cached answer. The simulation plane stores match locations and counts
+/// only; the threaded runtime also stores the (policy-filtered) records it
+/// returned.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CachedResult {
+    /// Servers whose local search produced at least one record.
+    pub matching_servers: Vec<ServerId>,
+    /// Total matching records.
+    pub matching_records: usize,
+    /// The records themselves (empty in the simulation plane).
+    pub records: Vec<Record>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    at: ServerId,
+    requester: u64,
+    /// `u64::MAX` encodes an unscoped (full-hierarchy) search.
+    levels_up: u64,
+    fingerprint: u64,
+}
+
+fn cache_key(at: ServerId, requester: u64, scope: SearchScope, q: &Query) -> CacheKey {
+    CacheKey {
+        at,
+        requester,
+        levels_up: scope.levels_up.map(|l| l as u64).unwrap_or(u64::MAX),
+        fingerprint: query_fingerprint(q),
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    stored_epoch: u64,
+    result: CachedResult,
+}
+
+/// TTL'd per-server result cache. Thread-safe: lookups and inserts take an
+/// internal lock, counters are atomic, so one cache can serve a whole
+/// cluster of server threads.
+#[derive(Debug)]
+pub struct ResultCache {
+    ttl_rounds: u64,
+    epoch: AtomicU64,
+    map: Mutex<HashMap<CacheKey, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache whose entries survive `ttl_rounds` update rounds
+    /// (`0` disables caching: every lookup misses, inserts are dropped).
+    pub fn new(ttl_rounds: u64) -> Self {
+        ResultCache {
+            ttl_rounds,
+            epoch: AtomicU64::new(0),
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured TTL in update rounds.
+    pub fn ttl_rounds(&self) -> u64 {
+        self.ttl_rounds
+    }
+
+    /// Update rounds observed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// An update round / replication wave landed: advance the epoch and
+    /// purge entries that aged past the TTL. Returns how many entries were
+    /// invalidated.
+    pub fn advance_round(&self) -> u64 {
+        let now = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut map = self.map.lock().expect("cache lock");
+        let before = map.len();
+        map.retain(|_, slot| now.saturating_sub(slot.stored_epoch) < self.ttl_rounds);
+        let purged = (before - map.len()) as u64;
+        self.invalidations.fetch_add(purged, Ordering::Relaxed);
+        purged
+    }
+
+    /// Look up a still-valid cached answer; counts a hit or a miss.
+    pub fn lookup(
+        &self,
+        at: ServerId,
+        requester: u64,
+        scope: SearchScope,
+        q: &Query,
+    ) -> Option<CachedResult> {
+        let found = if self.ttl_rounds == 0 {
+            None
+        } else {
+            let now = self.epoch();
+            let map = self.map.lock().expect("cache lock");
+            map.get(&cache_key(at, requester, scope, q))
+                .filter(|slot| now.saturating_sub(slot.stored_epoch) < self.ttl_rounds)
+                .map(|slot| slot.result.clone())
+        };
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store an answer computed at the current epoch. Only complete
+    /// answers should be inserted — the cache replays them verbatim.
+    pub fn insert(
+        &self,
+        at: ServerId,
+        requester: u64,
+        scope: SearchScope,
+        q: &Query,
+        result: CachedResult,
+    ) {
+        if self.ttl_rounds == 0 {
+            return;
+        }
+        let stored_epoch = self.epoch();
+        let mut map = self.map.lock().expect("cache lock");
+        map.insert(
+            cache_key(at, requester, scope, q),
+            Slot {
+                stored_epoch,
+                result,
+            },
+        );
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to execution.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries purged by epoch advancement.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups answered from cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+/// [`execute_query`](crate::queryexec::execute_query) through `cache`: a
+/// valid cached answer is served by the entry alone (one query message, no
+/// fan-out, zero added latency — the client is co-located); a miss
+/// executes (planned when `plan` is given, greedy otherwise) and populates
+/// the cache. Returns the outcome and whether it was a cache hit.
+pub fn execute_query_cached(
+    net: &RoadsNetwork,
+    delays: &DelaySpace,
+    query: &Query,
+    start: ServerId,
+    scope: SearchScope,
+    cache: &ResultCache,
+    plan: Option<&QueryPlan>,
+) -> (QueryOutcome, bool) {
+    if let Some(r) = cache.lookup(start, 0, scope, query) {
+        let outcome = QueryOutcome {
+            latency_ms: 0.0,
+            query_bytes: (query.wire_size() + MSG_HEADER_BYTES) as u64,
+            query_messages: 1,
+            servers_contacted: 1,
+            matching_servers: r.matching_servers,
+            matching_records: r.matching_records,
+        };
+        return (outcome, true);
+    }
+    let outcome = match plan {
+        Some(p) => execute_query_planned(net, delays, query, start, scope, p),
+        None => execute_query(net, delays, query, start, scope),
+    };
+    cache.insert(
+        start,
+        0,
+        scope,
+        query,
+        CachedResult {
+            matching_servers: outcome.matching_servers.clone(),
+            matching_records: outcome.matching_records,
+            records: Vec::new(),
+        },
+    );
+    (outcome, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RoadsConfig;
+    use roads_records::{OwnerId, QueryBuilder, QueryId, RecordId, Schema};
+    use roads_summary::SummaryConfig;
+
+    fn network(n: usize) -> (RoadsNetwork, DelaySpace) {
+        let schema = Schema::unit_numeric(1);
+        let cfg = RoadsConfig {
+            max_children: 3,
+            summary: SummaryConfig::with_buckets(200),
+            ..RoadsConfig::paper_default()
+        };
+        let records: Vec<Vec<Record>> = (0..n)
+            .map(|s| {
+                vec![Record::new_unchecked(
+                    RecordId(s as u64),
+                    OwnerId(s as u32),
+                    vec![Value::Float(s as f64 / n as f64)],
+                )]
+            })
+            .collect();
+        let net = RoadsNetwork::build(schema, cfg, records);
+        let delays = DelaySpace::paper(n, 77);
+        (net, delays)
+    }
+
+    fn q(net: &RoadsNetwork, id: u64, lo: f64, hi: f64) -> Query {
+        QueryBuilder::new(net.schema(), QueryId(id))
+            .range("x0", lo, hi)
+            .build()
+    }
+
+    #[test]
+    fn fingerprint_ignores_query_id_but_not_predicates() {
+        let (net, _) = network(10);
+        let a = q(&net, 1, 0.2, 0.4);
+        let b = q(&net, 999, 0.2, 0.4);
+        let c = q(&net, 1, 0.2, 0.4001);
+        assert_eq!(query_fingerprint(&a), query_fingerprint(&b));
+        assert_ne!(query_fingerprint(&a), query_fingerprint(&c));
+    }
+
+    #[test]
+    fn repeated_query_hits_until_ttl_expires() {
+        let (net, delays) = network(20);
+        let cache = ResultCache::new(2);
+        let query = q(&net, 1, 0.0, 1.0);
+        let start = ServerId(5);
+        let scope = SearchScope::full();
+
+        let (first, hit) = execute_query_cached(&net, &delays, &query, start, scope, &cache, None);
+        assert!(!hit);
+        let (second, hit) = execute_query_cached(&net, &delays, &query, start, scope, &cache, None);
+        assert!(hit, "identical repeat must hit");
+        assert_eq!(second.matching_servers, first.matching_servers);
+        assert_eq!(second.matching_records, first.matching_records);
+        assert_eq!(second.servers_contacted, 1, "served by the entry alone");
+        assert!(second.query_bytes < first.query_bytes);
+
+        // One round later the entry is still valid (ttl 2)…
+        cache.advance_round();
+        let (_, hit) = execute_query_cached(&net, &delays, &query, start, scope, &cache, None);
+        assert!(hit);
+        // …but the next round ages it out.
+        let purged = cache.advance_round();
+        assert_eq!(purged, 1);
+        let (_, hit) = execute_query_cached(&net, &delays, &query, start, scope, &cache, None);
+        assert!(!hit, "epoch advance invalidates");
+        assert_eq!(cache.invalidations(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 2);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_is_keyed_by_entry_scope_and_requester() {
+        let (net, delays) = network(20);
+        let cache = ResultCache::new(10);
+        let query = q(&net, 1, 0.0, 1.0);
+        let leaf = *net.tree().leaves().iter().max().unwrap();
+        let _ = execute_query_cached(
+            &net,
+            &delays,
+            &query,
+            leaf,
+            SearchScope::full(),
+            &cache,
+            None,
+        );
+        // Different entry: miss.
+        let (_, hit) = execute_query_cached(
+            &net,
+            &delays,
+            &query,
+            ServerId(0),
+            SearchScope::full(),
+            &cache,
+            None,
+        );
+        assert!(!hit);
+        // Different scope at the original entry: miss.
+        let (_, hit) = execute_query_cached(
+            &net,
+            &delays,
+            &query,
+            leaf,
+            SearchScope::levels(0),
+            &cache,
+            None,
+        );
+        assert!(!hit);
+        // Different requester at the original key: miss.
+        assert!(cache.lookup(leaf, 7, SearchScope::full(), &query).is_none());
+        // Original key still hits.
+        assert!(cache.lookup(leaf, 0, SearchScope::full(), &query).is_some());
+    }
+
+    #[test]
+    fn ttl_zero_disables_caching() {
+        let (net, delays) = network(10);
+        let cache = ResultCache::new(0);
+        let query = q(&net, 1, 0.0, 1.0);
+        for _ in 0..3 {
+            let (_, hit) = execute_query_cached(
+                &net,
+                &delays,
+                &query,
+                ServerId(2),
+                SearchScope::full(),
+                &cache,
+                None,
+            );
+            assert!(!hit);
+        }
+        assert_eq!(cache.hits(), 0);
+        assert!(cache.is_empty());
+    }
+}

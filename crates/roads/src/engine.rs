@@ -13,6 +13,7 @@ use crate::tree::{HierarchyTree, ServerId};
 use roads_records::{Query, Record, Schema, WireSize};
 use roads_summary::Summary;
 use roads_telemetry::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Execution options for [`RoadsNetwork`] construction.
@@ -149,7 +150,7 @@ impl EvalResult {
 
 /// The converged federation: hierarchy + per-server record stores +
 /// aggregated summaries + replication overlay.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RoadsNetwork {
     schema: Schema,
     config: RoadsConfig,
@@ -163,6 +164,25 @@ pub struct RoadsNetwork {
     branch_summary: Vec<Summary>,
     /// Replication set of each server (indices into `branch_summary`).
     replicas: Vec<ReplicationSet>,
+    /// Diagnostic: total [`RoadsNetwork::search_local`] invocations. Lets
+    /// tests pin "exactly one local search per contacted server" on the
+    /// query path.
+    search_calls: AtomicU64,
+}
+
+impl Clone for RoadsNetwork {
+    fn clone(&self) -> Self {
+        RoadsNetwork {
+            schema: self.schema.clone(),
+            config: self.config,
+            tree: self.tree.clone(),
+            records: self.records.clone(),
+            local_summary: self.local_summary.clone(),
+            branch_summary: self.branch_summary.clone(),
+            replicas: self.replicas.clone(),
+            search_calls: AtomicU64::new(self.search_calls.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl RoadsNetwork {
@@ -357,6 +377,7 @@ impl RoadsNetwork {
             local_summary,
             branch_summary,
             replicas,
+            search_calls: AtomicU64::new(0),
         }
     }
 
@@ -450,10 +471,17 @@ impl RoadsNetwork {
 
     /// Search `s`'s locally attached records exactly.
     pub fn search_local(&self, s: ServerId, query: &Query) -> Vec<&Record> {
+        self.search_calls.fetch_add(1, Ordering::Relaxed);
         self.records[s.index()]
             .iter()
             .filter(|r| query.matches(r))
             .collect()
+    }
+
+    /// Total [`RoadsNetwork::search_local`] invocations so far (diagnostic;
+    /// see the `search_calls` field).
+    pub fn local_search_calls(&self) -> u64 {
+        self.search_calls.load(Ordering::Relaxed)
     }
 
     /// Ground truth: every server whose local records contain a match.

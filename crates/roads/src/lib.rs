@@ -26,15 +26,22 @@
 //! * [`audit`] — ground-truth auditing of the overlay: epoch-stamped
 //!   replica copies ([`ReplicaLedger`]), staleness ages, divergence scores
 //!   and per-level false-positive/false-negative probes.
+//! * [`planner`] — replica-aware query planning: greedy set-cover source
+//!   selection over the entry's replicated branch summaries, ancestor
+//!   probes pruned by replicated *local* summaries, batch dispatch.
+//! * [`cache`] — per-server TTL'd result cache keyed by structural query
+//!   fingerprints, invalidated by update-round epochs.
 
 pub mod audit;
 pub mod batch;
+pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod load;
 pub mod maintenance;
 pub mod metrics;
 pub mod overlay;
+pub mod planner;
 pub mod policy;
 pub mod protocol;
 pub mod queryexec;
@@ -45,18 +52,24 @@ pub use audit::{
     audit_probe, authoritative_branch, DivergenceReport, LevelAudit, ReplicaEntry, ReplicaLedger,
 };
 pub use batch::QueryBatch;
+pub use cache::{execute_query_cached, query_fingerprint, CachedResult, ResultCache};
 pub use config::RoadsConfig;
 pub use engine::{BuildOptions, EvalResult, RoadsNetwork};
 pub use load::{choose_entry, EntryPolicy, LoadTracker};
 pub use metrics::{record_query_outcome, LatencyStats};
 pub use overlay::{replication_set, ReplicaRole, ReplicationSet};
+pub use planner::{
+    greedy_set_cover, plan_query, plan_query_with, CoverCandidate, PlanAction, PlannedContact,
+    QueryPlan,
+};
 pub use policy::{
     apply_policy, Disclosure, OpenPolicy, RequesterId, SharingPolicy, TieredPolicy, TrustClass,
 };
 pub use queryexec::{
-    execute_query, execute_query_explained, execute_query_mode, execute_query_recorded,
-    execute_query_traced, explain_from_trace, record_query_events, trace_to_telemetry,
-    ForwardingMode, QueryOutcome, SearchScope, TraceEvent, TraceRole,
+    execute_query, execute_query_explained, execute_query_mode, execute_query_planned,
+    execute_query_planned_traced, execute_query_recorded, execute_query_traced, explain_from_trace,
+    record_query_events, trace_to_telemetry, ForwardingMode, QueryOutcome, SearchScope, TraceEvent,
+    TraceRole,
 };
 pub use tree::{BalanceStats, HierarchyTree, ServerId, TreeError};
 pub use updates::{

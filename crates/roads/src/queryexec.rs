@@ -14,6 +14,7 @@
 //! reply.
 
 use crate::engine::RoadsNetwork;
+use crate::planner::{PlanAction, QueryPlan};
 use crate::tree::ServerId;
 use roads_netsim::DelaySpace;
 use roads_records::{wire::MSG_HEADER_BYTES, Query, WireSize};
@@ -51,6 +52,30 @@ impl SearchScope {
     pub fn levels(levels: usize) -> Self {
         SearchScope {
             levels_up: Some(levels),
+        }
+    }
+
+    /// Whether a replica redirect target (a sibling of the entry or of one
+    /// of its ancestors) at `target_depth` is within scope of an entry at
+    /// `entry_depth`.
+    ///
+    /// A sibling is reached *through* the ancestor it hangs off, one level
+    /// below it: the entry's own siblings cost one level of scope
+    /// (`levels_up = 0` confines the search to the entry's own branch), and
+    /// a sibling of the ancestor `k` levels up costs `k`.
+    pub fn admits_replica(&self, entry_depth: usize, target_depth: usize) -> bool {
+        match self.levels_up {
+            None => true,
+            Some(levels) => (entry_depth + 1).saturating_sub(target_depth) <= levels,
+        }
+    }
+
+    /// Whether an ancestor probe at `target_depth` is within scope of an
+    /// entry at `entry_depth`: the ancestor `k` levels up costs `k`.
+    pub fn admits_ancestor(&self, entry_depth: usize, target_depth: usize) -> bool {
+        match self.levels_up {
+            None => true,
+            Some(levels) => entry_depth.saturating_sub(target_depth) <= levels,
         }
     }
 }
@@ -187,6 +212,54 @@ pub fn execute_query_traced(
         start,
         scope,
         ForwardingMode::default(),
+        None,
+        Some(&mut trace),
+    );
+    (outcome, trace)
+}
+
+/// Execute a pre-computed [`QueryPlan`] (see [`crate::planner`]): the entry
+/// dispatches the planned contacts as one batch instead of expanding its
+/// own overlay view hop-by-hop. Descent below planned branch targets is
+/// unchanged. The plan must have been computed for `start`.
+pub fn execute_query_planned(
+    net: &RoadsNetwork,
+    delays: &DelaySpace,
+    query: &Query,
+    start: ServerId,
+    scope: SearchScope,
+    plan: &QueryPlan,
+) -> QueryOutcome {
+    execute_query_inner(
+        net,
+        delays,
+        query,
+        start,
+        scope,
+        ForwardingMode::default(),
+        Some(plan),
+        None,
+    )
+}
+
+/// [`execute_query_planned`] that also returns the contact trace.
+pub fn execute_query_planned_traced(
+    net: &RoadsNetwork,
+    delays: &DelaySpace,
+    query: &Query,
+    start: ServerId,
+    scope: SearchScope,
+    plan: &QueryPlan,
+) -> (QueryOutcome, Vec<TraceEvent>) {
+    let mut trace = Vec::new();
+    let outcome = execute_query_inner(
+        net,
+        delays,
+        query,
+        start,
+        scope,
+        ForwardingMode::default(),
+        Some(plan),
         Some(&mut trace),
     );
     (outcome, trace)
@@ -507,9 +580,10 @@ pub fn execute_query_mode(
     scope: SearchScope,
     mode: ForwardingMode,
 ) -> QueryOutcome {
-    execute_query_inner(net, delays, query, start, scope, mode, None)
+    execute_query_inner(net, delays, query, start, scope, mode, None, None)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_query_inner(
     net: &RoadsNetwork,
     delays: &DelaySpace,
@@ -517,8 +591,12 @@ fn execute_query_inner(
     start: ServerId,
     scope: SearchScope,
     mode: ForwardingMode,
+    plan: Option<&QueryPlan>,
     mut trace: Option<&mut Vec<TraceEvent>>,
 ) -> QueryOutcome {
+    if let Some(p) = plan {
+        assert_eq!(p.entry, start, "plan was computed for a different entry");
+    }
     assert_eq!(
         net.len(),
         delays.len(),
@@ -539,18 +617,14 @@ fn execute_query_inner(
     };
 
     let entry_depth = net.tree().depth(start);
-    let in_scope = |target: ServerId| -> bool {
-        match scope.levels_up {
-            None => true,
-            Some(levels) => {
-                // A target is in scope when it is not more than `levels`
-                // levels above the entry (siblings share the ancestor's
-                // level + 1, so compare the target's own depth).
-                let d = net.tree().depth(target);
-                d + levels >= entry_depth
-            }
-        }
-    };
+    // Replica redirect targets and ancestor probes consume scope
+    // differently: an ancestor's sibling sits one level *below* the
+    // ancestor it is reached through, so it costs that ancestor's level
+    // count, not its own depth difference.
+    let replica_in_scope =
+        |target: ServerId| -> bool { scope.admits_replica(entry_depth, net.tree().depth(target)) };
+    let ancestor_in_scope =
+        |target: ServerId| -> bool { scope.admits_ancestor(entry_depth, net.tree().depth(target)) };
 
     // The entry contact is local (client co-located): zero latency, but the
     // query message itself is still accounted.
@@ -595,13 +669,19 @@ fn execute_query_inner(
             }
         };
 
-        if ev.local_match {
+        // One local search per contact — its size is reused for both the
+        // outcome and the trace event (a second search would double the
+        // compute-time attribution in the explain plane).
+        let local_matches = if ev.local_match {
             let local = net.search_local(c.server, query);
             if !local.is_empty() {
                 outcome.matching_servers.push(c.server);
                 outcome.matching_records += local.len();
             }
-        }
+            local.len()
+        } else {
+            0
+        };
 
         // Collect redirect targets.
         let mut targets: Vec<(ServerId, Mode)> = ev
@@ -610,20 +690,44 @@ fn execute_query_inner(
             .map(|&t| (t, Mode::Branch))
             .collect();
         if c.mode == Mode::Entry {
-            targets.extend(
-                ev.replica_targets
-                    .iter()
-                    .filter(|&&t| in_scope(t))
-                    .map(|&t| (t, Mode::Branch)),
-            );
-            targets.extend(
-                ev.ancestor_targets
-                    .iter()
-                    .filter(|&&t| in_scope(t))
-                    .map(|&t| (t, Mode::LocalOnly)),
-            );
+            match plan {
+                // Planner batch: the entry dispatches exactly the planned
+                // contacts instead of expanding its own overlay view.
+                Some(p) => {
+                    targets = p
+                        .contacts
+                        .iter()
+                        .map(|pc| {
+                            let mode = match pc.action {
+                                PlanAction::Descend => Mode::Branch,
+                                PlanAction::Probe => Mode::LocalOnly,
+                            };
+                            (pc.server, mode)
+                        })
+                        .collect();
+                }
+                None => {
+                    targets.extend(
+                        ev.replica_targets
+                            .iter()
+                            .filter(|&&t| replica_in_scope(t))
+                            .map(|&t| (t, Mode::Branch)),
+                    );
+                    targets.extend(
+                        ev.ancestor_targets
+                            .iter()
+                            .filter(|&&t| ancestor_in_scope(t))
+                            .map(|&t| (t, Mode::LocalOnly)),
+                    );
+                }
+            }
         }
-        targets.retain(|(t, _)| !visited.contains(t));
+        // Drop already-visited servers AND duplicates within this batch: a
+        // server reachable both as a child target and a replica target must
+        // be forwarded to once, not double-counted in messages/bytes. First
+        // occurrence wins (Branch entries precede LocalOnly probes).
+        let mut batch_seen: HashSet<ServerId> = HashSet::with_capacity(targets.len());
+        targets.retain(|(t, _)| !visited.contains(t) && batch_seen.insert(*t));
         if let Some(tr) = trace.as_deref_mut() {
             tr.push(TraceEvent {
                 server: c.server,
@@ -633,11 +737,7 @@ fn execute_query_inner(
                 } else {
                     TraceRole::Branch
                 },
-                local_matches: if ev.local_match {
-                    net.search_local(c.server, query).len()
-                } else {
-                    0
-                },
+                local_matches,
                 forwarded_to: targets.iter().map(|(t, _)| *t).collect(),
             });
         }
@@ -1020,6 +1120,176 @@ mod tests {
                 "dead-end redirects on a no-match query are false positives"
             );
         }
+    }
+
+    #[test]
+    fn traced_execution_searches_each_server_once() {
+        // Regression: tracing used to call `search_local` a second time per
+        // matching server just to fill the trace event, doubling the
+        // compute-time attribution. Exactly one local search per contacted
+        // server, traced or not.
+        let (net, delays) = network(30, 3);
+        let q = QueryBuilder::new(net.schema(), QueryId(30))
+            .range("x0", 0.0, 1.0)
+            .build();
+        let before = net.local_search_calls();
+        let plain = execute_query(&net, &delays, &q, ServerId(11), SearchScope::full());
+        let plain_calls = net.local_search_calls() - before;
+        assert!(plain_calls <= plain.servers_contacted as u64);
+
+        let before = net.local_search_calls();
+        let (traced_out, trace) =
+            execute_query_traced(&net, &delays, &q, ServerId(11), SearchScope::full());
+        let traced_calls = net.local_search_calls() - before;
+        assert_eq!(traced_out, plain);
+        assert_eq!(
+            traced_calls, plain_calls,
+            "tracing must not add local searches"
+        );
+        // Every server matches this broad query, so it's exactly one
+        // search per contact here.
+        assert_eq!(traced_calls, traced_out.servers_contacted as u64);
+        let total: usize = trace.iter().map(|e| e.local_matches).sum();
+        assert_eq!(total, traced_out.matching_records);
+    }
+
+    #[test]
+    fn scope_zero_confines_search_to_entry_branch() {
+        // Regression: `levels_up = Some(0)` at a leaf used to admit the
+        // leaf's own siblings (the raw-depth comparison let targets at the
+        // entry's depth through). Zero levels up = the entry's own branch
+        // only.
+        let (net, delays) = network(30, 3);
+        let q = QueryBuilder::new(net.schema(), QueryId(31))
+            .range("x0", 0.0, 1.0)
+            .build();
+        let leaf = *net.tree().leaves().iter().max().unwrap();
+        let out = execute_query(&net, &delays, &q, leaf, SearchScope::levels(0));
+        assert_eq!(
+            out.servers_contacted, 1,
+            "a leaf with no children reaches only itself at levels(0)"
+        );
+        assert_eq!(out.matching_servers, vec![leaf]);
+
+        // At an inner server, levels(0) still descends its own branch.
+        let root = net.tree().root();
+        let inner = *net
+            .tree()
+            .children(root)
+            .iter()
+            .find(|&&c| !net.tree().children(c).is_empty())
+            .expect("30 servers at degree 3 have inner nodes");
+        let out = execute_query(&net, &delays, &q, inner, SearchScope::levels(0));
+        let subtree = net.tree().subtree(inner);
+        assert_eq!(out.servers_contacted, subtree.len());
+        let mut matched = out.matching_servers.clone();
+        matched.sort();
+        let mut expect = subtree.clone();
+        expect.sort();
+        assert_eq!(matched, expect);
+    }
+
+    #[test]
+    fn scope_boundaries_at_root_and_siblings() {
+        let (net, delays) = network(30, 3);
+        let q = QueryBuilder::new(net.schema(), QueryId(32))
+            .range("x0", 0.0, 1.0)
+            .build();
+        // Root entry: no ancestors, no siblings — any scope equals full.
+        let root = net.tree().root();
+        let full = execute_query(&net, &delays, &q, root, SearchScope::full());
+        for levels in [0usize, 1, 5] {
+            let scoped = execute_query(&net, &delays, &q, root, SearchScope::levels(levels));
+            assert_eq!(scoped, full, "root entry is scope-invariant");
+        }
+
+        // levels(1) from a leaf: own siblings (via the parent, one level
+        // up) and the parent's local probe are in; the grandparent's level
+        // is out. Sibling targets sit at the ancestor's level + 1.
+        let leaf = *net.tree().leaves().iter().max().unwrap();
+        let parent = net.tree().parent(leaf).unwrap();
+        let (out, trace) = execute_query_traced(&net, &delays, &q, leaf, SearchScope::levels(1));
+        let entry_fwd: &Vec<ServerId> = &trace[0].forwarded_to;
+        for &s in net.tree().children(parent) {
+            if s != leaf {
+                assert!(
+                    entry_fwd.contains(&s),
+                    "own sibling {s} is one level up — in scope at levels(1)"
+                );
+            }
+        }
+        assert!(
+            entry_fwd.contains(&parent),
+            "parent probe is one level up — in scope at levels(1)"
+        );
+        if let Some(gp) = net.tree().parent(parent) {
+            assert!(
+                !entry_fwd.contains(&gp),
+                "grandparent probe is two levels up — out of scope at levels(1)"
+            );
+            for &u in net.tree().children(gp) {
+                if u != parent {
+                    assert!(
+                        !entry_fwd.contains(&u),
+                        "uncle {u} hangs off the grandparent (two levels up) — out of scope"
+                    );
+                }
+            }
+        }
+        // Scoped recall: everything within the parent's branch is found.
+        for s in net.tree().subtree(parent) {
+            assert!(out.matching_servers.contains(&s));
+        }
+    }
+
+    #[test]
+    fn no_duplicate_forwarding_across_any_entry_or_scope() {
+        // Regression: a server reachable twice within one redirect batch
+        // used to be pushed (and billed) twice. Sweep every entry × scope:
+        // message count equals distinct contacts, and no server appears in
+        // two forwarded_to lists.
+        let (net, delays) = network(30, 3);
+        let q = QueryBuilder::new(net.schema(), QueryId(33))
+            .range("x0", 0.0, 1.0)
+            .build();
+        for start in 0..30u32 {
+            for scope in [
+                SearchScope::full(),
+                SearchScope::levels(0),
+                SearchScope::levels(1),
+                SearchScope::levels(2),
+            ] {
+                let (out, trace) = execute_query_traced(&net, &delays, &q, ServerId(start), scope);
+                assert_eq!(
+                    out.query_messages as usize, out.servers_contacted,
+                    "start {start}: one message per contacted server"
+                );
+                let mut seen: HashSet<ServerId> = HashSet::new();
+                for e in &trace {
+                    for f in &e.forwarded_to {
+                        assert!(seen.insert(*f), "start {start}: {f} forwarded to twice");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planned_execution_skips_pruned_probes_but_keeps_recall() {
+        use crate::planner::plan_query;
+        let (net, delays) = network(30, 3);
+        let leaf = *net.tree().leaves().iter().max().unwrap();
+        let q = point_query(&net, leaf.0 as f64 / 30.0);
+        let greedy = execute_query(&net, &delays, &q, leaf, SearchScope::full());
+        let plan = plan_query(&net, &q, leaf, SearchScope::full());
+        let (planned, trace) =
+            execute_query_planned_traced(&net, &delays, &q, leaf, SearchScope::full(), &plan);
+        assert_eq!(planned.matching_servers, greedy.matching_servers);
+        assert_eq!(planned.matching_records, greedy.matching_records);
+        assert!(planned.servers_contacted < greedy.servers_contacted);
+        // The trace's entry hop forwards exactly the planned batch.
+        assert_eq!(trace[0].forwarded_to.len(), plan.contacts.len());
+        assert_eq!(trace.len(), planned.servers_contacted);
     }
 
     #[test]

@@ -43,7 +43,9 @@ use crate::store::RecordStore;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use roads_core::policy::{apply_policy, OpenPolicy, RequesterId, SharingPolicy};
-use roads_core::{RoadsNetwork, ServerId};
+use roads_core::{
+    plan_query, CachedResult, PlanAction, ResultCache, RoadsNetwork, SearchScope, ServerId,
+};
 use roads_netsim::DelaySpace;
 use roads_records::{Query, Record, WireSize};
 use roads_summary::SummaryVerdict;
@@ -326,6 +328,10 @@ pub struct RoadsCluster {
     /// auditor's liveness closure reads this stable board instead.
     live_board: Arc<Vec<AtomicBool>>,
     audit: Option<Arc<AuditMetrics>>,
+    /// TTL'd result cache, present when `cfg.cache_ttl_rounds > 0`. Keyed
+    /// by (entry, requester, scope, query fingerprint); epochs advance via
+    /// [`RoadsCluster::advance_cache_round`].
+    cache: Option<Arc<ResultCache>>,
 }
 
 impl RoadsCluster {
@@ -423,7 +429,28 @@ impl RoadsCluster {
             tail: None,
             live_board,
             audit: None,
+            cache: (cfg.cache_ttl_rounds > 0)
+                .then(|| Arc::new(ResultCache::new(cfg.cache_ttl_rounds))),
         }
+    }
+
+    /// The TTL'd result cache, when [`RuntimeConfig::cache_ttl_rounds`]
+    /// enabled one at startup.
+    pub fn result_cache(&self) -> Option<&Arc<ResultCache>> {
+        self.cache.as_ref()
+    }
+
+    /// An update round / replication wave landed: advance the cache epoch
+    /// and purge entries older than the TTL. Returns how many entries were
+    /// invalidated (0 with no cache configured). On an instrumented
+    /// cluster the purge count lands on `roads.cache.invalidations`.
+    pub fn advance_cache_round(&self) -> u64 {
+        let Some(cache) = &self.cache else { return 0 };
+        let purged = cache.advance_round();
+        if let Some(m) = &self.metrics {
+            m.cache_invalidations.add(purged);
+        }
+        purged
     }
 
     /// Attach a flight recorder: every subsequent [`Self::query_as`]
@@ -652,6 +679,14 @@ impl RoadsCluster {
             self.metrics.as_ref().map(|m| m.inflight.as_ref()),
         );
         let t0 = Instant::now();
+        if let Some(cache) = &self.cache {
+            if let Some(r) = cache.lookup(start, requester.0 as u64, SearchScope::full(), query) {
+                return self.replay_cached(query, start, r, t0, want_explain);
+            }
+            if let Some(m) = &self.metrics {
+                m.cache_misses.inc();
+            }
+        }
         let rec = self.recorder.as_deref();
         let (done_tx, done_rx) = unbounded::<Notice>();
         let driver = Driver {
@@ -680,7 +715,86 @@ impl RoadsCluster {
             explain_hops: want_explain.then(Vec::new),
             attempt_hop: HashMap::new(),
         };
-        driver.run(done_rx)
+        let (outcome, explain) = driver.run(done_rx);
+        if let Some(cache) = &self.cache {
+            // Replaying an incomplete answer would hide a transient fault
+            // until the TTL expired; only provably-complete results are
+            // stored.
+            if outcome.complete {
+                cache.insert(
+                    start,
+                    requester.0 as u64,
+                    SearchScope::full(),
+                    query,
+                    CachedResult {
+                        matching_servers: Vec::new(),
+                        matching_records: outcome.records.len(),
+                        records: outcome.records.clone(),
+                    },
+                );
+            }
+        }
+        (outcome, explain)
+    }
+
+    /// Serve a query from the result cache: the entry answers alone, no
+    /// fan-out, no server threads involved. Counted as a completed query
+    /// plus a `roads.cache.hits` tick; the optional provenance record is a
+    /// single `cache-hit` hop.
+    fn replay_cached(
+        &self,
+        query: &Query,
+        start: ServerId,
+        r: CachedResult,
+        t0: Instant,
+        want_explain: bool,
+    ) -> (RuntimeOutcome, Option<QueryExplain>) {
+        let response_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        if let Some(m) = &self.metrics {
+            m.cache_hits.inc();
+            m.queries.inc();
+            m.response_ms.record(response_ms);
+        }
+        let records = r.records;
+        let explain = want_explain.then(|| QueryExplain {
+            query_id: query.id.0,
+            trace_id: TraceId::NONE.0,
+            entry: start.0,
+            response_us: response_ms * 1_000.0,
+            complete: true,
+            deadline_hit: false,
+            records: records.len() as u64,
+            hops: vec![ExplainHop {
+                server: start.0,
+                decision: ExplainDecision::CacheHit,
+                summary: None,
+                false_positive: false,
+                outcome: HopOutcome::Replied,
+                at_us: 0.0,
+                dur_us: response_ms * 1_000.0,
+                caused_by: None,
+                local_matches: records.len() as u64,
+                split: LatencySplit {
+                    queue_us: 0.0,
+                    // The client is co-located with its entry: a replay
+                    // crosses no link.
+                    network_us: 0.0,
+                    compute_us: response_ms * 1_000.0,
+                    backoff_us: 0.0,
+                },
+            }],
+        });
+        (
+            RuntimeOutcome {
+                response_ms,
+                records,
+                servers_contacted: 1,
+                complete: true,
+                failed_servers: Vec::new(),
+                retries: 0,
+            },
+            explain,
+        )
     }
 
     fn scaled_delay(&self, a: ServerId, b: ServerId) -> Duration {
@@ -822,10 +936,27 @@ impl Driver<'_> {
         let cfg = self.cluster.cfg;
         let deadline = (cfg.query_deadline_ms > 0)
             .then(|| self.t0 + Duration::from_millis(cfg.query_deadline_ms));
-        self.ledger.admit(self.start, ContactMode::Entry);
+        // Replica-aware planning: the client batches the set-cover
+        // contacts computed from the entry's replicated summaries instead
+        // of asking the entry to expand greedily. The entry then serves
+        // only as a local-search target — every other contact it would
+        // have returned is already in the plan.
+        let plan = cfg.enable_planner.then(|| {
+            plan_query(
+                &self.cluster.net,
+                self.query,
+                self.start,
+                SearchScope::full(),
+            )
+        });
+        let entry_mode = match plan {
+            Some(_) => ContactMode::LocalOnly,
+            None => ContactMode::Entry,
+        };
+        self.ledger.admit(self.start, entry_mode);
         let entry = self.dispatch(
             self.start,
-            ContactMode::Entry,
+            entry_mode,
             SpanId::NONE,
             Duration::ZERO,
             0,
@@ -843,6 +974,31 @@ impl Driver<'_> {
             kind: EventKind::QueryStart,
             detail: self.trace.0,
         });
+        if let Some(plan) = &plan {
+            if let Some(m) = &self.cluster.metrics {
+                m.planned_queries.inc();
+                m.pruned_probes.add(plan.pruned_probes as u64);
+            }
+            for pc in &plan.contacts {
+                let mode = match pc.action {
+                    PlanAction::Descend => ContactMode::Branch,
+                    PlanAction::Probe => ContactMode::LocalOnly,
+                };
+                if self.ledger.admit(pc.server, mode) {
+                    // Hop 0 is the entry: the plan was computed from its
+                    // replicated summaries, so it caused every contact.
+                    self.dispatch(
+                        pc.server,
+                        mode,
+                        self.root_span,
+                        Duration::ZERO,
+                        0,
+                        Some(0),
+                        ExplainDecision::Planned,
+                    );
+                }
+            }
+        }
 
         while self.open > 0 {
             if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -1023,6 +1179,21 @@ impl Driver<'_> {
                 }
                 ExplainDecision::AncestorProbe => {
                     match self.cluster.net.local_summary(target).decide(self.query) {
+                        SummaryVerdict::Match { fuzziest } => fuzziest.and_then(summary_kind),
+                        SummaryVerdict::Prune { decided_by } => decided_by.and_then(summary_kind),
+                    }
+                }
+                // A planned descent was admitted by the target's branch
+                // summary; a planned probe by its *local* summary (that is
+                // the planner's pruning criterion).
+                ExplainDecision::Planned => {
+                    let verdict = match mode {
+                        ContactMode::Branch => {
+                            self.cluster.net.branch_summary(target).decide(self.query)
+                        }
+                        _ => self.cluster.net.local_summary(target).decide(self.query),
+                    };
+                    match verdict {
                         SummaryVerdict::Match { fuzziest } => fuzziest.and_then(summary_kind),
                         SummaryVerdict::Prune { decided_by } => decided_by.and_then(summary_kind),
                     }
@@ -1643,7 +1814,7 @@ mod tests {
     use roads_records::{OwnerId, QueryBuilder, QueryId, RecordId, Schema, Value};
     use roads_summary::SummaryConfig;
 
-    fn cluster(n: usize) -> RoadsCluster {
+    fn test_net(n: usize) -> RoadsNetwork {
         let schema = Schema::unit_numeric(2);
         let cfg = RoadsConfig {
             max_children: 3,
@@ -1666,8 +1837,15 @@ mod tests {
                     .collect()
             })
             .collect();
-        let net = RoadsNetwork::build(schema, cfg, records);
-        RoadsCluster::start(net, DelaySpace::paper(n, 21), RuntimeConfig::test_fast())
+        RoadsNetwork::build(schema, cfg, records)
+    }
+
+    fn cluster(n: usize) -> RoadsCluster {
+        RoadsCluster::start(
+            test_net(n),
+            DelaySpace::paper(n, 21),
+            RuntimeConfig::test_fast(),
+        )
     }
 
     #[test]
@@ -1963,6 +2141,105 @@ mod tests {
         let out = c.query(&q, ServerId(0));
         assert_eq!(out.records.len(), 6 * 20);
         assert!(out.complete);
+        c.shutdown();
+    }
+
+    #[test]
+    fn planner_cluster_matches_greedy_results() {
+        let n = 9;
+        let greedy = cluster(n);
+        let reg = Registry::new();
+        let planned = RoadsCluster::start_instrumented(
+            test_net(n),
+            DelaySpace::paper(n, 21),
+            RuntimeConfig {
+                enable_planner: true,
+                ..RuntimeConfig::test_fast()
+            },
+            &reg,
+        );
+        let ranges = [(0.0, 1.0), (0.3, 0.6), (0.87, 0.9)];
+        let (mut greedy_contacts, mut planned_contacts) = (0usize, 0usize);
+        for (i, (lo, hi)) in ranges.iter().enumerate() {
+            let q = QueryBuilder::new(greedy.network().schema(), QueryId(30 + i as u64))
+                .range("x0", *lo, *hi)
+                .build();
+            for start in [0u32, 4, 8] {
+                let a = greedy.query(&q, ServerId(start));
+                let b = planned.query(&q, ServerId(start));
+                let mut ra: Vec<u64> = a.records.iter().map(|r| r.id.0).collect();
+                let mut rb: Vec<u64> = b.records.iter().map(|r| r.id.0).collect();
+                ra.sort_unstable();
+                rb.sort_unstable();
+                assert_eq!(
+                    ra, rb,
+                    "recall must not change (x0∈[{lo},{hi}] start={start})"
+                );
+                assert!(b.complete, "planned query stays provably complete");
+                greedy_contacts += a.servers_contacted;
+                planned_contacts += b.servers_contacted;
+            }
+        }
+        assert!(
+            planned_contacts <= greedy_contacts,
+            "planner must never contact more servers ({planned_contacts} vs {greedy_contacts})"
+        );
+        assert_eq!(
+            reg.counter("roads.planner.planned_queries").get(),
+            (ranges.len() * 3) as u64
+        );
+        greedy.shutdown();
+        planned.shutdown();
+    }
+
+    #[test]
+    fn cache_replays_repeats_and_invalidates_on_round_advance() {
+        let reg = Registry::new();
+        let c = RoadsCluster::start_instrumented(
+            test_net(9),
+            DelaySpace::paper(9, 21),
+            RuntimeConfig {
+                cache_ttl_rounds: 1,
+                ..RuntimeConfig::test_fast()
+            },
+            &reg,
+        );
+        let q = QueryBuilder::new(c.network().schema(), QueryId(40))
+            .range("x0", 0.0, 1.0)
+            .build();
+        let first = c.query(&q, ServerId(4));
+        assert!(first.complete);
+        assert_eq!(first.records.len(), 9 * 20);
+
+        let (second, explain) = c.query_explained(&q, ServerId(4));
+        assert_eq!(
+            second.records.len(),
+            first.records.len(),
+            "replay is verbatim"
+        );
+        assert_eq!(second.servers_contacted, 1, "served by the entry alone");
+        assert!(second.complete);
+        assert_eq!(explain.hops.len(), 1);
+        assert_eq!(explain.hops[0].decision, ExplainDecision::CacheHit);
+        assert_eq!(explain.hops[0].local_matches, (9 * 20) as u64);
+
+        // Different requester ⇒ different key (policy-filtered results
+        // may differ), so no replay.
+        let other = c.query_as(&q, ServerId(4), RequesterId(7));
+        assert!(other.servers_contacted > 1);
+
+        // An update round ages the ttl=1 entries out.
+        let purged = c.advance_cache_round();
+        assert!(purged >= 1, "round advance must purge the cached answers");
+        let third = c.query(&q, ServerId(4));
+        assert!(third.servers_contacted > 1, "invalidated ⇒ re-executed");
+
+        let cache = c.result_cache().expect("cache enabled");
+        assert_eq!(cache.hits(), 1);
+        assert!(cache.hit_rate() > 0.0);
+        assert_eq!(reg.counter("roads.cache.hits").get(), 1);
+        assert_eq!(reg.counter("roads.cache.misses").get(), 3);
+        assert_eq!(reg.counter("roads.cache.invalidations").get(), purged);
         c.shutdown();
     }
 }

@@ -56,6 +56,17 @@ pub struct RuntimeConfig {
     /// an SLO miss changes nothing about execution). `0` disables the
     /// counter.
     pub slo_response_ms: u64,
+    /// Plan queries with the replica-aware set-cover planner
+    /// (`roads_core::planner`) and dispatch the planned contacts as one
+    /// batch from the entry, instead of greedy hop-by-hop overlay
+    /// expansion. Off by default: greedy remains the reference path, and
+    /// experiments opt in (fig17).
+    pub enable_planner: bool,
+    /// TTL of the per-entry result cache, in update-round epochs: a result
+    /// cached at epoch `e` is replayed while `current − e <` this value,
+    /// and [`RoadsCluster::advance_cache_round`](crate::RoadsCluster)
+    /// purges aged entries. `0` disables the cache (the default).
+    pub cache_ttl_rounds: u64,
 }
 
 impl RuntimeConfig {
@@ -74,6 +85,8 @@ impl RuntimeConfig {
             enable_failover: true,
             max_inflight_queries: 64,
             slo_response_ms: 10_000,
+            enable_planner: false,
+            cache_ttl_rounds: 0,
         }
     }
 
@@ -93,6 +106,8 @@ impl RuntimeConfig {
             enable_failover: true,
             max_inflight_queries: 16,
             slo_response_ms: 5_000,
+            enable_planner: false,
+            cache_ttl_rounds: 0,
         }
     }
 
@@ -163,6 +178,10 @@ mod tests {
             assert!(
                 cfg.slo_response_ms <= cfg.query_deadline_ms,
                 "an SLO beyond the deadline could never fire"
+            );
+            assert!(
+                !cfg.enable_planner && cfg.cache_ttl_rounds == 0,
+                "planner and cache are opt-in; greedy is the reference path"
             );
         }
     }

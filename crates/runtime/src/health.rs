@@ -86,6 +86,20 @@ pub(crate) struct RuntimeMetrics {
     pub kills: Arc<Counter>,
     /// `runtime.fault_events{kind="restart"}`.
     pub restarts: Arc<Counter>,
+    /// `roads.cache.hits`: queries answered from the TTL'd result cache.
+    pub cache_hits: Arc<Counter>,
+    /// `roads.cache.misses`: cache lookups that fell through to execution
+    /// (only counted while the cache is enabled).
+    pub cache_misses: Arc<Counter>,
+    /// `roads.cache.invalidations`: cached results purged by
+    /// [`crate::RoadsCluster::advance_cache_round`] epoch advances.
+    pub cache_invalidations: Arc<Counter>,
+    /// `roads.planner.planned_queries`: queries dispatched via the
+    /// replica-aware set-cover planner instead of greedy expansion.
+    pub planned_queries: Arc<Counter>,
+    /// `roads.planner.pruned_probes`: ancestor probes the planner skipped
+    /// because the replicated *local* summary ruled the ancestor out.
+    pub pruned_probes: Arc<Counter>,
     /// Per-server instruments, indexed by `ServerId::index`.
     pub servers: Vec<ServerInstruments>,
 }
@@ -138,6 +152,11 @@ impl RuntimeMetrics {
             ],
             kills: reg.counter(&labeled("runtime.fault_events", &[("kind", "kill")])),
             restarts: reg.counter(&labeled("runtime.fault_events", &[("kind", "restart")])),
+            cache_hits: reg.counter("roads.cache.hits"),
+            cache_misses: reg.counter("roads.cache.misses"),
+            cache_invalidations: reg.counter("roads.cache.invalidations"),
+            planned_queries: reg.counter("roads.planner.planned_queries"),
+            pruned_probes: reg.counter("roads.planner.pruned_probes"),
             servers,
         }
     }

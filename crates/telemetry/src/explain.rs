@@ -83,6 +83,11 @@ pub enum ExplainDecision {
     Retry,
     /// Stand-in contacted on behalf of a dead server.
     Failover,
+    /// Answered from the entry's TTL'd result cache — no dispatch at all.
+    CacheHit,
+    /// Dispatched as part of a planner-computed batch (replica-aware
+    /// set-cover source selection) instead of hop-by-hop expansion.
+    Planned,
 }
 
 impl ExplainDecision {
@@ -95,6 +100,8 @@ impl ExplainDecision {
             ExplainDecision::AncestorProbe => "ancestor-probe",
             ExplainDecision::Retry => "retry",
             ExplainDecision::Failover => "failover",
+            ExplainDecision::CacheHit => "cache-hit",
+            ExplainDecision::Planned => "planned",
         }
     }
 
@@ -107,6 +114,8 @@ impl ExplainDecision {
             "ancestor-probe" => ExplainDecision::AncestorProbe,
             "retry" => ExplainDecision::Retry,
             "failover" => ExplainDecision::Failover,
+            "cache-hit" => ExplainDecision::CacheHit,
+            "planned" => ExplainDecision::Planned,
             _ => return None,
         })
     }
@@ -559,6 +568,8 @@ mod tests {
             ExplainDecision::AncestorProbe,
             ExplainDecision::Retry,
             ExplainDecision::Failover,
+            ExplainDecision::CacheHit,
+            ExplainDecision::Planned,
         ] {
             assert_eq!(ExplainDecision::parse(d.as_str()), Some(d));
         }
