@@ -16,6 +16,8 @@
 //!                                       # attribution
 //! roads-inspect audit <artifact>        # per-level summary-fidelity table
 //!                                       # from an AUDIT.json artifact
+//! roads-inspect delta <artifact>        # incremental-update summary from
+//!                                       # a DELTA.json artifact
 //! ```
 //!
 //! `<base>` is a result stem such as `results/fig3_latency_vs_nodes`; the
@@ -36,7 +38,11 @@
 //! flight-recorder events must form a valid span tree. Documents carrying
 //! an `audit` key (the `AUDIT.json` auditor report) validate through the
 //! strict [`roads_bench::audit_view::AuditReport`] parser: every scalar
-//! and per-level row must be present and well-typed.
+//! and per-level row must be present and well-typed. Documents carrying
+//! a `delta_schema_version` key (the `DELTA.json` incremental-update
+//! summary written by `bench_suite`) validate through
+//! [`roads_bench::delta_view::DeltaReport`], which re-enforces the delta
+//! path's 10x speedup floor and its accounting invariants offline.
 //!
 //! `audit` renders the per-level summary-fidelity table of an
 //! `AUDIT.json` artifact: ground-truth probes, FP/FN rates, overlay
@@ -61,7 +67,7 @@
 //!
 //! [`FigureExport`]: roads_telemetry::FigureExport
 
-use roads_bench::{audit_view, explain_view, plan_view, suite};
+use roads_bench::{audit_view, delta_view, explain_view, plan_view, suite};
 use roads_telemetry::{
     critical_path, parse_openmetrics, slowest_trace, span_tree_root, trace_ids, Event, EventKind,
     Json, SpanId, TraceId,
@@ -83,6 +89,7 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "slow" && rest.len() == 1 => slow(&rest[0]),
         Some((cmd, rest)) if cmd == "audit" && rest.len() == 1 => audit(&rest[0]),
         Some((cmd, rest)) if cmd == "plan" && rest.len() == 1 => plan(&rest[0]),
+        Some((cmd, rest)) if cmd == "delta" && rest.len() == 1 => delta(&rest[0]),
         _ => {
             eprintln!("usage: roads-inspect summary <base>");
             eprintln!("       roads-inspect diff <base-a> <base-b>");
@@ -93,6 +100,7 @@ fn main() -> ExitCode {
             eprintln!("       roads-inspect slow <slow-queries.json>");
             eprintln!("       roads-inspect audit <audit.json>");
             eprintln!("       roads-inspect plan <plan.json>");
+            eprintln!("       roads-inspect delta <delta.json>");
             eprintln!("  <base> is a result stem, e.g. results/fig3_latency_vs_nodes");
             ExitCode::from(2)
         }
@@ -382,6 +390,22 @@ fn check(bases: &[String]) -> ExitCode {
                 }
                 continue;
             }
+            // Incremental-update reports (DELTA.json) validate shape
+            // plus the delta path's invariants (>= 10x speedup, bytes
+            // and change accounting); no trace file.
+            Ok(doc) if delta_view::is_delta_doc(&doc) => {
+                match delta_view::DeltaReport::from_json(&doc) {
+                    Ok(report) => println!(
+                        "OK   {base}: delta report, {} records, {} changes/round, {:.1}x over full",
+                        report.records, report.churn_changes, report.speedup
+                    ),
+                    Err(e) => {
+                        eprintln!("FAIL {}: {e}", fig_path.display());
+                        failed = true;
+                    }
+                }
+                continue;
+            }
             // Tail-sampler reports (SLOW_QUERIES.json) validate each
             // retained explain record and its span tree; no trace file.
             Ok(doc) if explain_view::is_slow_doc(&doc) => {
@@ -603,6 +627,29 @@ fn plan(path: &str) -> ExitCode {
     match report {
         Ok(report) => {
             print!("{}", plan_view::render_plan_table(&report));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn delta(path: &str) -> ExitCode {
+    let (fig_path, _) = expand(path);
+    let report = load_json(&fig_path).and_then(|doc| {
+        if !delta_view::is_delta_doc(&doc) {
+            return Err(format!(
+                "{}: not a delta report (no delta_schema_version key)",
+                fig_path.display()
+            ));
+        }
+        delta_view::DeltaReport::from_json(&doc).map_err(|e| format!("{}: {e}", fig_path.display()))
+    });
+    match report {
+        Ok(report) => {
+            print!("{}", delta_view::render_delta_table(&report));
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -1,0 +1,378 @@
+//! Offline views of the incremental update plane: the `DELTA.json`
+//! artifact written by `bench_suite` alongside `BENCH_ROADS.json`.
+//!
+//! The artifact captures what the incremental delta update path did over
+//! the suite's churn workload: the size of the record population, how
+//! many changes one churn round carried, wall time of a full
+//! rebuild-and-propagate round vs the delta round over the same network,
+//! the resulting speedup, and the delta outcome counters mirrored from
+//! the `roads.delta.*` OpenMetrics families (applied/rejected changes,
+//! dirty servers and branches, bounded shard rebuilds).
+//!
+//! Two consumers share this module:
+//!
+//! * `roads-inspect delta <artifact>` — the summary table
+//!   ([`render_delta_table`]).
+//! * `roads-inspect check` — strict schema validation via
+//!   [`DeltaReport::from_json`], including the delta path's core
+//!   invariant (the incremental round stays at least an order of
+//!   magnitude faster than the full round) so a regression fails the
+//!   artifact check, not just a bench diff. [`is_delta_doc`] routes
+//!   `check` between this schema and the other artifact schemas.
+
+use roads_telemetry::Json;
+
+/// Current `DELTA.json` schema version.
+pub const DELTA_SCHEMA_VERSION: u64 = 1;
+
+/// The minimum full-round / delta-round speedup a healthy incremental
+/// path must sustain; [`DeltaReport::from_json`] rejects artifacts below
+/// it.
+pub const MIN_DELTA_SPEEDUP: f64 = 10.0;
+
+/// The incremental-update summary of one bench-suite run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaReport {
+    /// Document schema version ([`DELTA_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Matrix configuration the run used (`"smoke"` or `"full"`).
+    pub config: String,
+    /// Servers in the churn network.
+    pub servers: u64,
+    /// Total records across all servers.
+    pub records: u64,
+    /// Record changes per churn round.
+    pub churn_changes: u64,
+    /// Mean wall time of one full rebuild-and-propagate round (ms).
+    pub full_ms: f64,
+    /// Mean wall time of one incremental delta round (ms).
+    pub delta_ms: f64,
+    /// `full_ms / delta_ms`.
+    pub speedup: f64,
+    /// Propagation bytes of one full round.
+    pub full_bytes: u64,
+    /// Propagation bytes of one delta round.
+    pub delta_bytes: u64,
+    /// Changes applied in the last churn round
+    /// (`roads.delta.changes_applied`).
+    pub applied: u64,
+    /// Changes rejected in the last churn round
+    /// (`roads.delta.changes_rejected`).
+    pub rejected: u64,
+    /// Servers whose local summary the last round dirtied
+    /// (`roads.delta.dirty_servers`).
+    pub dirty_servers: u64,
+    /// Branch summaries the last round recomputed
+    /// (`roads.delta.dirty_branches`).
+    pub dirty_branches: u64,
+    /// Bounded per-shard summary rebuilds the last round forced
+    /// (`roads.delta.shard_rebuilds`).
+    pub shard_rebuilds: u64,
+}
+
+impl DeltaReport {
+    /// Fraction of the record population one churn round touched.
+    pub fn churn_fraction(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.churn_changes as f64 / self.records as f64
+        }
+    }
+
+    /// Propagation-byte reduction vs the full round (0 when the full
+    /// round moved nothing).
+    pub fn byte_reduction(&self) -> f64 {
+        if self.full_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.delta_bytes as f64 / self.full_bytes as f64
+        }
+    }
+
+    /// Serialize to the on-disk document shape.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "delta_schema_version",
+                Json::num(self.schema_version as f64),
+            ),
+            ("config", Json::str(self.config.clone())),
+            ("servers", Json::num(self.servers as f64)),
+            ("records", Json::num(self.records as f64)),
+            ("churn_changes", Json::num(self.churn_changes as f64)),
+            ("full_ms", Json::num(self.full_ms)),
+            ("delta_ms", Json::num(self.delta_ms)),
+            ("speedup", Json::num(self.speedup)),
+            ("full_bytes", Json::num(self.full_bytes as f64)),
+            ("delta_bytes", Json::num(self.delta_bytes as f64)),
+            ("applied", Json::num(self.applied as f64)),
+            ("rejected", Json::num(self.rejected as f64)),
+            ("dirty_servers", Json::num(self.dirty_servers as f64)),
+            ("dirty_branches", Json::num(self.dirty_branches as f64)),
+            ("shard_rebuilds", Json::num(self.shard_rebuilds as f64)),
+        ])
+    }
+
+    /// Parse and validate a delta document. Beyond shape, this enforces
+    /// the incremental path's invariants: the recorded speedup is
+    /// consistent with the timings and at least [`MIN_DELTA_SPEEDUP`],
+    /// the delta round never moves more bytes than the full round, the
+    /// dirty sets fit the network, and the change accounting adds up.
+    pub fn from_json(doc: &Json) -> Result<DeltaReport, String> {
+        let version = doc
+            .get("delta_schema_version")
+            .and_then(Json::as_f64)
+            .ok_or("missing delta_schema_version marker")?;
+        if version != DELTA_SCHEMA_VERSION as f64 {
+            return Err(format!(
+                "unknown delta_schema_version {version} (this build reads {DELTA_SCHEMA_VERSION})"
+            ));
+        }
+        let config = doc
+            .get("config")
+            .and_then(Json::as_str_val)
+            .ok_or("missing config")?
+            .to_string();
+        let count = |key: &str| -> Result<u64, String> {
+            let v = doc
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric {key}"))?;
+            if !v.is_finite() || v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("{key} must be a non-negative integer, got {v}"));
+            }
+            Ok(v as u64)
+        };
+        let millis = |key: &str| -> Result<f64, String> {
+            let v = doc
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric {key}"))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{key} must be a positive duration, got {v}"));
+            }
+            Ok(v)
+        };
+        let report = DeltaReport {
+            schema_version: version as u64,
+            config,
+            servers: count("servers")?,
+            records: count("records")?,
+            churn_changes: count("churn_changes")?,
+            full_ms: millis("full_ms")?,
+            delta_ms: millis("delta_ms")?,
+            speedup: millis("speedup")?,
+            full_bytes: count("full_bytes")?,
+            delta_bytes: count("delta_bytes")?,
+            applied: count("applied")?,
+            rejected: count("rejected")?,
+            dirty_servers: count("dirty_servers")?,
+            dirty_branches: count("dirty_branches")?,
+            shard_rebuilds: count("shard_rebuilds")?,
+        };
+        if report.servers == 0 || report.records == 0 {
+            return Err("empty churn network".to_string());
+        }
+        if report.churn_changes == 0 {
+            return Err("no churn changes in the delta round".to_string());
+        }
+        if report.applied + report.rejected != report.churn_changes {
+            return Err(format!(
+                "change accounting does not add up: {} applied + {} rejected != {} changes",
+                report.applied, report.rejected, report.churn_changes
+            ));
+        }
+        if report.dirty_servers > report.servers {
+            return Err(format!(
+                "more dirty servers than servers ({} > {})",
+                report.dirty_servers, report.servers
+            ));
+        }
+        if report.dirty_branches < report.dirty_servers {
+            return Err(format!(
+                "dirty branch closure smaller than the dirty server set ({} < {})",
+                report.dirty_branches, report.dirty_servers
+            ));
+        }
+        if report.delta_bytes > report.full_bytes {
+            return Err(format!(
+                "delta round moved more bytes than the full round ({} > {})",
+                report.delta_bytes, report.full_bytes
+            ));
+        }
+        let expected = report.full_ms / report.delta_ms;
+        if (report.speedup - expected).abs() > 1e-6 * expected.max(1.0) {
+            return Err(format!(
+                "speedup {} inconsistent with timings ({} / {} ms)",
+                report.speedup, report.full_ms, report.delta_ms
+            ));
+        }
+        if report.speedup < MIN_DELTA_SPEEDUP {
+            return Err(format!(
+                "delta round only {:.1}x faster than the full round — \
+                 the incremental path must stay >= {MIN_DELTA_SPEEDUP:.0}x",
+                report.speedup
+            ));
+        }
+        Ok(report)
+    }
+
+    /// Load and validate a report from disk.
+    pub fn load(path: &std::path::Path) -> Result<DeltaReport, String> {
+        let body = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = Json::parse(&body).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&doc).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Write the pretty-printed document.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_string_pretty())
+    }
+}
+
+/// Whether this is a delta document at all (any version): used by
+/// `roads-inspect check` to route between artifact schemas.
+pub fn is_delta_doc(doc: &Json) -> bool {
+    doc.get("delta_schema_version").is_some()
+}
+
+/// The incremental-update summary table.
+pub fn render_delta_table(r: &DeltaReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "delta: {} records across {} servers, {} changes/round ({:.2}% churn), config {}\n",
+        r.records,
+        r.servers,
+        r.churn_changes,
+        100.0 * r.churn_fraction(),
+        r.config
+    ));
+    out.push_str(&format!(
+        "{:>24} {:>12.1} ms\n{:>24} {:>12.1} ms ({:.1}x faster)\n{:>24} {:>12} ({:.1}% fewer than full)\n",
+        "full round",
+        r.full_ms,
+        "delta round",
+        r.delta_ms,
+        r.speedup,
+        "delta bytes",
+        r.delta_bytes,
+        100.0 * r.byte_reduction(),
+    ));
+    out.push_str(&format!(
+        "last round: {} applied / {} rejected, {} dirty servers, {} dirty branches, {} shard rebuilds\n",
+        r.applied, r.rejected, r.dirty_servers, r.dirty_branches, r.shard_rebuilds,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> DeltaReport {
+        DeltaReport {
+            schema_version: DELTA_SCHEMA_VERSION,
+            config: "smoke".to_string(),
+            servers: 64,
+            records: 250_000,
+            churn_changes: 2_500,
+            full_ms: 480.0,
+            delta_ms: 12.0,
+            speedup: 40.0,
+            full_bytes: 131_072,
+            delta_bytes: 131_072,
+            applied: 2_500,
+            rejected: 0,
+            dirty_servers: 64,
+            dirty_branches: 64,
+            shard_rebuilds: 3,
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips() {
+        let r = report();
+        let doc = Json::parse(&r.to_json().to_string_pretty()).unwrap();
+        assert!(is_delta_doc(&doc));
+        let parsed = DeltaReport::from_json(&doc).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn table_shows_churn_and_speedup() {
+        let text = render_delta_table(&report());
+        assert!(text.contains("250000 records across 64 servers"), "{text}");
+        assert!(text.contains("(1.00% churn)"), "{text}");
+        assert!(text.contains("40.0x faster"), "{text}");
+        assert!(text.contains("3 shard rebuilds"), "{text}");
+    }
+
+    #[test]
+    fn check_rejects_a_slow_delta_path() {
+        let mut r = report();
+        r.delta_ms = 60.0;
+        r.speedup = r.full_ms / r.delta_ms; // 8x: below the floor
+        let doc = Json::parse(&r.to_json().to_string_pretty()).unwrap();
+        let err = DeltaReport::from_json(&doc).unwrap_err();
+        assert!(err.contains("must stay >= 10x"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_inconsistent_accounting() {
+        // A speedup that does not match the timings is a corrupt
+        // artifact, not a rounding detail.
+        let mut r = report();
+        r.speedup = 200.0;
+        let doc = Json::parse(&r.to_json().to_string_pretty()).unwrap();
+        assert!(DeltaReport::from_json(&doc)
+            .unwrap_err()
+            .contains("inconsistent"));
+
+        let mut r = report();
+        r.applied = 1;
+        let doc = Json::parse(&r.to_json().to_string_pretty()).unwrap();
+        assert!(DeltaReport::from_json(&doc)
+            .unwrap_err()
+            .contains("does not add up"));
+
+        let mut r = report();
+        r.dirty_servers = r.servers + 1;
+        r.dirty_branches = r.dirty_servers;
+        let doc = Json::parse(&r.to_json().to_string_pretty()).unwrap();
+        assert!(DeltaReport::from_json(&doc)
+            .unwrap_err()
+            .contains("more dirty servers"));
+
+        let mut r = report();
+        r.delta_bytes = r.full_bytes + 1;
+        let doc = Json::parse(&r.to_json().to_string_pretty()).unwrap();
+        assert!(DeltaReport::from_json(&doc)
+            .unwrap_err()
+            .contains("more bytes"));
+    }
+
+    #[test]
+    fn check_rejects_corrupt_documents() {
+        let other = Json::obj(vec![("benches", Json::num(1.0))]);
+        assert!(!is_delta_doc(&other));
+        assert!(DeltaReport::from_json(&other)
+            .unwrap_err()
+            .contains("marker"));
+
+        let truncated =
+            Json::parse(r#"{"delta_schema_version":1,"config":"smoke","servers":4,"records":100}"#)
+                .unwrap();
+        assert!(DeltaReport::from_json(&truncated)
+            .unwrap_err()
+            .contains("churn_changes"));
+
+        let mut zero = report();
+        zero.churn_changes = 0;
+        zero.applied = 0;
+        let doc = Json::parse(&zero.to_json().to_string_pretty()).unwrap();
+        assert!(DeltaReport::from_json(&doc)
+            .unwrap_err()
+            .contains("no churn changes"));
+    }
+}

@@ -1,24 +1,32 @@
-//! Per-server TTL'd query result cache, invalidated by update-round
-//! epochs.
+//! Per-server TTL'd query result cache, aged by update-round epochs and
+//! invalidated per subtree by record deltas.
 //!
 //! Summaries change "on the order of several minutes at least" (§IV) while
 //! queries arrive continuously, so the window between two update rounds is
 //! a natural result-validity horizon: a result computed at epoch `e` is
 //! served from cache while `current_epoch − e < ttl_rounds`, and every
 //! [`ResultCache::advance_round`] (called when an update round /
-//! replication wave lands) purges entries that aged out. `ttl_rounds = 1`
-//! means "valid until the next round"; `0` disables caching.
+//! replication wave lands) *expires* entries that aged out. `ttl_rounds =
+//! 1` means "valid until the next round"; `0` disables caching.
+//!
+//! The incremental update path is finer: a [`RecordDelta`] names exactly
+//! which servers changed and summarizes the changed values, so
+//! [`ResultCache::invalidate_delta`] purges only entries whose search
+//! scope reaches a dirty server **and** whose query may match the delta
+//! summary — everything else stays hot across the round. Expiry (TTL
+//! aging) and invalidation (delta-driven purges) are counted separately.
 //!
 //! Keys are structural query fingerprints ([`query_fingerprint`]) combined
 //! with the entry server, the requester (policy-filtered result sets differ
-//! per requester) and the search scope. Hit/miss/invalidation counts are
-//! kept internally and mirrored into the OpenMetrics surface by the
+//! per requester) and the search scope. Hit/miss/expiry/invalidation counts
+//! are kept internally and mirrored into the OpenMetrics surface by the
 //! runtime (`roads.cache.*`).
 
 use crate::engine::RoadsNetwork;
 use crate::planner::QueryPlan;
 use crate::queryexec::{execute_query, execute_query_planned, QueryOutcome, SearchScope};
-use crate::tree::ServerId;
+use crate::store::DeltaOutcome;
+use crate::tree::{HierarchyTree, ServerId};
 use roads_netsim::DelaySpace;
 use roads_records::{wire::MSG_HEADER_BYTES, Predicate, Query, Record, Value, WireSize};
 use std::collections::HashMap;
@@ -105,7 +113,42 @@ fn cache_key(at: ServerId, requester: u64, scope: SearchScope, q: &Query) -> Cac
 #[derive(Debug, Clone)]
 struct Slot {
     stored_epoch: u64,
+    /// The question this slot answers, kept so delta invalidation can test
+    /// it against the summary of changed record values.
+    query: Query,
     result: CachedResult,
+}
+
+/// True when a query entered at `at` with `levels_up` scope
+/// (`u64::MAX` = unscoped) could have reached records attached at `d`.
+///
+/// A scoped search from `at` contacts replica targets that are children of
+/// ancestors at most `levels_up + 1` levels above the entry, then descends
+/// their whole subtrees, plus local-only probes of ancestors at most
+/// `levels_up` above. All of that lies inside the subtree rooted at the
+/// entry's ancestor `levels_up + 1` levels up — so a dirty server outside
+/// that subtree provably cannot change the cached answer.
+fn scope_covers(tree: &HierarchyTree, at: ServerId, levels_up: u64, d: ServerId) -> bool {
+    if levels_up == u64::MAX {
+        return true;
+    }
+    let mut anc = at;
+    for _ in 0..=levels_up.min(tree.capacity() as u64) {
+        match tree.parent(anc) {
+            Some(p) => anc = p,
+            None => break,
+        }
+    }
+    let mut cur = d;
+    loop {
+        if cur == anc {
+            return true;
+        }
+        match tree.parent(cur) {
+            Some(p) => cur = p,
+            None => return false,
+        }
+    }
 }
 
 /// TTL'd per-server result cache. Thread-safe: lookups and inserts take an
@@ -118,7 +161,8 @@ pub struct ResultCache {
     map: Mutex<HashMap<CacheKey, Slot>>,
     hits: AtomicU64,
     misses: AtomicU64,
-    invalidations: AtomicU64,
+    expired: AtomicU64,
+    invalidated: AtomicU64,
 }
 
 impl ResultCache {
@@ -131,7 +175,8 @@ impl ResultCache {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
         }
     }
 
@@ -146,15 +191,40 @@ impl ResultCache {
     }
 
     /// An update round / replication wave landed: advance the epoch and
-    /// purge entries that aged past the TTL. Returns how many entries were
-    /// invalidated.
+    /// purge entries that aged past the TTL. Returns how many entries
+    /// *expired* — TTL aging, distinct from delta-driven invalidation
+    /// ([`ResultCache::invalidate_delta`]).
     pub fn advance_round(&self) -> u64 {
         let now = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let mut map = self.map.lock().expect("cache lock");
         let before = map.len();
         map.retain(|_, slot| now.saturating_sub(slot.stored_epoch) < self.ttl_rounds);
         let purged = (before - map.len()) as u64;
-        self.invalidations.fetch_add(purged, Ordering::Relaxed);
+        self.expired.fetch_add(purged, Ordering::Relaxed);
+        purged
+    }
+
+    /// A [`RecordDelta`](crate::store::RecordDelta) landed: purge exactly
+    /// the entries it can have changed. An entry is invalidated iff some
+    /// dirty server lies inside the entry's search-scope subtree **and**
+    /// the cached query may match the summary of the changed record values
+    /// (summaries never produce false negatives, so retaining on a
+    /// non-match is sound). Returns how many entries were invalidated.
+    pub fn invalidate_delta(&self, tree: &HierarchyTree, outcome: &DeltaOutcome) -> u64 {
+        if outcome.dirty.is_empty() {
+            return 0;
+        }
+        let mut map = self.map.lock().expect("cache lock");
+        let before = map.len();
+        map.retain(|key, slot| {
+            let scope_hit = outcome
+                .dirty
+                .iter()
+                .any(|&d| scope_covers(tree, key.at, key.levels_up, d));
+            !(scope_hit && outcome.delta_summary.may_match(&slot.query))
+        });
+        let purged = (before - map.len()) as u64;
+        self.invalidated.fetch_add(purged, Ordering::Relaxed);
         purged
     }
 
@@ -201,6 +271,7 @@ impl ResultCache {
             cache_key(at, requester, scope, q),
             Slot {
                 stored_epoch,
+                query: q.clone(),
                 result,
             },
         );
@@ -226,9 +297,15 @@ impl ResultCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Entries purged by epoch advancement.
-    pub fn invalidations(&self) -> u64 {
-        self.invalidations.load(Ordering::Relaxed)
+    /// Entries that aged past the TTL ([`ResultCache::advance_round`]).
+    pub fn expired(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Entries purged because a record delta could have changed their
+    /// answer ([`ResultCache::invalidate_delta`]).
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated.load(Ordering::Relaxed)
     }
 
     /// Fraction of lookups answered from cache (0 when none were made).
@@ -355,11 +432,137 @@ mod tests {
         let purged = cache.advance_round();
         assert_eq!(purged, 1);
         let (_, hit) = execute_query_cached(&net, &delays, &query, start, scope, &cache, None);
-        assert!(!hit, "epoch advance invalidates");
-        assert_eq!(cache.invalidations(), 1);
+        assert!(!hit, "epoch advance expires");
+        assert_eq!(cache.expired(), 1);
+        assert_eq!(cache.invalidated(), 0, "TTL aging is not invalidation");
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.misses(), 2);
         assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_invalidates_only_scope_and_summary_matching_entries() {
+        let (net, delays) = network(20);
+        let cache = ResultCache::new(100);
+        let leaf = *net.tree().leaves().iter().max().unwrap();
+
+        // Three cached answers at the same entry: one full-scope query that
+        // matches the churned values, one full-scope query that provably
+        // cannot, and one zero-levels-up scoped query.
+        let wide = q(&net, 1, 0.0, 1.0);
+        let narrow = q(&net, 2, 0.90, 0.95); // churn happens at 0.5
+        let scoped = q(&net, 3, 0.0, 1.0);
+        let _ = execute_query_cached(
+            &net,
+            &delays,
+            &wide,
+            leaf,
+            SearchScope::full(),
+            &cache,
+            None,
+        );
+        let _ = execute_query_cached(
+            &net,
+            &delays,
+            &narrow,
+            leaf,
+            SearchScope::full(),
+            &cache,
+            None,
+        );
+        let _ = execute_query_cached(
+            &net,
+            &delays,
+            &scoped,
+            leaf,
+            SearchScope::levels(0),
+            &cache,
+            None,
+        );
+        assert_eq!(cache.len(), 3);
+
+        // Churn a record valued 0.5 at the root — inside every full scope,
+        // but outside the leaf's zero-levels-up subtree.
+        let mut net = net;
+        let root = net.tree().root();
+        assert!(
+            !net.tree()
+                .subtree(net.tree().parent(leaf).unwrap())
+                .contains(&root),
+            "test premise: the root is outside the leaf's levels(0) scope"
+        );
+        let mut delta = crate::store::RecordDelta::new();
+        delta.insert(
+            root,
+            Record::new_unchecked(RecordId(900), OwnerId(0), vec![Value::Float(0.5)]),
+        );
+        let outcome = net.apply(&delta);
+        let purged = cache.invalidate_delta(net.tree(), &outcome);
+
+        assert_eq!(purged, 1, "only the wide full-scope entry is stale");
+        assert_eq!(cache.invalidated(), 1);
+        assert_eq!(cache.expired(), 0);
+        assert!(
+            cache
+                .lookup(leaf, 0, SearchScope::full(), &narrow)
+                .is_some(),
+            "summary-mismatched query survives"
+        );
+        assert!(
+            cache
+                .lookup(leaf, 0, SearchScope::levels(0), &scoped)
+                .is_some(),
+            "out-of-scope entry survives"
+        );
+        assert!(cache.lookup(leaf, 0, SearchScope::full(), &wide).is_none());
+    }
+
+    #[test]
+    fn delta_invalidation_respects_scope_subtrees() {
+        let (net, delays) = network(20);
+        let mut net = net;
+        let cache = ResultCache::new(100);
+        let leaf = *net.tree().leaves().iter().max().unwrap();
+        let query = q(&net, 1, 0.0, 1.0);
+        let _ = execute_query_cached(
+            &net,
+            &delays,
+            &query,
+            leaf,
+            SearchScope::levels(0),
+            &cache,
+            None,
+        );
+
+        // A change *at the leaf itself* is inside every scope rooted there.
+        let mut delta = crate::store::RecordDelta::new();
+        delta.insert(
+            leaf,
+            Record::new_unchecked(RecordId(901), OwnerId(1), vec![Value::Float(0.25)]),
+        );
+        let outcome = net.apply(&delta);
+        assert_eq!(cache.invalidate_delta(net.tree(), &outcome), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn empty_delta_invalidates_nothing() {
+        let (mut net, delays) = network(10);
+        let cache = ResultCache::new(10);
+        let query = q(&net, 1, 0.0, 1.0);
+        let _ = execute_query_cached(
+            &net,
+            &delays,
+            &query,
+            ServerId(2),
+            SearchScope::full(),
+            &cache,
+            None,
+        );
+        let outcome = net.apply(&crate::store::RecordDelta::new());
+        assert_eq!(cache.invalidate_delta(net.tree(), &outcome), 0);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.invalidated(), 0);
     }
 
     #[test]

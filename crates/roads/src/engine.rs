@@ -9,6 +9,7 @@
 
 use crate::config::RoadsConfig;
 use crate::overlay::{replication_set, ReplicationSet};
+use crate::store::{DeltaOutcome, RecordChange, RecordDelta, ShardedStore};
 use crate::tree::{HierarchyTree, ServerId};
 use roads_records::{Query, Record, Schema, WireSize};
 use roads_summary::Summary;
@@ -155,9 +156,9 @@ pub struct RoadsNetwork {
     schema: Schema,
     config: RoadsConfig,
     tree: HierarchyTree,
-    /// Records attached at each server (the server is its owners'
-    /// attachment point).
-    records: Vec<Vec<Record>>,
+    /// Mutable sharded record store of each server (the server is its
+    /// owners' attachment point).
+    stores: Vec<ShardedStore>,
     /// Summary of each server's locally attached records.
     local_summary: Vec<Summary>,
     /// Branch summary of each server: local + all descendant branches.
@@ -176,7 +177,7 @@ impl Clone for RoadsNetwork {
             schema: self.schema.clone(),
             config: self.config,
             tree: self.tree.clone(),
-            records: self.records.clone(),
+            stores: self.stores.clone(),
             local_summary: self.local_summary.clone(),
             branch_summary: self.branch_summary.clone(),
             replicas: self.replicas.clone(),
@@ -265,8 +266,11 @@ impl RoadsNetwork {
 
     /// Distinct owners with records attached at `s`.
     pub fn owners_at(&self, s: ServerId) -> Vec<roads_records::OwnerId> {
-        let mut owners: Vec<roads_records::OwnerId> =
-            self.records[s.index()].iter().map(|r| r.owner).collect();
+        let mut owners: Vec<roads_records::OwnerId> = self.stores[s.index()]
+            .snapshot()
+            .iter()
+            .map(|r| r.owner)
+            .collect();
         owners.sort();
         owners.dedup();
         owners
@@ -316,12 +320,23 @@ impl RoadsNetwork {
             StageTimers { reg }
         });
 
-        // Stage 1: every server's local summary is independent.
-        let local_summary: Vec<Summary> = maybe_time(&timers, "build.local_summary_us", || {
-            par_map(n, threads, |i| {
-                Summary::from_records(&schema, &config.summary, &records_per_server[i])
-            })
-        });
+        // Stage 1: every server's store (sharded, with exact per-shard
+        // summaries) and local summary are independent of the others'.
+        // Record sets are moved into the workers through per-server
+        // mutexes — each is taken exactly once, so there is no contention.
+        let (stores, local_summary): (Vec<ShardedStore>, Vec<Summary>) =
+            maybe_time(&timers, "build.local_summary_us", || {
+                let sets: Vec<std::sync::Mutex<Vec<Record>>> = records_per_server
+                    .into_iter()
+                    .map(std::sync::Mutex::new)
+                    .collect();
+                let stores: Vec<ShardedStore> = par_map(n, threads, |i| {
+                    let records = std::mem::take(&mut *sets[i].lock().expect("record handoff"));
+                    ShardedStore::new(&schema, &config.summary, records)
+                });
+                let local = par_map(n, threads, |i| stores[i].local_summary());
+                (stores, local)
+            });
 
         // Stage 2: bottom-up aggregation, synchronized level by level.
         // Children of a depth-d server all sit at depth d+1, so once a
@@ -373,7 +388,7 @@ impl RoadsNetwork {
             schema,
             config,
             tree,
-            records: records_per_server,
+            stores,
             local_summary,
             branch_summary,
             replicas,
@@ -398,17 +413,23 @@ impl RoadsNetwork {
 
     /// Number of servers.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.stores.len()
     }
 
     /// True when the federation has no servers.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.stores.is_empty()
     }
 
-    /// Records attached at `s`.
-    pub fn records(&self, s: ServerId) -> &[Record] {
-        &self.records[s.index()]
+    /// Snapshot of the records attached at `s` (cloned out of the sharded
+    /// store under per-shard read locks).
+    pub fn records(&self, s: ServerId) -> Vec<Record> {
+        self.stores[s.index()].snapshot()
+    }
+
+    /// The sharded record store of `s`.
+    pub fn store(&self, s: ServerId) -> &ShardedStore {
+        &self.stores[s.index()]
     }
 
     /// Summary of the records attached at `s`.
@@ -469,13 +490,12 @@ impl RoadsNetwork {
         }
     }
 
-    /// Search `s`'s locally attached records exactly.
-    pub fn search_local(&self, s: ServerId, query: &Query) -> Vec<&Record> {
+    /// Search `s`'s locally attached records exactly. Matches are cloned
+    /// out under per-shard read locks, so searches run concurrently with
+    /// delta application on other shards.
+    pub fn search_local(&self, s: ServerId, query: &Query) -> Vec<Record> {
         self.search_calls.fetch_add(1, Ordering::Relaxed);
-        self.records[s.index()]
-            .iter()
-            .filter(|r| query.matches(r))
-            .collect()
+        self.stores[s.index()].search(query)
     }
 
     /// Total [`RoadsNetwork::search_local`] invocations so far (diagnostic;
@@ -488,7 +508,7 @@ impl RoadsNetwork {
     pub fn matching_servers(&self, query: &Query) -> Vec<ServerId> {
         (0..self.len() as u32)
             .map(ServerId)
-            .filter(|&s| self.records[s.index()].iter().any(|r| query.matches(r)))
+            .filter(|&s| self.stores[s.index()].any_match(query))
             .collect()
     }
 
@@ -515,6 +535,134 @@ impl RoadsNetwork {
             .map(|s| self.storage_bytes(ServerId(s)))
             .max()
             .unwrap_or(0)
+    }
+
+    /// Apply a [`RecordDelta`] and propagate it incrementally: mutate the
+    /// touched stores, refresh the *dirty* servers' local summaries from
+    /// their exact shard summaries, and recompute branch summaries only
+    /// along the dirty ancestor closure — O(changed subtrees · depth)
+    /// summary merges instead of the O(n) full re-aggregation a rebuild
+    /// performs. The resulting summaries are identical to a from-scratch
+    /// build over the post-delta record sets (shard summaries are exact
+    /// under mutation, and counter merges commute).
+    pub fn apply(&mut self, delta: &RecordDelta) -> DeltaOutcome {
+        let n = self.len();
+        // Route changes to their target stores, preserving arrival order.
+        // Changes to one id always target one server (and one shard within
+        // it), so per-server order is the only order that is observable.
+        let mut per_server: Vec<Vec<&RecordChange>> = vec![Vec::new(); n];
+        for (server, change) in delta.changes() {
+            assert!(
+                server.index() < n,
+                "delta routed to unknown server {server}"
+            );
+            // Touch the payload while routing: payloads were allocated in
+            // delta order, so this pass streams them into cache and the
+            // scattered per-store batches below read warm lines.
+            if let Some(r) = change.record() {
+                std::hint::black_box(r.values().first().map(std::mem::discriminant));
+            }
+            per_server[server.index()].push(change);
+        }
+
+        let mut dirty_flags = vec![false; n];
+        let mut applied = 0u64;
+        let mut rejected = 0u64;
+        let mut shard_rebuilds = 0u64;
+        // Both sides of the churn feed the invalidation summary: the
+        // payloads that entered the stores and the records the batches
+        // displaced. `apply_batch` learns them into this summary in place
+        // (summary learning commutes, so accumulation order is free).
+        let mut delta_summary = Summary::empty(&self.schema, &self.config.summary);
+        for (i, changes) in per_server.iter().enumerate() {
+            if changes.is_empty() {
+                continue;
+            }
+            let effect = self.stores[i].apply_batch(changes, &mut delta_summary);
+            if effect.applied > 0 {
+                dirty_flags[i] = true;
+            }
+            applied += effect.applied;
+            rejected += effect.rejected;
+            shard_rebuilds += effect.shard_rebuilds;
+        }
+
+        let dirty: Vec<ServerId> = dirty_flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| ServerId(i as u32))
+            .collect();
+        for &s in &dirty {
+            self.local_summary[s.index()] = self.stores[s.index()].local_summary();
+        }
+
+        // Dirty ancestor closure: walking up stops at the first already-
+        // marked ancestor, so the whole closure costs O(dirty · depth)
+        // amortized even when dirty subtrees share ancestors.
+        let mut branch_flags = vec![false; n];
+        for &s in &dirty {
+            let mut cur = s;
+            while !branch_flags[cur.index()] {
+                branch_flags[cur.index()] = true;
+                match self.tree.parent(cur) {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+        }
+        let mut dirty_branches: Vec<ServerId> = branch_flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| ServerId(i as u32))
+            .collect();
+
+        // Recompute deepest-first so every parent merges already-refreshed
+        // children; merge order follows `children()` order, matching the
+        // full build byte for byte.
+        let mut by_depth = dirty_branches.clone();
+        by_depth.sort_by_key(|&s| std::cmp::Reverse(self.tree.depth(s)));
+        for &s in &by_depth {
+            let mut acc = self.local_summary[s.index()].clone();
+            for &c in self.tree.children(s) {
+                acc.merge(&self.branch_summary[c.index()])
+                    .expect("uniform schema/config across the federation");
+            }
+            self.branch_summary[s.index()] = acc;
+        }
+        dirty_branches.sort_unstable();
+
+        DeltaOutcome {
+            dirty,
+            dirty_branches,
+            applied,
+            rejected,
+            shard_rebuilds,
+            delta_summary,
+        }
+    }
+
+    /// Re-derive every summary from raw records: rebuild all shard
+    /// summaries, refresh all local summaries, and re-aggregate every
+    /// branch bottom-up. This is the non-incremental baseline
+    /// ([`crate::updates::update_round_full`]) and also clears histogram
+    /// saturation accumulated by heavy churn.
+    pub fn refresh_all_summaries(&mut self) {
+        for (i, store) in self.stores.iter().enumerate() {
+            store.rebuild_summaries();
+            self.local_summary[i] = store.local_summary();
+        }
+        let mut order = self.tree.servers();
+        order.sort_by_key(|&s| std::cmp::Reverse(self.tree.depth(s)));
+        for s in order {
+            let mut acc = self.local_summary[s.index()].clone();
+            for &c in self.tree.children(s) {
+                acc.merge(&self.branch_summary[c.index()])
+                    .expect("uniform schema/config across the federation");
+            }
+            self.branch_summary[s.index()] = acc;
+        }
     }
 }
 
@@ -819,6 +967,87 @@ mod tests {
             "build.replica_us",
         ] {
             assert_eq!(snap.histograms[stage].count, 1, "{stage}");
+        }
+    }
+
+    #[test]
+    fn apply_delta_matches_rebuild_and_touches_only_dirty_closure() {
+        let mut net = small_network();
+        let schema = net.schema().clone();
+        let leaf = *net.tree().leaves().iter().max().unwrap();
+        let mut delta = crate::store::RecordDelta::new();
+        delta
+            .insert(leaf, unit_record(&schema, 100, 50, &[0.42, 0.42]))
+            .remove(ServerId(1), RecordId(1))
+            .remove(ServerId(2), RecordId(999)); // absent → rejected
+        let out = net.apply(&delta);
+        assert_eq!(out.applied, 2);
+        assert_eq!(out.rejected, 1);
+        let mut expected_dirty = vec![ServerId(1), leaf];
+        expected_dirty.sort();
+        assert_eq!(out.dirty, expected_dirty);
+
+        // The dirty branch closure is exactly the union of the dirty
+        // servers' root paths.
+        let mut closure: Vec<ServerId> = Vec::new();
+        for &d in &out.dirty {
+            let mut cur = d;
+            loop {
+                closure.push(cur);
+                match net.tree().parent(cur) {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+        }
+        closure.sort_unstable();
+        closure.dedup();
+        assert_eq!(out.dirty_branches, closure);
+
+        // Every summary equals a from-scratch build over the final records.
+        let records: Vec<Vec<Record>> = (0..net.len() as u32)
+            .map(|s| net.records(ServerId(s)))
+            .collect();
+        let rebuilt = RoadsNetwork::build(schema.clone(), *net.config(), records);
+        for s in net.tree().servers() {
+            assert_eq!(net.local_summary(s), rebuilt.local_summary(s), "{s}");
+            assert_eq!(net.branch_summary(s), rebuilt.branch_summary(s), "{s}");
+        }
+
+        // The delta summary covers the inserted *and* the removed values.
+        let inserted = QueryBuilder::new(&schema, QueryId(70))
+            .range("x0", 0.41, 0.43)
+            .build();
+        let removed = QueryBuilder::new(&schema, QueryId(71))
+            .range("x0", 0.09, 0.11)
+            .build();
+        assert!(out.delta_summary.may_match(&inserted));
+        assert!(out.delta_summary.may_match(&removed));
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op() {
+        let mut net = small_network();
+        let before = net.branch_summary(net.tree().root()).clone();
+        let out = net.apply(&crate::store::RecordDelta::new());
+        assert!(out.dirty.is_empty());
+        assert!(out.dirty_branches.is_empty());
+        assert_eq!(out.applied, 0);
+        assert_eq!(net.branch_summary(net.tree().root()), &before);
+    }
+
+    #[test]
+    fn refresh_all_summaries_is_idempotent_on_converged_state() {
+        let mut net = small_network();
+        let before: Vec<Summary> = net
+            .tree()
+            .servers()
+            .iter()
+            .map(|&s| net.branch_summary(s).clone())
+            .collect();
+        net.refresh_all_summaries();
+        for (s, b) in net.tree().servers().into_iter().zip(before) {
+            assert_eq!(net.branch_summary(s), &b);
         }
     }
 

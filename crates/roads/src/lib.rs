@@ -29,8 +29,13 @@
 //! * [`planner`] — replica-aware query planning: greedy set-cover source
 //!   selection over the entry's replicated branch summaries, ancestor
 //!   probes pruned by replicated *local* summaries, batch dispatch.
+//! * [`store`] — mutable sharded per-server record stores: concurrent
+//!   readers, per-shard write locks, exact incrementally-maintained shard
+//!   summaries, and the [`RecordDelta`] plane one incremental update round
+//!   applies.
 //! * [`cache`] — per-server TTL'd result cache keyed by structural query
-//!   fingerprints, invalidated by update-round epochs.
+//!   fingerprints; entries age out by TTL and are invalidated per subtree
+//!   by record deltas (dirty-scope intersection + delta-summary match).
 
 pub mod audit;
 pub mod batch;
@@ -45,6 +50,7 @@ pub mod planner;
 pub mod policy;
 pub mod protocol;
 pub mod queryexec;
+pub mod store;
 pub mod tree;
 pub mod updates;
 
@@ -71,7 +77,11 @@ pub use queryexec::{
     record_query_events, trace_to_telemetry, ForwardingMode, QueryOutcome, SearchScope, TraceEvent,
     TraceRole,
 };
+pub use store::{
+    ChangeEffect, DeltaOutcome, RecordChange, RecordDelta, ShardedStore, SHARDS_PER_STORE,
+};
 pub use tree::{BalanceStats, HierarchyTree, ServerId, TreeError};
 pub use updates::{
-    record_update_round_events, update_round, update_round_stamped, UpdateBreakdown,
+    record_update_round_events, update_round, update_round_delta, update_round_full,
+    update_round_stamped, UpdateBreakdown,
 };

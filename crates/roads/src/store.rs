@@ -1,0 +1,769 @@
+//! Mutable sharded per-server record stores and the record-delta plane.
+//!
+//! The converged [`RoadsNetwork`](crate::engine::RoadsNetwork) used to be
+//! rebuild-only: records were frozen at build time and every change implied
+//! a full re-aggregation. This module supplies the mutable half of the
+//! update plane:
+//!
+//! * [`ShardedStore`] — one per server: records partitioned across
+//!   [`SHARDS_PER_STORE`] independently locked shards, each maintaining its
+//!   own exact [`Summary`]. Readers take per-shard read locks, so searches
+//!   proceed concurrently with writes to other shards.
+//! * [`RecordDelta`] / [`RecordChange`] — a batch of insert / remove /
+//!   update operations routed to attachment points, the unit one
+//!   incremental update round applies.
+//! * [`DeltaOutcome`] — what a delta touched: the dirty servers, the
+//!   ancestor closure whose branch summaries were recomputed, how many
+//!   shards had to be re-aggregated from raw records (Bloom filters and
+//!   value sets cannot unlearn; saturated histograms dropped increments),
+//!   and a summary of the changed records that drives per-subtree result
+//!   cache invalidation.
+//!
+//! Shard summaries are maintained *exactly*: inserts fold in, removals
+//! decrement counters where that is exact and otherwise trigger a bounded
+//! per-shard rebuild — so merging a store's shard summaries is always
+//! byte-identical to `Summary::from_records` over its full record set, and
+//! the delta update path provably converges to what a full rebuild produces.
+
+use crate::tree::ServerId;
+use roads_records::{Query, Record, RecordId, Schema};
+use roads_summary::{Summary, SummaryConfig};
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+use std::sync::RwLock;
+
+/// Shards per server store. Eight keeps shards small enough that the
+/// bounded rebuild triggered by a categorical removal re-summarizes only a
+/// sliver of the server's records, while per-shard write locks still give
+/// concurrent writers real parallelism. Fewer, larger shards also keep a
+/// batched delta's working set cache-resident: a typical churn round lands
+/// several changes per shard, and [`ShardedStore::apply_batch`] applies
+/// them back to back against a warm shard.
+pub const SHARDS_PER_STORE: usize = 8;
+
+/// Deterministic shard routing: a Murmur-style finalizer over the record
+/// id, identical on every platform and thread count.
+fn shard_of(id: RecordId, shards: usize) -> usize {
+    let mut h = id.0 ^ 0x9e37_79b9_7f4a_7c15;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    (h % shards as u64) as usize
+}
+
+/// Hasher for the id → row index. Record ids are plain `u64`s, so one
+/// splitmix64 finalizer round replaces SipHash on the delta hot path. The
+/// constants deliberately differ from [`shard_of`]'s Murmur finalizer:
+/// every id in a shard shares `shard_of(id) % shards`, and reusing the
+/// same mix would cluster the map's bucket indices.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-style fallback for non-u64 keys (unused by the index).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = h ^ (h >> 31);
+    }
+}
+
+type IdMap = HashMap<RecordId, Record, BuildHasherDefault<IdHasher>>;
+
+/// One mutation routed to a server (the record owner's attachment point).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordChange {
+    /// Attach a new record.
+    Insert(Record),
+    /// Detach the record with this id (no-op if absent).
+    Remove(RecordId),
+    /// Replace the record with the same id (upsert: plain insert if the id
+    /// is not attached).
+    Update(Record),
+}
+
+impl RecordChange {
+    /// The record id this change targets.
+    pub fn id(&self) -> RecordId {
+        match self {
+            RecordChange::Insert(r) | RecordChange::Update(r) => r.id,
+            RecordChange::Remove(id) => *id,
+        }
+    }
+
+    /// The record payload entering the store, if any (insert and update
+    /// carry one; removal carries only an id).
+    pub fn record(&self) -> Option<&Record> {
+        match self {
+            RecordChange::Insert(r) | RecordChange::Update(r) => Some(r),
+            RecordChange::Remove(_) => None,
+        }
+    }
+}
+
+/// A batch of record mutations, each routed to an attachment point — the
+/// unit of work one incremental update round
+/// ([`crate::updates::update_round_delta`]) applies and propagates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordDelta {
+    changes: Vec<(ServerId, RecordChange)>,
+}
+
+impl RecordDelta {
+    /// An empty delta (applying it dirties nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue an insert at `server`.
+    pub fn insert(&mut self, server: ServerId, record: Record) -> &mut Self {
+        self.changes.push((server, RecordChange::Insert(record)));
+        self
+    }
+
+    /// Queue a removal at `server`.
+    pub fn remove(&mut self, server: ServerId, id: RecordId) -> &mut Self {
+        self.changes.push((server, RecordChange::Remove(id)));
+        self
+    }
+
+    /// Queue an update (replace-by-id, upsert) at `server`.
+    pub fn update(&mut self, server: ServerId, record: Record) -> &mut Self {
+        self.changes.push((server, RecordChange::Update(record)));
+        self
+    }
+
+    /// The queued changes in application order.
+    pub fn changes(&self) -> &[(ServerId, RecordChange)] {
+        &self.changes
+    }
+
+    /// Number of queued changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// True when no change is queued.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+/// Effect of applying one [`RecordChange`] to a store.
+#[derive(Debug, Clone, Default)]
+pub struct ChangeEffect {
+    /// The change took effect (false: removal of an absent id).
+    pub applied: bool,
+    /// A shard summary had to be re-aggregated from its records.
+    pub shard_rebuilt: bool,
+    /// Records whose values entered or left the store — both sides of an
+    /// update. These feed the delta summary used for cache invalidation.
+    pub changed: Vec<Record>,
+}
+
+/// Effect of applying one batch of changes to a store
+/// ([`ShardedStore::apply_batch`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchEffect {
+    /// Changes that took effect.
+    pub applied: u64,
+    /// Changes that matched nothing (removal of an absent id).
+    pub rejected: u64,
+    /// Shard summaries re-aggregated from raw records.
+    pub shard_rebuilds: u64,
+}
+
+/// What applying a [`RecordDelta`] to a network touched.
+#[derive(Debug, Clone)]
+pub struct DeltaOutcome {
+    /// Servers whose attached records (and local summaries) changed, sorted.
+    pub dirty: Vec<ServerId>,
+    /// Ancestor closure of `dirty`: every server whose *branch* summary was
+    /// recomputed, sorted. This is the set the delta update wave re-sends.
+    pub dirty_branches: Vec<ServerId>,
+    /// Changes that took effect.
+    pub applied: u64,
+    /// Changes that matched nothing (removal of an absent id).
+    pub rejected: u64,
+    /// Shard summaries re-aggregated from raw records because a removal
+    /// could not be unlearned exactly (categorical summaries, saturated
+    /// histogram counters).
+    pub shard_rebuilds: u64,
+    /// Summary of every record that entered or left the federation in this
+    /// delta. A cached result can only have changed if its query may match
+    /// this summary — the key to per-subtree cache invalidation
+    /// ([`crate::cache::ResultCache::invalidate_delta`]).
+    pub delta_summary: Summary,
+}
+
+#[derive(Debug)]
+struct Shard {
+    /// Records by id. The map *is* the row storage: one probe both finds
+    /// a record and yields its slot, so the delta hot path pays a single
+    /// scattered cache access per change instead of an index entry plus a
+    /// separate row.
+    records: IdMap,
+    /// Exact summary of `records`, maintained incrementally where possible
+    /// and rebuilt from `records` where not.
+    summary: Summary,
+}
+
+impl Shard {
+    fn new(schema: &Schema, config: &SummaryConfig, records: Vec<Record>) -> Self {
+        let records: IdMap = records.into_iter().map(|r| (r.id, r)).collect();
+        let mut summary = Summary::empty(schema, config);
+        for r in records.values() {
+            summary.add_record(r);
+        }
+        Shard { records, summary }
+    }
+
+    /// Re-derive the summary from the attached records. Bounded rebuild:
+    /// only this shard's records, never the whole server or federation.
+    fn rebuild_summary(&mut self, schema: &Schema, config: &SummaryConfig) {
+        let mut summary = Summary::empty(schema, config);
+        for r in self.records.values() {
+            summary.add_record(r);
+        }
+        self.summary = summary;
+    }
+
+    /// Detach by id. Returns the removed record and whether the shard
+    /// summary had to be rebuilt from records.
+    fn remove(
+        &mut self,
+        schema: &Schema,
+        config: &SummaryConfig,
+        id: RecordId,
+    ) -> (Option<Record>, bool) {
+        let Some(old) = self.records.remove(&id) else {
+            return (None, false);
+        };
+        let mut rebuilt = false;
+        if !self.summary.remove_record(&old) {
+            self.rebuild_summary(schema, config);
+            rebuilt = true;
+        }
+        (Some(old), rebuilt)
+    }
+
+    /// Attach `record`, replacing any attached record with the same id in
+    /// place. Returns the displaced record and whether the shard summary
+    /// had to be rebuilt.
+    fn upsert(
+        &mut self,
+        schema: &Schema,
+        config: &SummaryConfig,
+        record: Record,
+    ) -> (Option<Record>, bool) {
+        if let Some(slot) = self.records.get_mut(&record.id) {
+            let old = std::mem::replace(slot, record);
+            let mut rebuilt = false;
+            if !self.summary.replace_record(&old, slot) {
+                // `records` already holds the new value, so the rebuilt
+                // summary includes it.
+                self.rebuild_summary(schema, config);
+                rebuilt = true;
+            }
+            (Some(old), rebuilt)
+        } else {
+            self.summary.add_record(&record);
+            self.records.insert(record.id, record);
+            (None, false)
+        }
+    }
+}
+
+/// Sharded mutable record store of one server: concurrent readers, per-shard
+/// write locking, exact per-shard summaries.
+#[derive(Debug)]
+pub struct ShardedStore {
+    schema: Schema,
+    config: SummaryConfig,
+    shards: Vec<RwLock<Shard>>,
+}
+
+impl Clone for ShardedStore {
+    fn clone(&self) -> Self {
+        ShardedStore {
+            schema: self.schema.clone(),
+            config: self.config,
+            shards: self
+                .shards
+                .iter()
+                .map(|s| {
+                    let shard = s.read().expect("shard lock");
+                    RwLock::new(Shard {
+                        records: shard.records.clone(),
+                        summary: shard.summary.clone(),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+impl ShardedStore {
+    /// Build a store over `records`, partitioned by record-id hash.
+    pub fn new(schema: &Schema, config: &SummaryConfig, records: Vec<Record>) -> Self {
+        let mut parts: Vec<Vec<Record>> = (0..SHARDS_PER_STORE).map(|_| Vec::new()).collect();
+        for r in records {
+            parts[shard_of(r.id, SHARDS_PER_STORE)].push(r);
+        }
+        ShardedStore {
+            schema: schema.clone(),
+            config: *config,
+            shards: parts
+                .into_iter()
+                .map(|p| RwLock::new(Shard::new(schema, config, p)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total attached records.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock").records.len())
+            .sum()
+    }
+
+    /// True when no record is attached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of every attached record, in shard order.
+    pub fn snapshot(&self) -> Vec<Record> {
+        let mut out = Vec::with_capacity(self.len());
+        for s in &self.shards {
+            out.extend(s.read().expect("shard lock").records.values().cloned());
+        }
+        out
+    }
+
+    /// Exact search: every attached record matching `query`, cloned out
+    /// under per-shard read locks.
+    pub fn search(&self, query: &Query) -> Vec<Record> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let shard = s.read().expect("shard lock");
+            out.extend(shard.records.values().filter(|r| query.matches(r)).cloned());
+        }
+        out
+    }
+
+    /// True when any attached record matches `query` (no materialization).
+    pub fn any_match(&self, query: &Query) -> bool {
+        self.shards.iter().any(|s| {
+            s.read()
+                .expect("shard lock")
+                .records
+                .values()
+                .any(|r| query.matches(r))
+        })
+    }
+
+    /// The server's local summary: merge of the exact shard summaries —
+    /// byte-identical to `Summary::from_records` over the full record set,
+    /// because shard summaries are kept exact under mutation.
+    pub fn local_summary(&self) -> Summary {
+        let mut out = Summary::empty(&self.schema, &self.config);
+        for s in &self.shards {
+            out.merge(&s.read().expect("shard lock").summary)
+                .expect("shards share one schema/config");
+        }
+        out
+    }
+
+    /// Apply one change under that record's shard write lock. Safe to call
+    /// from multiple threads; changes to different shards do not contend,
+    /// and readers of other shards are never blocked.
+    pub fn apply(&self, change: &RecordChange) -> ChangeEffect {
+        match change {
+            RecordChange::Insert(record) | RecordChange::Update(record) => {
+                let si = shard_of(record.id, self.shards.len());
+                let (old, rebuilt) = self.shards[si].write().expect("shard lock").upsert(
+                    &self.schema,
+                    &self.config,
+                    record.clone(),
+                );
+                let mut changed: Vec<Record> = old.into_iter().collect();
+                changed.push(record.clone());
+                ChangeEffect {
+                    applied: true,
+                    shard_rebuilt: rebuilt,
+                    changed,
+                }
+            }
+            RecordChange::Remove(id) => {
+                let si = shard_of(*id, self.shards.len());
+                let (old, rebuilt) = self.shards[si].write().expect("shard lock").remove(
+                    &self.schema,
+                    &self.config,
+                    *id,
+                );
+                ChangeEffect {
+                    applied: old.is_some(),
+                    shard_rebuilt: rebuilt,
+                    changed: old.into_iter().collect(),
+                }
+            }
+        }
+    }
+
+    /// Apply a batch of changes, grouped by target shard: each shard's
+    /// group runs back to back under a single write-lock acquisition, so a
+    /// churn round pays one lock round-trip and one cold-cache miss per
+    /// *shard* instead of per change. Grouping is stable, and changes to
+    /// one id always hash to one shard, so per-id application order is
+    /// exactly the slice order — the result is identical to applying each
+    /// change through [`ShardedStore::apply`] in turn.
+    ///
+    /// Every record that entered or left the store (payloads, removals,
+    /// and the displaced old side of upserts) is learned into `churn` —
+    /// the caller's delta summary — right where its values are cache-hot,
+    /// instead of being cloned out and re-walked later.
+    pub fn apply_batch(&self, changes: &[&RecordChange], churn: &mut Summary) -> BatchEffect {
+        // Whole-batch fast path for the dominant churn shape: every
+        // change carries a payload (inserts and updates both upsert by
+        // id, so payload-only batches need no per-variant handling).
+        if changes.len() >= 2 && changes.iter().all(|c| c.record().is_some()) {
+            let recs: Vec<&Record> = changes.iter().filter_map(|c| c.record()).collect();
+            return self.update_batch(&recs, churn);
+        }
+
+        let shards = self.shards.len();
+        let mut keyed: Vec<(u32, u32)> = changes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (shard_of(c.id(), shards) as u32, i as u32))
+            .collect();
+        keyed.sort_by_key(|&(s, _)| s); // stable: preserves per-shard order
+        let mut out = BatchEffect::default();
+        let mut k = 0;
+        while k < keyed.len() {
+            let si = keyed[k].0;
+            let end = k + keyed[k..].iter().take_while(|&&(s, _)| s == si).count();
+            let mut shard = self.shards[si as usize].write().expect("shard lock");
+            while k < end {
+                match changes[keyed[k].1 as usize] {
+                    RecordChange::Insert(record) | RecordChange::Update(record) => {
+                        let (old, rebuilt) =
+                            shard.upsert(&self.schema, &self.config, record.clone());
+                        out.applied += 1;
+                        if rebuilt {
+                            out.shard_rebuilds += 1;
+                        }
+                        churn.add_record(record);
+                        if let Some(old) = old {
+                            churn.add_record(&old);
+                        }
+                    }
+                    RecordChange::Remove(id) => {
+                        let (old, rebuilt) = shard.remove(&self.schema, &self.config, *id);
+                        if rebuilt {
+                            out.shard_rebuilds += 1;
+                        }
+                        match old {
+                            Some(old) => {
+                                out.applied += 1;
+                                churn.add_record(&old);
+                            }
+                            None => out.rejected += 1,
+                        }
+                    }
+                }
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Batched upserts — the dominant churn shape — phase-split across the
+    /// *whole store*. A churn round against a cold store is bound by DRAM
+    /// latency, not work: the expensive accesses are the scattered map
+    /// probes, so phase 1 runs them as one tight loop of independent
+    /// probe-and-swap operations, letting the out-of-order window overlap
+    /// many cache misses. Phase 2 then does all summary maintenance
+    /// against the small, cache-resident shard summaries. All shard locks
+    /// are taken up front in index order (writers taking single shard
+    /// locks cannot form a cycle against that).
+    ///
+    /// Net effect is identical to applying each upsert in turn: swaps run
+    /// in slice order, so duplicate ids displace each other correctly,
+    /// and a failed in-place summary replace rebuilds that shard's
+    /// summary over its *final* rows — rows never change after phase 1 —
+    /// after which the shard's remaining summary ops are already
+    /// reflected and skip.
+    fn update_batch(&self, recs: &[&Record], churn: &mut Summary) -> BatchEffect {
+        let shards = self.shards.len();
+        let mut guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.write().expect("shard lock"))
+            .collect();
+        let si: Vec<u32> = recs.iter().map(|r| shard_of(r.id, shards) as u32).collect();
+
+        // Phase 1: probe-and-swap. The map is the row storage, so one
+        // scattered access per record both finds and replaces it.
+        let mut displaced: Vec<Option<Record>> = Vec::with_capacity(recs.len());
+        for (j, r) in recs.iter().enumerate() {
+            let map = &mut guards[si[j] as usize].records;
+            match map.get_mut(&r.id) {
+                Some(slot) => displaced.push(Some(std::mem::replace(slot, (*r).clone()))),
+                None => {
+                    map.insert(r.id, (*r).clone());
+                    displaced.push(None);
+                }
+            }
+        }
+
+        // Phase 2: churn accumulation (both sides of every upsert, while
+        // the displaced values are still hot) and shard summary
+        // maintenance. The stored clone equals the payload `r`, so the
+        // learn side never re-touches the map.
+        let mut rebuilt = vec![false; shards];
+        let mut rebuilds = 0u64;
+        for (j, r) in recs.iter().enumerate() {
+            churn.add_record(r);
+            if let Some(old) = displaced[j].as_ref() {
+                churn.add_record(old);
+            }
+            let s = si[j] as usize;
+            if rebuilt[s] {
+                continue;
+            }
+            let shard = &mut *guards[s];
+            match displaced[j].as_ref() {
+                None => shard.summary.add_record(r),
+                Some(old) => {
+                    if !shard.summary.replace_record(old, r) {
+                        shard.rebuild_summary(&self.schema, &self.config);
+                        rebuilt[s] = true;
+                        rebuilds += 1;
+                    }
+                }
+            }
+        }
+
+        BatchEffect {
+            applied: recs.len() as u64,
+            rejected: 0,
+            shard_rebuilds: rebuilds,
+        }
+    }
+
+    /// Re-aggregate every shard summary from raw records (the full,
+    /// non-incremental path — what a system without the delta plane must do
+    /// every round). Also clears any histogram saturation state.
+    pub fn rebuild_summaries(&self) {
+        for s in &self.shards {
+            s.write()
+                .expect("shard lock")
+                .rebuild_summary(&self.schema, &self.config);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roads_records::{AttrDef, OwnerId, QueryBuilder, QueryId, RecordBuilder, Value};
+
+    fn schema() -> Schema {
+        Schema::unit_numeric(2)
+    }
+
+    fn rec(id: u64, a: f64, b: f64) -> Record {
+        Record::new_unchecked(
+            RecordId(id),
+            OwnerId(id as u32),
+            vec![Value::Float(a), Value::Float(b)],
+        )
+    }
+
+    fn store(n: usize) -> ShardedStore {
+        let s = schema();
+        let cfg = SummaryConfig::with_buckets(64);
+        let records = (0..n)
+            .map(|i| rec(i as u64, (i % 10) as f64 / 10.0, (i % 7) as f64 / 7.0))
+            .collect();
+        ShardedStore::new(&s, &cfg, records)
+    }
+
+    #[test]
+    fn partition_covers_everything_once() {
+        let st = store(100);
+        assert_eq!(st.len(), 100);
+        assert_eq!(st.shard_count(), SHARDS_PER_STORE);
+        let mut ids: Vec<u64> = st.snapshot().iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn local_summary_matches_from_records() {
+        let st = store(64);
+        let direct =
+            Summary::from_records(&schema(), &SummaryConfig::with_buckets(64), &st.snapshot());
+        assert_eq!(st.local_summary(), direct);
+    }
+
+    #[test]
+    fn insert_remove_update_round_trip() {
+        let st = store(20);
+        let cfg = SummaryConfig::with_buckets(64);
+
+        let e = st.apply(&RecordChange::Insert(rec(99, 0.5, 0.5)));
+        assert!(e.applied && !e.shard_rebuilt);
+        assert_eq!(st.len(), 21);
+
+        let e = st.apply(&RecordChange::Remove(RecordId(99)));
+        assert!(e.applied && !e.shard_rebuilt, "numeric removal is exact");
+        assert_eq!(e.changed.len(), 1);
+        assert_eq!(st.len(), 20);
+
+        let e = st.apply(&RecordChange::Remove(RecordId(99)));
+        assert!(!e.applied, "absent id");
+
+        let e = st.apply(&RecordChange::Update(rec(3, 0.95, 0.95)));
+        assert!(e.applied);
+        assert_eq!(e.changed.len(), 2, "old and new sides of the update");
+        assert_eq!(st.len(), 20);
+
+        // After arbitrary churn the summaries still equal a rebuild.
+        assert_eq!(
+            st.local_summary(),
+            Summary::from_records(&schema(), &cfg, &st.snapshot())
+        );
+    }
+
+    #[test]
+    fn update_of_absent_id_upserts() {
+        let st = store(4);
+        let e = st.apply(&RecordChange::Update(rec(1000, 0.1, 0.1)));
+        assert!(e.applied);
+        assert_eq!(e.changed.len(), 1, "no old side");
+        assert_eq!(st.len(), 5);
+    }
+
+    #[test]
+    fn categorical_removal_triggers_bounded_shard_rebuild() {
+        let s = Schema::new(vec![
+            AttrDef::categorical("type"),
+            AttrDef::numeric("rate", 0.0, 100.0),
+        ])
+        .unwrap();
+        let cfg = SummaryConfig::with_buckets(32);
+        let mk = |id: u64, ty: &str, rate: f64| {
+            RecordBuilder::new(&s, RecordId(id), OwnerId(0))
+                .set("type", ty)
+                .set("rate", rate)
+                .build()
+                .unwrap()
+        };
+        let st = ShardedStore::new(
+            &s,
+            &cfg,
+            vec![
+                mk(1, "camera", 10.0),
+                mk(2, "camera", 20.0),
+                mk(3, "drone", 30.0),
+            ],
+        );
+        let e = st.apply(&RecordChange::Remove(RecordId(3)));
+        assert!(e.applied);
+        assert!(e.shard_rebuilt, "value sets cannot unlearn");
+        // The rebuild really unlearned "drone".
+        let q = QueryBuilder::new(&s, QueryId(1))
+            .eq("type", "drone")
+            .build();
+        assert!(!st.local_summary().may_match(&q));
+        let q = QueryBuilder::new(&s, QueryId(2))
+            .eq("type", "camera")
+            .build();
+        assert!(st.local_summary().may_match(&q));
+    }
+
+    #[test]
+    fn search_sees_writes_and_runs_under_read_locks() {
+        let st = store(50);
+        let q = QueryBuilder::new(&schema(), QueryId(1))
+            .range("x0", 0.85, 0.95)
+            .build();
+        let before = st.search(&q).len();
+        st.apply(&RecordChange::Insert(rec(500, 0.9, 0.9)));
+        assert_eq!(st.search(&q).len(), before + 1);
+        assert!(st.any_match(&q));
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_converge() {
+        use std::sync::Arc;
+        let st = Arc::new(store(0));
+        let s = schema();
+        let cfg = SummaryConfig::with_buckets(64);
+        let threads = 8;
+        let per = 200;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let st = Arc::clone(&st);
+                scope.spawn(move || {
+                    for i in 0..per {
+                        let id = (t * per + i) as u64;
+                        st.apply(&RecordChange::Insert(rec(id, 0.5, 0.5)));
+                        if i % 3 == 0 {
+                            st.apply(&RecordChange::Remove(RecordId(id)));
+                        }
+                    }
+                });
+            }
+            // A concurrent reader only ever observes consistent shards.
+            let st = Arc::clone(&st);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    let _ = st.len();
+                    let _ = st.local_summary();
+                }
+            });
+        });
+        let expected = threads * (0..per).filter(|i| i % 3 != 0).count();
+        assert_eq!(st.len(), expected);
+        assert_eq!(
+            st.local_summary(),
+            Summary::from_records(&s, &cfg, &st.snapshot()),
+            "post-churn summaries equal a rebuild"
+        );
+    }
+
+    #[test]
+    fn delta_builder_accumulates() {
+        let mut d = RecordDelta::new();
+        assert!(d.is_empty());
+        d.insert(ServerId(1), rec(1, 0.1, 0.1))
+            .remove(ServerId(2), RecordId(7))
+            .update(ServerId(1), rec(2, 0.2, 0.2));
+        assert_eq!(d.len(), 3);
+        assert!(matches!(
+            d.changes()[1].1,
+            RecordChange::Remove(RecordId(7))
+        ));
+    }
+}

@@ -54,7 +54,12 @@ impl UpdateBreakdown {
     }
 
     /// Per-second byte rate given the summary refresh period `ts`.
+    /// A zero period means "no periodic refresh", so the rate is 0 —
+    /// not the `inf`/`NaN` a bare division would produce.
     pub fn bytes_per_second(&self, ts_ms: u64) -> f64 {
+        if ts_ms == 0 {
+            return 0.0;
+        }
         self.total_bytes() as f64 / (ts_ms as f64 / 1000.0)
     }
 }
@@ -105,6 +110,88 @@ pub fn update_round(net: &RoadsNetwork) -> UpdateBreakdown {
         }
     }
     out
+}
+
+/// One *full* (non-incremental) update round: re-derive every summary from
+/// raw records — rebuild all shard summaries, refresh local summaries,
+/// re-aggregate every branch — then account the three waves over the whole
+/// federation. This is what a system without the delta plane pays every
+/// refresh period, no matter how little changed.
+pub fn update_round_full(net: &mut RoadsNetwork) -> UpdateBreakdown {
+    net.refresh_all_summaries();
+    update_round(net)
+}
+
+/// Apply `delta` and account one *incremental* update round: only dirty
+/// servers re-export their local summary (wave 1), only dirty branches
+/// re-send to their parents (wave 2), and the replication fan-out (wave 3)
+/// carries only summaries that actually changed — a parent→child message
+/// (and its header) is counted only when it carries at least one dirty
+/// summary. With `d` changed subtrees in a tree of depth `L`, the round
+/// costs O(d·L) summary transmissions instead of [`update_round`]'s O(n)
+/// plus [`update_round_full`]'s O(records) re-aggregation.
+pub fn update_round_delta(
+    net: &mut RoadsNetwork,
+    delta: &crate::store::RecordDelta,
+) -> (UpdateBreakdown, crate::store::DeltaOutcome) {
+    let outcome = net.apply(delta);
+    let n = net.len();
+    let mut local_dirty = vec![false; n];
+    for &s in &outcome.dirty {
+        local_dirty[s.index()] = true;
+    }
+    let mut branch_dirty = vec![false; n];
+    for &s in &outcome.dirty_branches {
+        branch_dirty[s.index()] = true;
+    }
+
+    let mut out = UpdateBreakdown::default();
+    let tree = net.tree();
+    for s in tree.servers() {
+        // Wave 1: only servers whose attached records changed re-export.
+        if local_dirty[s.index()] {
+            out.export_bytes += (net.local_summary(s).wire_size() + MSG_HEADER_BYTES) as u64;
+            out.export_messages += 1;
+        }
+
+        // Wave 2: only recomputed branch summaries flow to the parent.
+        if branch_dirty[s.index()] && tree.parent(s).is_some() {
+            out.aggregation_bytes += (net.branch_summary(s).wire_size() + MSG_HEADER_BYTES) as u64;
+            out.aggregation_messages += 1;
+        }
+
+        // Wave 3: the fan-out message to child c carries only the *dirty*
+        // subset of what a full round would send (c's siblings, this
+        // server's own branch, the replicas held from above). Clean rounds
+        // send nothing — no summaries, no header.
+        let parent_replicas = net.replica_set(s).all();
+        for &c in tree.children(s) {
+            let mut summaries = 0u64;
+            let mut bytes = 0u64;
+            for &sib in tree.children(s).iter().filter(|&&x| x != c) {
+                if branch_dirty[sib.index()] {
+                    bytes += net.branch_summary(sib).wire_size() as u64;
+                    summaries += 1;
+                }
+            }
+            if branch_dirty[s.index()] {
+                bytes += net.branch_summary(s).wire_size() as u64;
+                summaries += 1;
+            }
+            for &r in &parent_replicas {
+                if branch_dirty[r.index()] {
+                    bytes += net.branch_summary(r).wire_size() as u64;
+                    summaries += 1;
+                }
+            }
+            if summaries > 0 {
+                out.replication_bytes += bytes + MSG_HEADER_BYTES as u64;
+                out.replication_messages += 1;
+                out.replication_summaries += summaries;
+            }
+        }
+    }
+    (out, outcome)
 }
 
 /// Account one update round *and* apply its replication wave to an
@@ -332,5 +419,93 @@ mod tests {
         let fast = b.bytes_per_second(1_000);
         let slow = b.bytes_per_second(10_000);
         assert!((fast / slow - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_per_second_zero_period_is_zero_not_inf() {
+        let net = network(10, 3, 1, 32);
+        let b = update_round(&net);
+        assert!(b.total_bytes() > 0);
+        let rate = b.bytes_per_second(0);
+        assert_eq!(rate, 0.0);
+        assert!(rate.is_finite());
+    }
+
+    #[test]
+    fn full_round_matches_plain_accounting_on_converged_state() {
+        let mut net = network(40, 3, 5, 64);
+        let plain = update_round(&net);
+        let full = update_round_full(&mut net);
+        assert_eq!(
+            plain, full,
+            "re-deriving converged summaries changes nothing"
+        );
+    }
+
+    #[test]
+    fn empty_delta_round_costs_nothing() {
+        let mut net = network(40, 3, 5, 64);
+        let (b, outcome) = update_round_delta(&mut net, &crate::store::RecordDelta::new());
+        assert_eq!(b, UpdateBreakdown::default());
+        assert!(outcome.dirty.is_empty());
+    }
+
+    #[test]
+    fn delta_round_touches_only_the_dirty_paths() {
+        let mut net = network(40, 3, 5, 64);
+        let schema = net.schema().clone();
+        let leaf = *net.tree().leaves().iter().max().unwrap();
+        let depth = net.tree().depth(leaf);
+        let mut delta = crate::store::RecordDelta::new();
+        delta.insert(
+            leaf,
+            Record::new_unchecked(
+                RecordId(9_000),
+                OwnerId(leaf.0),
+                (0..4).map(|_| Value::Float(0.5)).collect(),
+            ),
+        );
+        let full = update_round(&net);
+        let (b, outcome) = update_round_delta(&mut net, &delta);
+        assert_eq!(outcome.dirty, vec![leaf]);
+        // One export; one aggregation hop per non-root dirty branch (the
+        // leaf's root path).
+        assert_eq!(b.export_messages, 1);
+        assert_eq!(b.aggregation_messages, depth as u64);
+        assert_eq!(outcome.dirty_branches.len(), depth + 1);
+        // The incremental round moves far fewer bytes than a full one.
+        assert!(b.total_bytes() < full.total_bytes() / 4);
+        assert!(b.replication_summaries < full.replication_summaries);
+        // And the network still answers for the new record.
+        let q = roads_records::QueryBuilder::new(&schema, roads_records::QueryId(1))
+            .range("x0", 0.499, 0.501)
+            .build();
+        assert!(net.branch_summary(net.tree().root()).may_match(&q));
+        let _ = schema;
+    }
+
+    #[test]
+    fn delta_round_state_matches_full_round_state() {
+        let mut incremental = network(40, 3, 5, 64);
+        let mut full = incremental.clone();
+        let mk = |id: u64, v: f64| {
+            Record::new_unchecked(
+                RecordId(id),
+                OwnerId(0),
+                (0..4).map(|_| Value::Float(v)).collect(),
+            )
+        };
+        let mut delta = crate::store::RecordDelta::new();
+        delta
+            .insert(ServerId(3), mk(10_000, 0.11))
+            .remove(ServerId(7), RecordId(35)) // server 7 holds ids 35..40
+            .update(ServerId(12), mk(61, 0.99)); // server 12 holds ids 60..65
+        let (_, _) = update_round_delta(&mut incremental, &delta);
+        full.apply(&delta);
+        let _ = update_round_full(&mut full);
+        for s in incremental.tree().servers() {
+            assert_eq!(incremental.local_summary(s), full.local_summary(s), "{s}");
+            assert_eq!(incremental.branch_summary(s), full.branch_summary(s), "{s}");
+        }
     }
 }

@@ -44,7 +44,8 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use roads_core::policy::{apply_policy, OpenPolicy, RequesterId, SharingPolicy};
 use roads_core::{
-    plan_query, CachedResult, PlanAction, ResultCache, RoadsNetwork, SearchScope, ServerId,
+    plan_query, CachedResult, DeltaOutcome, PlanAction, ResultCache, RoadsNetwork, SearchScope,
+    ServerId,
 };
 use roads_netsim::DelaySpace;
 use roads_records::{Query, Record, WireSize};
@@ -441,14 +442,40 @@ impl RoadsCluster {
     }
 
     /// An update round / replication wave landed: advance the cache epoch
-    /// and purge entries older than the TTL. Returns how many entries were
-    /// invalidated (0 with no cache configured). On an instrumented
-    /// cluster the purge count lands on `roads.cache.invalidations`.
+    /// and purge entries older than the TTL. Returns how many entries
+    /// expired (0 with no cache configured). On an instrumented cluster
+    /// the purge count lands on `roads.cache.expired` — TTL aging, kept
+    /// separate from delta-driven `roads.cache.invalidated`.
     pub fn advance_cache_round(&self) -> u64 {
         let Some(cache) = &self.cache else { return 0 };
         let purged = cache.advance_round();
         if let Some(m) = &self.metrics {
-            m.cache_invalidations.add(purged);
+            m.cache_expired.add(purged);
+        }
+        purged
+    }
+
+    /// An incremental update round ([`roads_core::update_round_delta`])
+    /// landed: mirror its [`DeltaOutcome`] into the `roads.delta.*` counter
+    /// family and purge exactly the cached results the delta can have
+    /// changed (dirty-scope intersection + delta-summary match), counted on
+    /// `roads.cache.invalidated`. Returns how many entries were
+    /// invalidated. The record delta itself is applied to the network by
+    /// the simulation plane, which owns `&mut RoadsNetwork`; a live
+    /// cluster observes the outcome here.
+    pub fn observe_delta_round(&self, outcome: &DeltaOutcome) -> u64 {
+        if let Some(m) = &self.metrics {
+            m.delta_applied.add(outcome.applied);
+            m.delta_rejected.add(outcome.rejected);
+            m.delta_dirty_servers.add(outcome.dirty.len() as u64);
+            m.delta_dirty_branches
+                .add(outcome.dirty_branches.len() as u64);
+            m.delta_shard_rebuilds.add(outcome.shard_rebuilds);
+        }
+        let Some(cache) = &self.cache else { return 0 };
+        let purged = cache.invalidate_delta(self.net.tree(), outcome);
+        if let Some(m) = &self.metrics {
+            m.cache_invalidated.add(purged);
         }
         purged
     }
@@ -2232,14 +2259,76 @@ mod tests {
         let purged = c.advance_cache_round();
         assert!(purged >= 1, "round advance must purge the cached answers");
         let third = c.query(&q, ServerId(4));
-        assert!(third.servers_contacted > 1, "invalidated ⇒ re-executed");
+        assert!(third.servers_contacted > 1, "expired ⇒ re-executed");
 
         let cache = c.result_cache().expect("cache enabled");
         assert_eq!(cache.hits(), 1);
         assert!(cache.hit_rate() > 0.0);
         assert_eq!(reg.counter("roads.cache.hits").get(), 1);
         assert_eq!(reg.counter("roads.cache.misses").get(), 3);
-        assert_eq!(reg.counter("roads.cache.invalidations").get(), purged);
+        assert_eq!(reg.counter("roads.cache.expired").get(), purged);
+        assert_eq!(
+            reg.counter("roads.cache.invalidated").get(),
+            0,
+            "TTL aging must not count as delta invalidation"
+        );
+        c.shutdown();
+    }
+
+    #[test]
+    fn observed_delta_round_feeds_metrics_and_invalidates_stale_entries() {
+        use roads_records::{OwnerId, RecordId, Value};
+
+        // Apply the delta to a network copy *before* the cluster starts —
+        // the simulation plane owns network mutation; the cluster observes.
+        let mut net = test_net(9);
+        let mut delta = roads_core::RecordDelta::new();
+        delta.insert(
+            ServerId(8),
+            roads_records::Record::new_unchecked(
+                RecordId(5_000),
+                OwnerId(8),
+                vec![Value::Float(0.42), Value::Float(0.42)],
+            ),
+        );
+        let outcome = net.apply(&delta);
+
+        let reg = Registry::new();
+        let c = RoadsCluster::start_instrumented(
+            net,
+            DelaySpace::paper(9, 21),
+            RuntimeConfig {
+                cache_ttl_rounds: 10,
+                ..RuntimeConfig::test_fast()
+            },
+            &reg,
+        );
+        // Cache a query the delta touches and one it provably cannot.
+        let hit_q = QueryBuilder::new(c.network().schema(), QueryId(50))
+            .range("x0", 0.40, 0.44)
+            .build();
+        let miss_q = QueryBuilder::new(c.network().schema(), QueryId(51))
+            .range("x0", 0.60, 0.61)
+            .build();
+        let _ = c.query(&hit_q, ServerId(2));
+        let _ = c.query(&miss_q, ServerId(2));
+        let cache = c.result_cache().expect("cache enabled");
+        assert_eq!(cache.len(), 2);
+
+        let purged = c.observe_delta_round(&outcome);
+        assert_eq!(purged, 1, "only the delta-matching entry is purged");
+        assert_eq!(reg.counter("roads.cache.invalidated").get(), 1);
+        assert_eq!(reg.counter("roads.cache.expired").get(), 0);
+        assert_eq!(reg.counter("roads.delta.changes_applied").get(), 1);
+        assert_eq!(reg.counter("roads.delta.changes_rejected").get(), 0);
+        assert_eq!(reg.counter("roads.delta.dirty_servers").get(), 1);
+        assert_eq!(
+            reg.counter("roads.delta.dirty_branches").get(),
+            outcome.dirty_branches.len() as u64
+        );
+        // The surviving entry still replays from cache.
+        let replay = c.query(&miss_q, ServerId(2));
+        assert_eq!(replay.servers_contacted, 1, "unaffected entry stays hot");
         c.shutdown();
     }
 }

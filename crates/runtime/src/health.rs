@@ -91,9 +91,26 @@ pub(crate) struct RuntimeMetrics {
     /// `roads.cache.misses`: cache lookups that fell through to execution
     /// (only counted while the cache is enabled).
     pub cache_misses: Arc<Counter>,
-    /// `roads.cache.invalidations`: cached results purged by
-    /// [`crate::RoadsCluster::advance_cache_round`] epoch advances.
-    pub cache_invalidations: Arc<Counter>,
+    /// `roads.cache.expired`: cached results that aged past the TTL on a
+    /// [`crate::RoadsCluster::advance_cache_round`] epoch advance.
+    pub cache_expired: Arc<Counter>,
+    /// `roads.cache.invalidated`: cached results purged because an applied
+    /// record delta could have changed their answer.
+    pub cache_invalidated: Arc<Counter>,
+    /// `roads.delta.changes_applied`: record changes applied by deltas.
+    pub delta_applied: Arc<Counter>,
+    /// `roads.delta.changes_rejected`: delta changes that matched nothing
+    /// (removal of an absent record id).
+    pub delta_rejected: Arc<Counter>,
+    /// `roads.delta.dirty_servers`: servers whose local summaries a delta
+    /// round refreshed.
+    pub delta_dirty_servers: Arc<Counter>,
+    /// `roads.delta.dirty_branches`: branch summaries a delta round
+    /// recomputed (the dirty ancestor closure).
+    pub delta_dirty_branches: Arc<Counter>,
+    /// `roads.delta.shard_rebuilds`: shard summaries re-aggregated from
+    /// raw records because a removal could not be unlearned exactly.
+    pub delta_shard_rebuilds: Arc<Counter>,
     /// `roads.planner.planned_queries`: queries dispatched via the
     /// replica-aware set-cover planner instead of greedy expansion.
     pub planned_queries: Arc<Counter>,
@@ -154,7 +171,13 @@ impl RuntimeMetrics {
             restarts: reg.counter(&labeled("runtime.fault_events", &[("kind", "restart")])),
             cache_hits: reg.counter("roads.cache.hits"),
             cache_misses: reg.counter("roads.cache.misses"),
-            cache_invalidations: reg.counter("roads.cache.invalidations"),
+            cache_expired: reg.counter("roads.cache.expired"),
+            cache_invalidated: reg.counter("roads.cache.invalidated"),
+            delta_applied: reg.counter("roads.delta.changes_applied"),
+            delta_rejected: reg.counter("roads.delta.changes_rejected"),
+            delta_dirty_servers: reg.counter("roads.delta.dirty_servers"),
+            delta_dirty_branches: reg.counter("roads.delta.dirty_branches"),
+            delta_shard_rebuilds: reg.counter("roads.delta.shard_rebuilds"),
             planned_queries: reg.counter("roads.planner.planned_queries"),
             pruned_probes: reg.counter("roads.planner.pruned_probes"),
             servers,

@@ -88,6 +88,95 @@ impl AttributeSummary {
         }
     }
 
+    /// Whether this summary can *exactly* unlearn `v` (reverse the fold
+    /// performed by the summary layer when the value was inserted).
+    ///
+    /// Histograms and multi-resolution pyramids decrement counters, so they
+    /// can — unless saturation dropped increments or the target bucket is
+    /// empty. Value sets and Bloom filters cannot unlearn (a set entry may
+    /// be shared by several records; Bloom bits are irreversibly ORed), so
+    /// any categorical value present forces the caller to rebuild from
+    /// records. Values of a structurally mismatched type were never folded
+    /// in ([`crate::Summary::add_record`] ignores them), so they unlearn
+    /// trivially.
+    pub fn can_unlearn(&self, v: &roads_records::Value) -> bool {
+        match (self, v) {
+            (AttributeSummary::Hist(h), v) => match v.as_f64() {
+                Some(f) => h.can_remove(f),
+                None => true,
+            },
+            (AttributeSummary::MultiRes(p), v) => match v.as_f64() {
+                Some(f) => p.can_remove(f),
+                None => true,
+            },
+            (
+                AttributeSummary::Set(_) | AttributeSummary::Bloom(_),
+                roads_records::Value::Cat(_) | roads_records::Value::Text(_),
+            ) => false,
+            _ => true,
+        }
+    }
+
+    /// Unlearn `v` in place. Returns `false` — leaving the summary
+    /// untouched — when [`AttributeSummary::can_unlearn`] is `false`.
+    pub fn unlearn(&mut self, v: &roads_records::Value) -> bool {
+        if !self.can_unlearn(v) {
+            return false;
+        }
+        self.unlearn_vouched(v);
+        true
+    }
+
+    /// Unlearn `v` after the caller has already checked
+    /// [`AttributeSummary::can_unlearn`] — skips the re-check on the hot
+    /// delta path, where one pass vouches for every attribute before any
+    /// is mutated.
+    pub(crate) fn unlearn_vouched(&mut self, v: &roads_records::Value) {
+        debug_assert!(self.can_unlearn(v), "caller vouched via can_unlearn");
+        match (self, v) {
+            (AttributeSummary::Hist(h), v) => {
+                if let Some(f) = v.as_f64() {
+                    h.remove(f);
+                }
+            }
+            (AttributeSummary::MultiRes(p), v) => {
+                if let Some(f) = v.as_f64() {
+                    p.remove(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Fold `v` into the summary — the per-attribute half of
+    /// [`crate::Summary::add_record`]. Structurally mismatched value types
+    /// are ignored.
+    pub fn learn(&mut self, v: &roads_records::Value) {
+        use roads_records::Value;
+        match (self, v) {
+            (AttributeSummary::Hist(h), v) => {
+                if let Some(f) = v.as_f64() {
+                    h.insert(f);
+                }
+            }
+            (AttributeSummary::MultiRes(p), v) => {
+                // Per-level insertion: identical to rebuilding the pyramid
+                // from a refreshed finest level, because power-of-two
+                // bucket mapping nests exactly.
+                if let Some(f) = v.as_f64() {
+                    p.insert(f);
+                }
+            }
+            (AttributeSummary::Set(s), Value::Cat(c) | Value::Text(c)) => {
+                s.insert(c.clone());
+            }
+            (AttributeSummary::Bloom(b), Value::Cat(c) | Value::Text(c)) => {
+                b.insert(c);
+            }
+            _ => {}
+        }
+    }
+
     /// True when the summary condenses zero values.
     pub fn is_empty(&self) -> bool {
         match self {
@@ -222,6 +311,30 @@ mod tests {
         let mut a = AttributeSummary::Set(ValueSet::new());
         let b = AttributeSummary::Hist(Histogram::new(0.0, 1.0, 4));
         assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn unlearn_kinds() {
+        // Histograms unlearn exactly…
+        let mut h = AttributeSummary::Hist(Histogram::from_values(0.0, 1.0, 4, [0.3]));
+        assert!(h.can_unlearn(&Value::Float(0.3)));
+        assert!(h.unlearn(&Value::Float(0.3)));
+        assert!(h.is_empty());
+        // …but refuse when the bucket is already empty.
+        assert!(!h.unlearn(&Value::Float(0.3)));
+
+        // Sets and Blooms can never unlearn a present categorical value.
+        let mut s = AttributeSummary::Set(ValueSet::from_values(["a"]));
+        assert!(!s.can_unlearn(&Value::Cat("a".into())));
+        assert!(!s.unlearn(&Value::Cat("a".into())));
+        assert!(s.may_match(&eq_cat("a")), "refused unlearn changes nothing");
+        let mut b = AttributeSummary::Bloom(BloomFilter::new(64, 2));
+        assert!(!b.can_unlearn(&Value::Text("x".into())));
+        assert!(!b.unlearn(&Value::Text("x".into())));
+
+        // A structurally mismatched value was never folded in: trivial.
+        assert!(s.unlearn(&Value::Float(1.0)));
+        assert!(h.unlearn(&Value::Cat("a".into())));
     }
 
     #[test]

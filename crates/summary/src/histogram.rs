@@ -29,12 +29,18 @@ impl std::error::Error for MergeError {}
 /// Counter width matches the paper's accounting (4 bytes per bucket; a
 /// summary of `r` attributes with `m` buckets each occupies `~4·m·r` bytes
 /// regardless of how many records it condenses). Counters saturate instead
-/// of wrapping so adversarially large merges stay conservative.
+/// of wrapping so adversarially large merges stay conservative — but a
+/// saturated counter has *dropped* increments, so exact decrement-based
+/// deltas ([`Histogram::remove`]) are no longer possible. The `saturated`
+/// flag records that loss: once set, removals refuse and callers must
+/// re-aggregate from the underlying records. The flag is local bookkeeping,
+/// not wire payload — [`WireSize`] stays at the paper's `20 + 4·m` bytes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
     buckets: Vec<u32>,
+    saturated: bool,
 }
 
 impl Histogram {
@@ -49,6 +55,7 @@ impl Histogram {
             lo,
             hi,
             buckets: vec![0; m],
+            saturated: false,
         }
     }
 
@@ -115,7 +122,49 @@ impl Histogram {
             return;
         }
         let idx = self.bucket_of(v);
-        self.buckets[idx] = self.buckets[idx].saturating_add(1);
+        match self.buckets[idx].checked_add(1) {
+            Some(n) => self.buckets[idx] = n,
+            // The increment is dropped: counts are now a lower bound and
+            // exact removal is impossible until a full re-aggregation.
+            None => self.saturated = true,
+        }
+    }
+
+    /// Remove one previously inserted value, exactly reversing
+    /// [`Histogram::insert`]. Returns `false` — leaving the histogram
+    /// untouched — when the removal cannot be performed exactly: the
+    /// histogram has [saturated](Histogram::is_saturated) (dropped
+    /// increments would make the decrement under-count) or the target
+    /// bucket is already empty (the value was never inserted). `NaN` is
+    /// ignored, symmetric with insert, and reports success.
+    pub fn remove(&mut self, v: f64) -> bool {
+        if v.is_nan() {
+            return true;
+        }
+        if self.saturated {
+            return false;
+        }
+        let idx = self.bucket_of(v);
+        match self.buckets[idx].checked_sub(1) {
+            Some(n) => {
+                self.buckets[idx] = n;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether [`Histogram::remove`] of `v` would succeed right now.
+    pub fn can_remove(&self, v: f64) -> bool {
+        v.is_nan() || (!self.saturated && self.buckets[self.bucket_of(v)] > 0)
+    }
+
+    /// True when a counter has ever dropped an increment (clamped at
+    /// `u32::MAX`). Saturated histograms still answer queries
+    /// conservatively, but refuse exact removals — callers must rebuild
+    /// from the underlying records.
+    pub fn is_saturated(&self) -> bool {
+        self.saturated
     }
 
     /// Value range covered by bucket `i`: `[lo_i, hi_i)` (last bucket is
@@ -182,8 +231,15 @@ impl Histogram {
             });
         }
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a = a.saturating_add(*b);
+            match a.checked_add(*b) {
+                Some(n) => *a = n,
+                None => {
+                    *a = u32::MAX;
+                    self.saturated = true;
+                }
+            }
         }
+        self.saturated |= other.saturated;
         Ok(())
     }
 
@@ -198,21 +254,32 @@ impl Histogram {
             self.buckets.len().is_multiple_of(factor),
             "factor must divide the bucket count"
         );
+        let mut saturated = self.saturated;
         let buckets = self
             .buckets
             .chunks(factor)
-            .map(|c| c.iter().fold(0u32, |a, &b| a.saturating_add(b)))
+            .map(|c| {
+                c.iter().fold(0u32, |a, &b| match a.checked_add(b) {
+                    Some(n) => n,
+                    None => {
+                        saturated = true;
+                        u32::MAX
+                    }
+                })
+            })
             .collect();
         Histogram {
             lo: self.lo,
             hi: self.hi,
             buckets,
+            saturated,
         }
     }
 
     /// Reset all counters to zero, keeping the configuration.
     pub fn clear(&mut self) {
         self.buckets.iter_mut().for_each(|c| *c = 0);
+        self.saturated = false;
     }
 
     /// Estimated `q`-quantile (0 ≤ q ≤ 1) of the summarized values, by
@@ -384,8 +451,65 @@ mod tests {
         let mut h = Histogram::new(0.0, 1.0, 1);
         h.buckets = vec![u32::MAX - 1];
         h.insert(0.5);
+        assert!(!h.is_saturated(), "reaching MAX exactly loses nothing");
         h.insert(0.5);
         assert_eq!(h.buckets()[0], u32::MAX);
+        assert!(h.is_saturated(), "a dropped increment must be recorded");
+    }
+
+    #[test]
+    fn remove_reverses_insert() {
+        let mut h = unit_hist(&[0.05, 0.05, 0.95], 10);
+        assert!(h.remove(0.05));
+        assert_eq!(h.buckets()[0], 1);
+        assert!(h.remove(0.05) && h.remove(0.95));
+        assert!(h.is_empty());
+        // Removing from an empty bucket is rejected, histogram untouched.
+        assert!(!h.remove(0.5));
+        assert!(!h.can_remove(0.5));
+        assert!(h.is_empty());
+        // NaN is a no-op on both sides.
+        assert!(h.remove(f64::NAN));
+    }
+
+    #[test]
+    fn saturated_histogram_refuses_removal() {
+        // Regression: counters used `saturating_add`, so after saturation a
+        // delta remove silently under-counted and delta ≠ rebuild. Removal
+        // must now refuse on a saturated histogram, forcing callers to
+        // re-aggregate from records.
+        let mut h = Histogram::new(0.0, 1.0, 1);
+        h.buckets = vec![u32::MAX];
+        h.insert(0.5); // dropped increment
+        assert!(h.is_saturated());
+        assert!(!h.can_remove(0.5));
+        assert!(!h.remove(0.5), "saturated counters cannot unlearn exactly");
+        assert_eq!(h.buckets()[0], u32::MAX, "refused removal leaves counts");
+        // clear() resets the flag along with the counters.
+        h.clear();
+        assert!(!h.is_saturated());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_and_coarsen_propagate_saturation() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        a.buckets = vec![u32::MAX, 0];
+        let mut b = Histogram::new(0.0, 1.0, 2);
+        b.buckets = vec![1, 1];
+        a.merge(&b).unwrap();
+        assert!(a.is_saturated(), "clamped merge must mark saturation");
+        assert_eq!(a.buckets(), &[u32::MAX, 1]);
+        // A saturated input taints the merge target even without clamping.
+        let mut c = Histogram::new(0.0, 1.0, 2);
+        c.merge(&a.coarsen(1)).unwrap();
+        assert!(c.is_saturated());
+        // Coarsening can clamp two in-range counters into saturation.
+        let mut d = Histogram::new(0.0, 1.0, 2);
+        d.buckets = vec![u32::MAX - 1, 2];
+        let coarse = d.coarsen(2);
+        assert!(coarse.is_saturated());
+        assert_eq!(coarse.buckets(), &[u32::MAX]);
     }
 
     #[test]

@@ -73,6 +73,37 @@ impl MultiResHistogram {
         self.finest().may_match_range(lo, hi)
     }
 
+    /// Record one value at every level. Because each coarser level's bucket
+    /// counts are exact sums of finest-level buckets (power-of-two widths,
+    /// so bucket mapping nests exactly), per-level insertion produces the
+    /// same pyramid as rebuilding from an updated finest level.
+    pub fn insert(&mut self, v: f64) {
+        for level in &mut self.levels {
+            level.insert(v);
+        }
+    }
+
+    /// Whether [`MultiResHistogram::remove`] of `v` would succeed at every
+    /// level.
+    pub fn can_remove(&self, v: f64) -> bool {
+        self.levels.iter().all(|l| l.can_remove(v))
+    }
+
+    /// Remove one previously inserted value from every level. Returns
+    /// `false` — leaving the pyramid untouched — when any level refuses
+    /// (saturation or an empty target bucket); the caller must then rebuild
+    /// from the underlying records.
+    pub fn remove(&mut self, v: f64) -> bool {
+        if !self.can_remove(v) {
+            return false;
+        }
+        for level in &mut self.levels {
+            let removed = level.remove(v);
+            debug_assert!(removed, "can_remove vouched for every level");
+        }
+        true
+    }
+
     /// Merge another pyramid level-by-level.
     pub fn merge(&mut self, other: &MultiResHistogram) -> Result<(), MergeError> {
         if self.levels.len() != other.levels.len() {
@@ -155,5 +186,25 @@ mod tests {
     #[should_panic(expected = "power-of-two")]
     fn non_power_of_two_rejected() {
         let _ = MultiResHistogram::from_values(0.0, 1.0, 6, [0.5]);
+    }
+
+    #[test]
+    fn per_level_insert_matches_rebuild() {
+        let mut incremental = pyramid(&[0.1, 0.5]);
+        incremental.insert(0.73);
+        let rebuilt = pyramid(&[0.1, 0.5, 0.73]);
+        assert_eq!(incremental, rebuilt, "per-level insert ≡ pyramid rebuild");
+    }
+
+    #[test]
+    fn remove_reverses_insert_across_levels() {
+        let mut p = pyramid(&[0.1, 0.5, 0.9]);
+        assert!(p.remove(0.5));
+        assert_eq!(p, pyramid(&[0.1, 0.9]));
+        // A value never inserted leaves an empty finest bucket: refused,
+        // and no level is half-modified.
+        let before = p.clone();
+        assert!(!p.remove(0.5));
+        assert_eq!(p, before);
     }
 }

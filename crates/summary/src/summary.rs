@@ -9,7 +9,7 @@ use crate::bloom::BloomFilter;
 use crate::histogram::Histogram;
 use crate::multires::MultiResHistogram;
 use crate::value_set::ValueSet;
-use roads_records::{AttrType, Query, Record, Schema, Value, WireSize};
+use roads_records::{AttrType, Query, Record, Schema, WireSize};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of [`Summary::decide`]: the may-match answer plus which
@@ -165,32 +165,65 @@ impl Summary {
     /// Fold one record into the summary.
     pub fn add_record(&mut self, record: &Record) {
         for (slot, v) in self.per_attr.iter_mut().zip(record.values()) {
-            match (slot, v) {
-                (AttributeSummary::Hist(h), v) => {
-                    if let Some(f) = v.as_f64() {
-                        h.insert(f);
-                    }
-                }
-                (AttributeSummary::MultiRes(p), v) => {
-                    // Pyramids are rebuilt from a refreshed finest level;
-                    // single-record inserts are rare (owners usually
-                    // summarize whole record sets at once).
-                    if let Some(f) = v.as_f64() {
-                        let mut finest = p.finest().clone();
-                        finest.insert(f);
-                        *p = MultiResHistogram::from_finest(finest);
-                    }
-                }
-                (AttributeSummary::Set(s), Value::Cat(c) | Value::Text(c)) => {
-                    s.insert(c.clone());
-                }
-                (AttributeSummary::Bloom(b), Value::Cat(c) | Value::Text(c)) => {
-                    b.insert(c);
-                }
-                _ => {}
-            }
+            slot.learn(v);
         }
         self.records += 1;
+    }
+
+    /// Exactly reverse [`Summary::add_record`] for a record whose values
+    /// were previously folded in.
+    ///
+    /// Returns `false` — leaving the summary byte-identical — when any
+    /// attribute cannot unlearn its value exactly: categorical sets and
+    /// Bloom filters never can (shared entries / ORed bits), and a
+    /// saturated histogram has dropped increments. A `false` answer means
+    /// the caller must re-aggregate this summary from its underlying
+    /// records; a `true` answer guarantees the result equals a fresh
+    /// [`Summary::from_records`] over the remaining record set.
+    pub fn remove_record(&mut self, record: &Record) -> bool {
+        if self.records == 0 {
+            return false;
+        }
+        let removable = self
+            .per_attr
+            .iter()
+            .zip(record.values())
+            .all(|(a, v)| a.can_unlearn(v));
+        if !removable {
+            return false;
+        }
+        for (slot, v) in self.per_attr.iter_mut().zip(record.values()) {
+            slot.unlearn_vouched(v);
+        }
+        self.records -= 1;
+        true
+    }
+
+    /// Replace one record's contribution with another's — the hot
+    /// operation of the incremental delta plane. Equivalent to a
+    /// successful [`Summary::remove_record`] followed by
+    /// [`Summary::add_record`], but the unlearn/learn pair runs in a
+    /// single pass over the attributes after the unlearn check. Returns
+    /// `false` — leaving the summary byte-identical — when `old` cannot be
+    /// unlearned exactly, in which case the caller must re-aggregate from
+    /// records just as for a refused removal.
+    pub fn replace_record(&mut self, old: &Record, new: &Record) -> bool {
+        if self.records == 0 {
+            return false;
+        }
+        let removable = self
+            .per_attr
+            .iter()
+            .zip(old.values())
+            .all(|(a, v)| a.can_unlearn(v));
+        if !removable {
+            return false;
+        }
+        for ((slot, ov), nv) in self.per_attr.iter_mut().zip(old.values()).zip(new.values()) {
+            slot.unlearn_vouched(ov);
+            slot.learn(nv);
+        }
+        true
     }
 
     /// Number of records this summary condenses (including merged children).
@@ -310,7 +343,7 @@ impl WireSize for Summary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use roads_records::{AttrDef, OwnerId, QueryBuilder, QueryId, RecordBuilder, RecordId};
+    use roads_records::{AttrDef, OwnerId, QueryBuilder, QueryId, RecordBuilder, RecordId, Value};
 
     fn schema() -> Schema {
         Schema::new(vec![
@@ -531,6 +564,66 @@ mod tests {
             .range("x0", 0.8, 0.9)
             .build();
         assert!(!sum.may_match(&q2));
+    }
+
+    #[test]
+    fn remove_record_reverses_add_for_numeric_schemas() {
+        let s = Schema::unit_numeric(3);
+        let cfg = SummaryConfig::with_buckets(64);
+        let rec = |id: u64, a: f64, b: f64, c: f64| {
+            Record::new_unchecked(
+                RecordId(id),
+                OwnerId(0),
+                vec![Value::Float(a), Value::Float(b), Value::Float(c)],
+            )
+        };
+        let r1 = rec(1, 0.1, 0.2, 0.3);
+        let r2 = rec(2, 0.9, 0.8, 0.7);
+        let mut sum = Summary::from_records(&s, &cfg, &[r1.clone(), r2.clone()]);
+        assert!(sum.remove_record(&r2));
+        assert_eq!(
+            sum,
+            Summary::from_records(&s, &cfg, std::slice::from_ref(&r1)),
+            "delta removal must be byte-identical to a rebuild"
+        );
+        assert!(sum.remove_record(&r1));
+        assert_eq!(sum, Summary::empty(&s, &cfg));
+        // Empty summaries refuse further removal.
+        assert!(!sum.remove_record(&r1));
+    }
+
+    #[test]
+    fn remove_record_refuses_on_categorical_attributes() {
+        // A camera record carries Set-summarized values: the set cannot
+        // unlearn, so the whole removal must refuse atomically.
+        let s = schema();
+        let r = camera(&s, 1, "MPEG2", 100.0);
+        let mut sum = Summary::from_records(&s, &config(), &[r.clone(), r.clone()]);
+        let before = sum.clone();
+        assert!(!sum.remove_record(&r));
+        assert_eq!(sum, before, "refused removal must leave no partial edit");
+    }
+
+    #[test]
+    fn multires_remove_record_round_trips() {
+        let s = Schema::unit_numeric(2);
+        let cfg = SummaryConfig {
+            buckets: 32,
+            multires: true,
+            categorical: CategoricalMode::Enumerate,
+        };
+        let rec = |id: u64, a: f64, b: f64| {
+            Record::new_unchecked(
+                RecordId(id),
+                OwnerId(0),
+                vec![Value::Float(a), Value::Float(b)],
+            )
+        };
+        let keep = rec(1, 0.25, 0.75);
+        let churn = rec(2, 0.5, 0.5);
+        let mut sum = Summary::from_records(&s, &cfg, &[keep.clone(), churn.clone()]);
+        assert!(sum.remove_record(&churn));
+        assert_eq!(sum, Summary::from_records(&s, &cfg, &[keep]));
     }
 
     #[test]
