@@ -8,7 +8,9 @@ use roads_core::{
 };
 use roads_netsim::DelaySpace;
 use roads_records::{OwnerId, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
-use roads_runtime::{AuditConfig, AuditMetrics, Auditor, RoadsCluster, RuntimeConfig};
+use roads_runtime::{
+    AuditConfig, AuditMetrics, Auditor, RoadsCluster, RuntimeConfig, Watchdog, WatchdogConfig,
+};
 use roads_summary::SummaryConfig;
 use roads_sword::SwordNetwork;
 use roads_telemetry::{OpenMetricsSnapshot, Registry, Sampler, TailSampler};
@@ -280,6 +282,70 @@ fn bench_recorder_overhead(c: &mut Criterion) {
         );
         drive(b, &cluster);
         auditor.stop();
+        cluster.shutdown();
+    });
+    // Watchdog-plane acceptance check: the watchdog evaluates its
+    // detector bank against the registry on its own thread each tick —
+    // the query path gains nothing but the instrument writes it already
+    // pays for. With a 5 ms tick racing the queries, watchdog_on must
+    // stay within 5% of watchdog_off.
+    let live_instrumented = |reg: &Arc<Registry>| {
+        let n = 9usize;
+        let schema = Schema::unit_numeric(1);
+        let records: Vec<Vec<Record>> = (0..n)
+            .map(|s| {
+                (0..10)
+                    .map(|i| {
+                        let id = s * 10 + i;
+                        Record::new_unchecked(
+                            RecordId(id as u64),
+                            OwnerId(s as u32),
+                            vec![Value::Float(id as f64 / (n * 10) as f64)],
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let net = RoadsNetwork::build(
+            schema,
+            RoadsConfig {
+                max_children: 3,
+                summary: SummaryConfig::with_buckets(64),
+                ..RoadsConfig::paper_default()
+            },
+            records,
+        );
+        let cfg = RuntimeConfig {
+            dispatch_timeout_ms: 400,
+            max_retries: 1,
+            backoff_base_ms: 5,
+            query_deadline_ms: 10_000,
+            delay_scale: 0.02,
+            per_record_retrieval_us: 20,
+            base_query_cost_us: 100,
+            ..RuntimeConfig::paper_like()
+        };
+        RoadsCluster::start_instrumented(net, DelaySpace::paper(n, 7), cfg, reg)
+    };
+    g.bench_function("watchdog_off", |b| {
+        let reg = Arc::new(Registry::new());
+        let cluster = live_instrumented(&reg);
+        drive(b, &cluster);
+        cluster.shutdown();
+    });
+    g.bench_function("watchdog_on", |b| {
+        let reg = Arc::new(Registry::new());
+        let cluster = live_instrumented(&reg);
+        let watchdog = Watchdog::for_cluster(
+            &cluster,
+            &reg,
+            WatchdogConfig {
+                interval: Duration::from_millis(5),
+                ..WatchdogConfig::default()
+            },
+        );
+        drive(b, &cluster);
+        watchdog.stop();
         cluster.shutdown();
     });
     // Rendering a populated registry to OpenMetrics text (the scrape

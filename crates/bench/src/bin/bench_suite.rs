@@ -29,8 +29,11 @@
 //! ```
 //!
 //! `--smoke` shrinks the matrix for CI (seconds, not minutes); `--out`
-//! overrides the default `BENCH_ROADS.json` output path. Compare two
-//! reports with `roads-inspect bench-diff OLD NEW --fail-over <pct>`.
+//! overrides the default output path, which is
+//! `$ROADS_RESULTS_DIR/BENCH_ROADS.json` (`results/BENCH_ROADS.json`
+//! when the variable is unset — the same directory every `fig*` binary
+//! writes to). Compare two reports with `roads-inspect bench-diff OLD
+//! NEW --fail-over <pct>`.
 //!
 //! The live-cluster phases run with a flight recorder and tail-based
 //! sampler attached, so alongside the bench report the suite writes
@@ -57,6 +60,15 @@
 //! `roads-inspect delta` and validated by `roads-inspect check`,
 //! which re-enforces the 10x floor offline).
 //!
+//! A background [`Watchdog`] also runs across the whole live-cluster
+//! phase — the standard detector bank over the live registry — and the
+//! suite writes `INCIDENTS.json` next to `--out`: the coalesced
+//! incident timeline with fault correlation and suspected-cause
+//! rankings, inspectable with `roads-inspect incidents` and validated
+//! by `roads-inspect check`. The failover phase's kills (and the brief
+//! straggler episode the suite injects after them) are the ground
+//! truth those incidents are matched against.
+//!
 //! [`DeltaReport`]: roads_bench::delta_view::DeltaReport
 //! [`PlanReport`]: roads_bench::plan_view::PlanReport
 //! [`QueryExplain`]: roads_telemetry::QueryExplain
@@ -70,9 +82,11 @@ use roads_core::{
 };
 use roads_netsim::DelaySpace;
 use roads_records::{OwnerId, Query, QueryBuilder, QueryId, Record, RecordId, Schema, Value};
-use roads_runtime::{AuditConfig, AuditMetrics, Auditor, RoadsCluster, RuntimeConfig};
+use roads_runtime::{
+    AuditConfig, AuditMetrics, Auditor, RoadsCluster, RuntimeConfig, Watchdog, WatchdogConfig,
+};
 use roads_summary::SummaryConfig;
-use roads_telemetry::{OpenMetricsSnapshot, Recorder, Registry, TailSampler};
+use roads_telemetry::{results_dir, OpenMetricsSnapshot, Recorder, Registry, TailSampler};
 use roads_workload::{default_schema, generate_node_records, RecordWorkloadConfig};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -313,7 +327,7 @@ fn a_branch(net: &RoadsNetwork) -> ServerId {
 
 fn main() {
     let mut smoke = false;
-    let mut out = PathBuf::from("BENCH_ROADS.json");
+    let mut out = results_dir().join("BENCH_ROADS.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -326,6 +340,12 @@ fn main() {
                 }
             },
             other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: could not create {}: {e}", dir.display());
+            std::process::exit(1);
         }
     }
     let m = if smoke {
@@ -459,7 +479,7 @@ fn main() {
 
     // --- Live query plane: overlay-spread vs root-only entry. -----------
     let n = m.cluster_servers;
-    let reg = Registry::new();
+    let reg = Arc::new(Registry::new());
     let mut cluster = RoadsCluster::start_instrumented(
         cluster_net(n),
         DelaySpace::paper(n, 31),
@@ -495,6 +515,18 @@ fn main() {
         },
         audit_probes,
         cluster.liveness(),
+    );
+    // Watchdog over the same run: the standard detector bank (per-server
+    // liveness, windowed-p99 latency spikes, SLO burn rate) evaluated
+    // against the live registry every tick, correlated with the fault
+    // log into the INCIDENTS.json timeline written at the end.
+    let watchdog = Watchdog::for_cluster(
+        &cluster,
+        &reg,
+        WatchdogConfig {
+            interval: Duration::from_millis(100),
+            ..WatchdogConfig::default()
+        },
     );
     let spread = queries(&cschema, n, m.cluster_queries, root, true);
     let rooted = queries(&cschema, n, m.cluster_queries, root, false);
@@ -596,7 +628,21 @@ fn main() {
     let r = BenchRecord::from_samples("failover_recovery", "ms", &samples);
     println!("{:<20} {:>10.1} ms (p99 {:.1})", r.name, r.value, r.p99);
     benches.push(r);
+
+    // --- Straggler episode: slow the same branch, let the watchdog see
+    // the tail shift, then restore. The queries keep the windowed-p99
+    // probe fed while the episode is live.
+    assert!(cluster.slow_server(victim, 8.0));
+    for _ in 0..3 {
+        let _ = cluster.query(&full, root);
+        watchdog.tick_now();
+    }
+    assert!(cluster.restore_server(victim));
+    let healed = cluster.query(&full, root);
+    assert!(healed.complete, "restore must bring the branch back");
+
     let audit_report = auditor.stop();
+    let incident_report = watchdog.stop();
     cluster.shutdown();
 
     let report = BenchReport::new(m.config, benches);
@@ -705,6 +751,31 @@ fn main() {
         ),
         Err(e) => {
             eprintln!("error: could not write {}: {e}", delta_path.display());
+            std::process::exit(1);
+        }
+    }
+
+    // The incident timeline of this run: every detector firing coalesced
+    // into incidents, correlated with the failover kills and the
+    // straggler episode (validated by `roads-inspect check`, rendered by
+    // `roads-inspect incidents`).
+    let incidents_path = match out.parent() {
+        Some(dir) if dir.as_os_str().is_empty() => PathBuf::from("INCIDENTS.json"),
+        Some(dir) => dir.join("INCIDENTS.json"),
+        None => PathBuf::from("INCIDENTS.json"),
+    };
+    match incident_report.write(&incidents_path) {
+        Ok(()) => println!(
+            "wrote {} ({} ticks, {} firings, {} incidents, {} matched, {} false alarms)",
+            incidents_path.display(),
+            incident_report.ticks,
+            incident_report.firings,
+            incident_report.rows.len(),
+            incident_report.matched(),
+            incident_report.false_alarms,
+        ),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", incidents_path.display());
             std::process::exit(1);
         }
     }

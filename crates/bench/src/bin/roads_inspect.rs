@@ -18,6 +18,8 @@
 //!                                       # from an AUDIT.json artifact
 //! roads-inspect delta <artifact>        # incremental-update summary from
 //!                                       # a DELTA.json artifact
+//! roads-inspect incidents <artifact>    # watchdog incident timeline from
+//!                                       # an INCIDENTS.json artifact
 //! ```
 //!
 //! `<base>` is a result stem such as `results/fig3_latency_vs_nodes`; the
@@ -43,6 +45,15 @@
 //! summary written by `bench_suite`) validate through
 //! [`roads_bench::delta_view::DeltaReport`], which re-enforces the delta
 //! path's 10x speedup floor and its accounting invariants offline.
+//! Documents carrying an `incidents` key (the `INCIDENTS.json` watchdog
+//! report) validate through the strict
+//! [`roads_bench::incident_view::IncidentReport`] parser: every incident
+//! row, suspected cause, and fault match must be present and well-typed.
+//!
+//! `incidents` renders the watchdog incident timeline of an
+//! `INCIDENTS.json` artifact: one block per incident with its firing
+//! window, detectors, matched fault and detection latency, and the
+//! ranked suspected-cause list.
 //!
 //! `audit` renders the per-level summary-fidelity table of an
 //! `AUDIT.json` artifact: ground-truth probes, FP/FN rates, overlay
@@ -67,7 +78,7 @@
 //!
 //! [`FigureExport`]: roads_telemetry::FigureExport
 
-use roads_bench::{audit_view, delta_view, explain_view, plan_view, suite};
+use roads_bench::{audit_view, delta_view, explain_view, incident_view, plan_view, suite};
 use roads_telemetry::{
     critical_path, parse_openmetrics, slowest_trace, span_tree_root, trace_ids, Event, EventKind,
     Json, SpanId, TraceId,
@@ -90,6 +101,7 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "audit" && rest.len() == 1 => audit(&rest[0]),
         Some((cmd, rest)) if cmd == "plan" && rest.len() == 1 => plan(&rest[0]),
         Some((cmd, rest)) if cmd == "delta" && rest.len() == 1 => delta(&rest[0]),
+        Some((cmd, rest)) if cmd == "incidents" && rest.len() == 1 => incidents(&rest[0]),
         _ => {
             eprintln!("usage: roads-inspect summary <base>");
             eprintln!("       roads-inspect diff <base-a> <base-b>");
@@ -101,6 +113,7 @@ fn main() -> ExitCode {
             eprintln!("       roads-inspect audit <audit.json>");
             eprintln!("       roads-inspect plan <plan.json>");
             eprintln!("       roads-inspect delta <delta.json>");
+            eprintln!("       roads-inspect incidents <incidents.json>");
             eprintln!("  <base> is a result stem, e.g. results/fig3_latency_vs_nodes");
             ExitCode::from(2)
         }
@@ -406,6 +419,25 @@ fn check(bases: &[String]) -> ExitCode {
                 }
                 continue;
             }
+            // Watchdog reports (INCIDENTS.json) validate every incident
+            // row, cause, and match through the strict parser; no trace
+            // file.
+            Ok(doc) if incident_view::is_incidents_doc(&doc) => {
+                match incident_view::IncidentReport::from_json(&doc) {
+                    Ok(report) => println!(
+                        "OK   {base}: incident report, {} ticks, {} incidents ({} matched, {} false alarms)",
+                        report.ticks,
+                        report.rows.len(),
+                        report.matched(),
+                        report.false_alarms
+                    ),
+                    Err(e) => {
+                        eprintln!("FAIL {}: {e}", fig_path.display());
+                        failed = true;
+                    }
+                }
+                continue;
+            }
             // Tail-sampler reports (SLOW_QUERIES.json) validate each
             // retained explain record and its span tree; no trace file.
             Ok(doc) if explain_view::is_slow_doc(&doc) => {
@@ -650,6 +682,30 @@ fn delta(path: &str) -> ExitCode {
     match report {
         Ok(report) => {
             print!("{}", delta_view::render_delta_table(&report));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn incidents(path: &str) -> ExitCode {
+    let (fig_path, _) = expand(path);
+    let report = load_json(&fig_path).and_then(|doc| {
+        if !incident_view::is_incidents_doc(&doc) {
+            return Err(format!(
+                "{}: not an incident report (no incidents key)",
+                fig_path.display()
+            ));
+        }
+        incident_view::IncidentReport::from_json(&doc)
+            .map_err(|e| format!("{}: {e}", fig_path.display()))
+    });
+    match report {
+        Ok(report) => {
+            print!("{}", incident_view::render_incident_table(&report));
             ExitCode::SUCCESS
         }
         Err(e) => {

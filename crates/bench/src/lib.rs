@@ -16,6 +16,7 @@ pub mod audit_view;
 pub mod chart;
 pub mod delta_view;
 pub mod explain_view;
+pub mod incident_view;
 pub mod plan_view;
 pub mod suite;
 

@@ -210,6 +210,9 @@ pub struct Simulator<P: Protocol> {
     recorder: Option<Arc<Recorder>>,
     /// Per-node delivery counts (timeline load-share gauge).
     deliveries: Vec<u64>,
+    /// Per-node straggler multipliers (1.0 = healthy): a message's
+    /// propagation delay is scaled by the slower endpoint's factor.
+    slow_factors: Vec<f64>,
 }
 
 /// Pre-resolved telemetry instruments for the event loop (cached `Arc`s so
@@ -249,6 +252,7 @@ impl<P: Protocol> Simulator<P> {
             telemetry: None,
             recorder: None,
             deliveries: vec![0; n],
+            slow_factors: vec![1.0; n],
         }
     }
 
@@ -313,6 +317,42 @@ impl<P: Protocol> Simulator<P> {
     /// Messages dropped by the loss model so far.
     pub fn messages_dropped(&self) -> u64 {
         self.messages_dropped
+    }
+
+    /// Inject a straggler: every node-to-node message to or from `node`
+    /// has its propagation delay multiplied by `factor` (≥ 1). The node
+    /// stays alive and keeps processing — this models a slow link or an
+    /// overloaded host, not a death. Undo with
+    /// [`Simulator::restore_node`]. Messages already in flight keep
+    /// their original delivery time.
+    pub fn slow_node(&mut self, node: NodeId, factor: f64) {
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "straggler factor must be >= 1, got {factor}"
+        );
+        self.slow_factors[node.index()] = factor;
+    }
+
+    /// Restore a straggler to full speed (factor 1.0).
+    pub fn restore_node(&mut self, node: NodeId) {
+        self.slow_factors[node.index()] = 1.0;
+    }
+
+    /// The current straggler factor of `node` (1.0 = healthy).
+    pub fn slow_factor(&self, node: NodeId) -> f64 {
+        self.slow_factors[node.index()]
+    }
+
+    /// Propagation delay between two nodes with straggler scaling: the
+    /// slower endpoint's factor applies to the whole hop.
+    fn link_delay(&self, from: usize, to: usize) -> SimTime {
+        let d = self.delays.delay(from, to);
+        let f = self.slow_factors[from].max(self.slow_factors[to]);
+        if f > 1.0 {
+            SimTime((d.as_micros() as f64 * f).round() as u64)
+        } else {
+            d
+        }
     }
 
     /// Deterministic per-message loss decision (splitmix64 of seed ⊕ seq).
@@ -564,7 +604,7 @@ impl<P: Protocol> Simulator<P> {
                         continue;
                     }
                     let at = self.now
-                        + self.delays.delay(ev.to.index(), to.index())
+                        + self.link_delay(ev.to.index(), to.index())
                         + self.serialization_delay(bytes);
                     // Each send becomes a child span of the handler's span,
                     // spanning the message's flight (delay + serialization)
@@ -746,6 +786,49 @@ mod tests {
         );
         s.run_to_completion();
         assert_eq!(s.node(NodeId(1)).arrivals, vec![d]);
+    }
+
+    #[test]
+    fn slow_node_scales_delivery_and_restores() {
+        // A 4x straggler on either endpoint quadruples the hop latency;
+        // restore_node returns it to the delay-space baseline.
+        let d = sim(2).delays().delay(0, 1);
+        for victim in [NodeId(0), NodeId(1)] {
+            let mut s = sim(2);
+            assert_eq!(s.slow_factor(victim), 1.0);
+            s.slow_node(victim, 4.0);
+            assert_eq!(s.slow_factor(victim), 4.0);
+            s.inject(
+                SimTime::ZERO,
+                NodeId(1),
+                NodeId(0),
+                Ping { ttl: 1 },
+                10,
+                TrafficClass::Query,
+            );
+            s.run_to_completion();
+            let expect = SimTime((d.as_micros() as f64 * 4.0).round() as u64);
+            assert_eq!(s.node(NodeId(1)).arrivals, vec![expect], "{victim:?}");
+
+            s.restore_node(victim);
+            s.inject(
+                s.now(),
+                NodeId(1),
+                NodeId(0),
+                Ping { ttl: 1 },
+                10,
+                TrafficClass::Query,
+            );
+            let t0 = s.now();
+            s.run_to_completion();
+            assert_eq!(s.now() - t0, d, "restored hop back to baseline");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be >= 1")]
+    fn slow_node_rejects_speedups() {
+        sim(2).slow_node(NodeId(0), 0.5);
     }
 
     #[test]

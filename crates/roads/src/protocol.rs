@@ -695,8 +695,8 @@ mod tests {
             build_data_simulation(&tree, cfg, schema, records(27), DelaySpace::paper(27, 17));
         let mut timeline = Timeline::new(2_000.0);
         run_with_timeline(&mut sim, SimTime::from_millis(30_000), &mut timeline);
-        let live = timeline
-            .series()
+        let series = timeline.series();
+        let live = series
             .iter()
             .find(|s| s.name == "live_summaries")
             .expect("live_summaries sampled");

@@ -38,7 +38,7 @@
 use crate::audit::{AuditMetrics, Liveness};
 use crate::config::RuntimeConfig;
 use crate::faults::{backoff_delay, mode_rank, DispatchHandle, Dispatcher, VisitLedger};
-use crate::health::{ClusterHealth, RuntimeMetrics, ServerHealth};
+use crate::health::{ClusterHealth, FaultKind, FaultLog, RuntimeMetrics, ServerHealth};
 use crate::store::RecordStore;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -56,7 +56,7 @@ use roads_telemetry::{
     TraceId,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -305,6 +305,27 @@ pub struct RuntimeOutcome {
     pub retries: usize,
 }
 
+/// A server thread's read handle onto its own straggler-factor slot
+/// (f64 bit pattern in an `AtomicU64`; 1.0 = healthy).
+#[derive(Clone)]
+struct SlowSlot {
+    board: Arc<Vec<AtomicU64>>,
+    index: usize,
+}
+
+impl SlowSlot {
+    fn new(board: &Arc<Vec<AtomicU64>>, index: usize) -> Self {
+        SlowSlot {
+            board: Arc::clone(board),
+            index,
+        }
+    }
+
+    fn factor(&self) -> f64 {
+        f64::from_bits(self.board[self.index].load(Ordering::Relaxed))
+    }
+}
+
 /// One live server: mailbox, thread, liveness flag, owner policy.
 struct ServerSlot {
     sender: Sender<ServerRequest>,
@@ -328,6 +349,15 @@ pub struct RoadsCluster {
     /// replaced wholesale on restart (a fresh `Arc` per spawn), so the
     /// auditor's liveness closure reads this stable board instead.
     live_board: Arc<Vec<AtomicBool>>,
+    /// Per-server straggler factors (f64 bit patterns, 1.0 = healthy).
+    /// Stable across restarts like `live_board`; each server thread holds
+    /// its own slot's `Arc` and scales its emulated backend cost by it,
+    /// while `scaled_delay` applies the slower endpoint's factor to every
+    /// message between a pair.
+    slow_board: Arc<Vec<AtomicU64>>,
+    /// Timestamped log of injected faults (kill/restart/slow/restore),
+    /// shared with the watchdog for incident correlation.
+    fault_log: Arc<FaultLog>,
     audit: Option<Arc<AuditMetrics>>,
     /// TTL'd result cache, present when `cfg.cache_ttl_rounds > 0`. Keyed
     /// by (entry, requester, scope, query fingerprint); epochs advance via
@@ -396,6 +426,11 @@ impl RoadsCluster {
         assert_eq!(net.len(), policies.len(), "one policy per server");
         let net = Arc::new(net);
         let delays = Arc::new(delays);
+        let slow_board = Arc::new(
+            (0..net.len())
+                .map(|_| AtomicU64::new(1.0f64.to_bits()))
+                .collect::<Vec<_>>(),
+        );
         let servers = policies
             .into_iter()
             .enumerate()
@@ -409,6 +444,7 @@ impl RoadsCluster {
                     metrics
                         .as_ref()
                         .map(|m| Arc::clone(&m.servers[s].queue_depth)),
+                    SlowSlot::new(&slow_board, s),
                 ))
             })
             .collect();
@@ -429,6 +465,8 @@ impl RoadsCluster {
             recorder: None,
             tail: None,
             live_board,
+            slow_board,
+            fault_log: Arc::new(FaultLog::new()),
             audit: None,
             cache: (cfg.cache_ttl_rounds > 0)
                 .then(|| Arc::new(ResultCache::new(cfg.cache_ttl_rounds))),
@@ -577,6 +615,7 @@ impl RoadsCluster {
             si.queue_depth.set(0);
             m.kills.inc();
         }
+        self.fault_log.record(id, FaultKind::Kill, 1.0);
         true
     }
 
@@ -597,6 +636,7 @@ impl RoadsCluster {
             self.metrics
                 .as_ref()
                 .map(|m| Arc::clone(&m.servers[id.index()].queue_depth)),
+            SlowSlot::new(&self.slow_board, id.index()),
         );
         self.live_board[id.index()].store(true, Ordering::Relaxed);
         if let Some(m) = &self.metrics {
@@ -605,7 +645,57 @@ impl RoadsCluster {
             si.queue_depth.set(0);
             m.restarts.inc();
         }
+        self.fault_log.record(id, FaultKind::Restart, 1.0);
         true
+    }
+
+    /// Inject a straggler: server `id` stays alive and keeps answering,
+    /// but every message to or from it takes `factor` (≥ 1) times the
+    /// delay-space latency and its emulated backend cost is multiplied by
+    /// the same factor — a slow link / overloaded host, not a death.
+    /// Undo with [`RoadsCluster::restore_server`]. Returns `false` (and
+    /// changes nothing) when the server is already slowed.
+    pub fn slow_server(&self, id: ServerId, factor: f64) -> bool {
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "straggler factor must be >= 1, got {factor}"
+        );
+        let slot = &self.slow_board[id.index()];
+        if f64::from_bits(slot.load(Ordering::Relaxed)) != 1.0 {
+            return false;
+        }
+        slot.store(factor.to_bits(), Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.slows.inc();
+        }
+        self.fault_log.record(id, FaultKind::Slow, factor);
+        true
+    }
+
+    /// Restore a straggler to full speed. Returns `false` when the
+    /// server was not slowed.
+    pub fn restore_server(&self, id: ServerId) -> bool {
+        let slot = &self.slow_board[id.index()];
+        if f64::from_bits(slot.load(Ordering::Relaxed)) == 1.0 {
+            return false;
+        }
+        slot.store(1.0f64.to_bits(), Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.restores.inc();
+        }
+        self.fault_log.record(id, FaultKind::Restore, 1.0);
+        true
+    }
+
+    /// The current straggler factor of `id` (1.0 = healthy).
+    pub fn slow_factor(&self, id: ServerId) -> f64 {
+        f64::from_bits(self.slow_board[id.index()].load(Ordering::Relaxed))
+    }
+
+    /// The shared injected-fault log (kills, restarts, stragglers with
+    /// onset timestamps), for the watchdog's incident correlation.
+    pub fn fault_log(&self) -> Arc<FaultLog> {
+        Arc::clone(&self.fault_log)
     }
 
     /// Whether `id` has a running thread per the kill/restart bookkeeping.
@@ -826,7 +916,12 @@ impl RoadsCluster {
 
     fn scaled_delay(&self, a: ServerId, b: ServerId) -> Duration {
         let ms = self.delays.delay_ms(a.index(), b.index()) * self.cfg.delay_scale;
-        Duration::from_micros((ms * 1000.0) as u64)
+        // Straggler injection: the slower endpoint's factor stretches the
+        // whole hop (matching the netsim fault model).
+        let f = f64::from_bits(self.slow_board[a.index()].load(Ordering::Relaxed)).max(
+            f64::from_bits(self.slow_board[b.index()].load(Ordering::Relaxed)),
+        );
+        Duration::from_micros((ms * 1000.0 * f) as u64)
     }
 
     /// Stop all server threads.
@@ -862,6 +957,7 @@ fn spawn_server(
     policy: Arc<dyn SharingPolicy>,
     search_hist: Option<Arc<Histogram>>,
     queue: Option<Arc<Gauge>>,
+    slow: SlowSlot,
 ) -> ServerSlot {
     let (tx, rx) = unbounded::<ServerRequest>();
     let alive = Arc::new(AtomicBool::new(true));
@@ -872,7 +968,20 @@ fn spawn_server(
         let policy = Arc::clone(&policy);
         thread::Builder::new()
             .name(format!("roads-server-{}", id.0))
-            .spawn(move || server_loop(id, store, net, cfg, policy, rx, alive, search_hist, queue))
+            .spawn(move || {
+                server_loop(
+                    id,
+                    store,
+                    net,
+                    cfg,
+                    policy,
+                    rx,
+                    alive,
+                    search_hist,
+                    queue,
+                    slow,
+                )
+            })
             .expect("spawn server thread")
     };
     ServerSlot {
@@ -1737,6 +1846,7 @@ fn server_loop(
     alive: Arc<AtomicBool>,
     search_hist: Option<Arc<Histogram>>,
     queue: Option<Arc<Gauge>>,
+    slow: SlowSlot,
 ) {
     while let Ok(req) = rx.recv() {
         if !alive.load(Ordering::Relaxed) {
@@ -1814,11 +1924,13 @@ fn server_loop(
                 } else {
                     Vec::new()
                 };
-                // Emulated backend + result-transfer cost.
+                // Emulated backend + result-transfer cost, stretched by
+                // the straggler factor when this server is slowed.
                 let result_bytes: usize = records.iter().map(WireSize::wire_size).sum();
                 let busy_us = cfg.base_query_cost_us
                     + cfg.per_record_retrieval_us * records.len() as u64
                     + cfg.transfer_us(result_bytes);
+                let busy_us = (busy_us as f64 * slow.factor()) as u64;
                 thread::sleep(Duration::from_micros(busy_us));
                 if !alive.load(Ordering::Relaxed) {
                     break; // killed mid-query: the in-flight reply is lost

@@ -19,10 +19,12 @@
 //! tests assert on directly.
 
 use crate::cluster::ContactMode;
+use parking_lot::Mutex;
 use roads_core::ServerId;
 use roads_telemetry::{labeled, Counter, Gauge, Histogram, Registry};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The exposition label for a contact mode.
 pub(crate) fn mode_label(mode: ContactMode) -> &'static str {
@@ -86,6 +88,10 @@ pub(crate) struct RuntimeMetrics {
     pub kills: Arc<Counter>,
     /// `runtime.fault_events{kind="restart"}`.
     pub restarts: Arc<Counter>,
+    /// `runtime.fault_events{kind="slow"}`: straggler injections.
+    pub slows: Arc<Counter>,
+    /// `runtime.fault_events{kind="restore"}`: stragglers restored.
+    pub restores: Arc<Counter>,
     /// `roads.cache.hits`: queries answered from the TTL'd result cache.
     pub cache_hits: Arc<Counter>,
     /// `roads.cache.misses`: cache lookups that fell through to execution
@@ -169,6 +175,8 @@ impl RuntimeMetrics {
             ],
             kills: reg.counter(&labeled("runtime.fault_events", &[("kind", "kill")])),
             restarts: reg.counter(&labeled("runtime.fault_events", &[("kind", "restart")])),
+            slows: reg.counter(&labeled("runtime.fault_events", &[("kind", "slow")])),
+            restores: reg.counter(&labeled("runtime.fault_events", &[("kind", "restore")])),
             cache_hits: reg.counter("roads.cache.hits"),
             cache_misses: reg.counter("roads.cache.misses"),
             cache_expired: reg.counter("roads.cache.expired"),
@@ -193,6 +201,112 @@ impl RuntimeMetrics {
             ContactMode::Failover { .. } => 3,
         };
         &self.dispatch_by_mode[i]
+    }
+}
+
+/// The kind of an injected fault, as logged for incident correlation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Server thread torn down ([`crate::RoadsCluster::kill_server`]).
+    Kill,
+    /// Server respawned ([`crate::RoadsCluster::restart_server`]).
+    Restart,
+    /// Straggler injected ([`crate::RoadsCluster::slow_server`]).
+    Slow,
+    /// Straggler restored ([`crate::RoadsCluster::restore_server`]).
+    Restore,
+}
+
+impl FaultKind {
+    /// The exposition / artifact label for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Kill => "kill",
+            FaultKind::Restart => "restart",
+            FaultKind::Slow => "slow",
+            FaultKind::Restore => "restore",
+        }
+    }
+
+    /// Whether this kind marks a fault *onset* (kill/slow) rather than a
+    /// recovery (restart/restore).
+    pub fn is_onset(self) -> bool {
+        matches!(self, FaultKind::Kill | FaultKind::Slow)
+    }
+
+    /// Inverse of [`as_str`](FaultKind::as_str), for artifact parsers.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "kill" => Some(FaultKind::Kill),
+            "restart" => Some(FaultKind::Restart),
+            "slow" => Some(FaultKind::Slow),
+            "restore" => Some(FaultKind::Restore),
+            _ => None,
+        }
+    }
+
+    /// The recovery kind that clears this onset (`None` for recoveries).
+    pub fn clears_with(self) -> Option<FaultKind> {
+        match self {
+            FaultKind::Kill => Some(FaultKind::Restart),
+            FaultKind::Slow => Some(FaultKind::Restore),
+            _ => None,
+        }
+    }
+}
+
+/// One injected-fault event with its wall-clock onset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault was injected.
+    pub at: Instant,
+    /// The faulted server.
+    pub server: ServerId,
+    /// What happened to it.
+    pub kind: FaultKind,
+    /// Straggler factor for `Slow` events; 1.0 otherwise.
+    pub factor: f64,
+}
+
+/// A timestamped log of injected faults (kills, restarts, stragglers),
+/// shared between the cluster (writer) and the watchdog (reader): the
+/// `runtime.fault_events` counters say *how many* faults happened, this
+/// log says *when* and *to whom*, which is what incident correlation
+/// and detection-latency measurement need.
+#[derive(Debug, Default)]
+pub struct FaultLog {
+    events: Mutex<Vec<FaultEvent>>,
+}
+
+impl FaultLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event stamped now.
+    pub fn record(&self, server: ServerId, kind: FaultKind, factor: f64) {
+        self.events.lock().push(FaultEvent {
+            at: Instant::now(),
+            server,
+            kind,
+            factor,
+        });
+    }
+
+    /// A snapshot of every event logged so far, in injection order.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events logged.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
     }
 }
 

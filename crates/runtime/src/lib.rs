@@ -38,6 +38,16 @@
 //!   real queries into per-level FP/FN counters, exports everything as
 //!   `audit.*` OpenMetrics families and writes a periodic `AUDIT.json`
 //!   artifact ([`audit::AuditReport`]).
+//! * [`watchdog`] — the incident plane: a background
+//!   [`watchdog::Watchdog`] thread runs online anomaly detectors
+//!   (`roads_telemetry::detect`) over live registry series each tick,
+//!   coalesces firings into [`watchdog::Incident`]s, correlates them
+//!   with injected fault events / audit divergence / queue-depth
+//!   locality into a ranked suspected-cause list, exports
+//!   `roads.watchdog.*` OpenMetrics and writes the `INCIDENTS.json`
+//!   artifact ([`watchdog::IncidentReport`]). `kill_server` has a
+//!   non-lethal sibling, `slow_server`, which multiplies a straggler's
+//!   compute and delivery delays to exercise the detectors.
 //!
 //! Fig. 11's crossover — the central repository wins at low selectivity
 //! (fewer round trips), ROADS catches up and wins as selectivity grows
@@ -51,6 +61,7 @@ pub mod config;
 pub(crate) mod faults;
 pub mod health;
 pub mod store;
+pub mod watchdog;
 
 pub use audit::{
     is_audit_doc, AuditConfig, AuditLevelRow, AuditMetrics, AuditReport, Auditor, Liveness,
@@ -58,5 +69,9 @@ pub use audit::{
 pub use central::CentralCluster;
 pub use cluster::{ContactMode, RoadsCluster, RuntimeOutcome};
 pub use config::RuntimeConfig;
-pub use health::{ClusterHealth, ServerHealth};
+pub use health::{ClusterHealth, FaultEvent, FaultKind, FaultLog, ServerHealth};
 pub use store::RecordStore;
+pub use watchdog::{
+    is_incidents_doc, standard_bank, CauseKind, Incident, IncidentReport, MatchedFault, Probe,
+    SuspectedCause, Watchdog, WatchdogConfig, WatchdogMetrics,
+};

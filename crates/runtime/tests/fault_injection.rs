@@ -632,6 +632,59 @@ fn concurrent_queries_attribute_faults_during_churn() {
     c.shutdown();
 }
 
+/// Straggler injection: a slowed server keeps answering (no records
+/// lost, query stays complete) but its emulated backend cost stretches
+/// by the factor, the fault log records onset and recovery, and
+/// `restore_server` returns it to baseline.
+#[test]
+fn slow_server_degrades_without_killing() {
+    use roads_runtime::FaultKind;
+    let cfg = RuntimeConfig {
+        base_query_cost_us: 30_000,
+        dispatch_timeout_ms: 0,
+        query_deadline_ms: 20_000,
+        ..RuntimeConfig::test_fast()
+    };
+    let c = build_cluster(1, 3, cfg);
+    let only = c.network().tree().root();
+    let q = full_query(&c);
+
+    let healthy = c.query(&q, only);
+    assert!(healthy.complete);
+
+    assert_eq!(c.slow_factor(only), 1.0);
+    assert!(c.slow_server(only, 8.0));
+    assert!(!c.slow_server(only, 2.0), "already slowed");
+    assert_eq!(c.slow_factor(only), 8.0);
+
+    let slowed = c.query(&q, only);
+    assert!(slowed.complete, "a straggler is alive: nothing is missing");
+    assert_eq!(unique_ids(&slowed).len(), RECORDS_PER_SERVER);
+    assert!(slowed.failed_servers.is_empty());
+    // 30 ms of backend cost at 8x ⇒ ≥ 240 ms; leave slack for the
+    // healthy-side baseline but require a clear multiple.
+    assert!(
+        slowed.response_ms >= 3.0 * healthy.response_ms.max(30.0),
+        "straggler must be visibly slower: {} ms vs {} ms",
+        slowed.response_ms,
+        healthy.response_ms
+    );
+
+    assert!(c.restore_server(only));
+    assert!(!c.restore_server(only), "already restored");
+    assert_eq!(c.slow_factor(only), 1.0);
+    let restored = c.query(&q, only);
+    assert!(restored.complete);
+
+    let log = c.fault_log();
+    let kinds: Vec<FaultKind> = log.events().iter().map(|e| e.kind).collect();
+    assert_eq!(kinds, vec![FaultKind::Slow, FaultKind::Restore]);
+    assert_eq!(log.events()[0].factor, 8.0);
+    assert!(log.events()[0].kind.is_onset());
+    assert!(!log.events()[1].kind.is_onset());
+    c.shutdown();
+}
+
 #[test]
 fn restart_server_restores_full_service() {
     let n = 9;

@@ -574,7 +574,7 @@ pub fn write_chrome_trace(
 /// stdout. Like [`crate::FigureExport::write_default`], errors warn
 /// instead of aborting a finished run.
 pub fn write_chrome_trace_default(figure: &str, recorder: &Recorder) {
-    let dir = std::env::var("ROADS_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let dir = crate::export::results_dir();
     match write_chrome_trace(figure, &dir, &recorder.events()) {
         Ok(path) => {
             if recorder.evicted() > 0 {
@@ -590,7 +590,8 @@ pub fn write_chrome_trace_default(figure: &str, recorder: &Recorder) {
         }
         Err(e) => eprintln!(
             "warning: could not write {}/{}.trace.json: {e}",
-            dir, figure
+            dir.display(),
+            figure
         ),
     }
 }

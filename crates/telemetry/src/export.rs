@@ -183,12 +183,23 @@ impl FigureExport {
     /// on stdout. Errors are printed, not fatal — a figure run should
     /// never die on a full disk after computing its data.
     pub fn write_default(&self) {
-        let dir = std::env::var("ROADS_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+        let dir = results_dir();
         match self.write(&dir) {
             Ok(path) => println!("wrote {}", path.display()),
-            Err(e) => eprintln!("warning: could not write {}/{}.json: {e}", dir, self.figure),
+            Err(e) => eprintln!(
+                "warning: could not write {}/{}.json: {e}",
+                dir.display(),
+                self.figure
+            ),
         }
     }
+}
+
+/// The workspace results directory every artifact writer routes
+/// through: `$ROADS_RESULTS_DIR` when set, else `results/`. The
+/// directory is not created here — writers create it on first write.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("ROADS_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()))
 }
 
 #[cfg(test)]

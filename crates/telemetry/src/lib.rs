@@ -23,6 +23,11 @@
 //! * [`timeline`] — a fixed-interval gauge sampler producing
 //!   `timeline.<gauge>` time-series inside a [`FigureExport`], with an
 //!   optional bounded per-series ring for long-running samplers.
+//! * [`detect`] — composable online anomaly detectors over timeline
+//!   series (EWMA + z-score spikes, debounced static thresholds,
+//!   multi-window SLO burn-rate rules), bound to series names by a
+//!   [`DetectorBank`] that stamps epoch'd [`DetectorFiring`]s with the
+//!   triggering window attached.
 //! * [`openmetrics`] — Prometheus/OpenMetrics text exposition of a
 //!   [`Registry`] snapshot (deterministic ordering, label escaping, full
 //!   histogram buckets), a parser for scrape files, and a background
@@ -43,6 +48,7 @@
 //! `Option`al registry/recorder and do no work when it is absent, so the
 //! instrumented build costs nothing when telemetry is not requested.
 
+pub mod detect;
 pub mod event;
 pub mod explain;
 pub mod export;
@@ -55,6 +61,9 @@ pub mod tail;
 pub mod timeline;
 pub mod trace;
 
+pub use detect::{
+    BurnRateRule, Detector, DetectorBank, DetectorFiring, EwmaSpikeDetector, ThresholdRule, Trip,
+};
 pub use event::{
     chrome_trace_json, critical_path, slowest_trace, span_tree_root, trace_events, trace_ids,
     write_chrome_trace, write_chrome_trace_default, Event, EventKind, Recorder, SpanId, TraceId,
@@ -62,7 +71,7 @@ pub use event::{
 pub use explain::{
     Attribution, ExplainDecision, ExplainHop, HopOutcome, LatencySplit, QueryExplain, SummaryKind,
 };
-pub use export::{FigureExport, ReferencePoint, Series};
+pub use export::{results_dir, FigureExport, ReferencePoint, Series};
 pub use json::Json;
 pub use openmetrics::{
     labeled, parse as parse_openmetrics, OpenMetricsSnapshot, Sampler, Scrape, ScrapeFamily,

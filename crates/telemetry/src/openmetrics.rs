@@ -854,8 +854,9 @@ mod tests {
         let mid = sampler.scrape();
         assert!(mid.sample_count() > 0, "mid-run scrape sees samples");
         let tl = sampler.stop();
+        let series = tl.series();
         let find = |name: &str| {
-            tl.series()
+            series
                 .iter()
                 .find(|s| s.name == name)
                 .unwrap_or_else(|| panic!("series {name} missing"))

@@ -1,10 +1,15 @@
 //! Concurrency tests for the OpenMetrics exposition path: a scrape taken
 //! while many writer threads hammer the same histograms must never
 //! observe a torn snapshot. Extends the single-lock `Histogram::summary`
-//! fix (PR 4) to the full-bucket capture that exposition relies on.
+//! fix (PR 4) to the full-bucket capture that exposition relies on, and
+//! covers the watchdog plane's detection core: a [`DetectorBank`]
+//! evaluated over live sampler scrapes while writers mutate the
+//! instruments and the exposition renderer runs.
 
-use roads_telemetry::{parse_openmetrics, OpenMetricsSnapshot, Registry, Sampler};
-use std::sync::atomic::{AtomicBool, Ordering};
+use roads_telemetry::{
+    parse_openmetrics, DetectorBank, OpenMetricsSnapshot, Registry, Sampler, ThresholdRule,
+};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -97,13 +102,106 @@ fn scrape_under_multi_writer_updates_never_tears() {
     assert_scrape_consistent(&final_snap);
     assert_eq!(final_snap.counters["torn.writes"], total);
     assert_eq!(final_snap.histograms["torn.lat_ms"].count, total);
-    let writes = tl
-        .series()
+    let series = tl.series();
+    let writes = series
         .iter()
         .find(|s| s.name == "torn.writes")
         .expect("sampler recorded the counter");
     assert!(
         writes.points.windows(2).all(|w| w[0].1 <= w[1].1),
         "sampled counter must be monotone"
+    );
+}
+
+/// The watchdog plane's core loop under contention: writer threads
+/// mutate a gauge, the background sampler feeds its timeline, and the
+/// main thread repeatedly evaluates a [`DetectorBank`] over live
+/// scrapes while also rendering exposition text. The bank must dedup
+/// samples across overlapping scrape clones (firing timestamps stay
+/// strictly increasing), stay silent while the gauge is healthy, and
+/// fire once the writers push it past the threshold.
+#[test]
+fn detector_bank_evaluates_over_live_scrapes_without_tearing() {
+    let reg = Arc::new(Registry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let level = Arc::new(AtomicI64::new(2));
+    const WRITERS: usize = 3;
+
+    // Writers hammer the same gauge with values around a shared level;
+    // the main thread raises the level mid-run to trip the detector.
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            let stop = Arc::clone(&stop);
+            let level = Arc::clone(&level);
+            std::thread::spawn(move || {
+                let g = reg.gauge("wd.queue_depth");
+                let c = reg.counter("wd.writes");
+                while !stop.load(Ordering::Relaxed) {
+                    g.set(level.load(Ordering::Relaxed) + (t as i64 % 2));
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+
+    let sampler = Sampler::start(
+        Arc::clone(&reg),
+        &["wd.queue_depth", "wd.writes"],
+        Duration::from_millis(1),
+        1024,
+    );
+    let mut bank = DetectorBank::new();
+    bank.bind(
+        "wd.queue_depth",
+        ThresholdRule::above("deep-queue", 10.0, 1),
+    );
+
+    // Healthy phase: evaluate over overlapping live scrapes while the
+    // exposition renderer runs; nothing may fire below the threshold.
+    let mut firings = Vec::new();
+    for i in 0..200 {
+        bank.advance_epoch();
+        firings.extend(bank.observe_timeline(&sampler.scrape()));
+        if i % 50 == 0 {
+            parse_openmetrics(&OpenMetricsSnapshot::from_registry(&reg).render())
+                .expect("render parses while writers and sampler run");
+        }
+    }
+    assert!(
+        firings.is_empty(),
+        "healthy gauge tripped the threshold: {firings:?}"
+    );
+
+    // Outage phase: push the level past the threshold and keep
+    // evaluating until the bank sees it (sampler runs on wall time).
+    level.store(50, Ordering::Relaxed);
+    for _ in 0..2_000 {
+        sampler.tick_now();
+        bank.advance_epoch();
+        firings.extend(bank.observe_timeline(&sampler.scrape()));
+        if !firings.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    drop(sampler);
+
+    assert!(!firings.is_empty(), "raised gauge never tripped the bank");
+    for f in &firings {
+        assert_eq!(f.detector, "deep-queue");
+        assert_eq!(f.series, "wd.queue_depth");
+        assert!(f.value >= 10.0, "sub-threshold firing: {f:?}");
+        assert!(!f.window.is_empty(), "firing lost its window");
+    }
+    // Overlapping scrape clones re-deliver old points; the bank's
+    // monotone dedup means firing timestamps strictly increase.
+    assert!(
+        firings.windows(2).all(|w| w[0].at_ms < w[1].at_ms),
+        "duplicate or reordered samples reached the detector"
     );
 }
